@@ -1,0 +1,84 @@
+"""A1 — Appendix A: classical partial search, upper and lower bounds meet.
+
+Monte Carlo over the honest counted implementation plus the vectorised
+sampler, against the exact formulas:
+
+    randomized partial:  E = (N/2)(1 - 1/K^2) (+ O(1))   [upper == lower]
+    deterministic partial: N (1 - 1/K) worst case
+    randomized full:       ~ N/2
+
+The savings column shows the classical saving collapsing like 1/K^2 — the
+contrast motivating the paper's quantum Theta(1/sqrt(K)) saving.
+"""
+
+import numpy as np
+
+from repro.classical import (
+    appendix_a_lower_bound,
+    expected_queries_deterministic_partial,
+    expected_queries_randomized_partial,
+    randomized_partial_search,
+    sample_partial_search_query_counts,
+)
+from repro.oracle import SingleTargetDatabase
+from repro.util.tables import format_table
+
+N = 1024
+K_VALUES = (2, 4, 8, 16)
+HONEST_TRIALS = 200
+FAST_TRIALS = 200_000
+
+
+def _measure():
+    rows = []
+    rng = np.random.default_rng(20050407)
+    for k in K_VALUES:
+        honest = []
+        for _ in range(HONEST_TRIALS):
+            target = int(rng.integers(N))
+            honest.append(
+                randomized_partial_search(
+                    SingleTargetDatabase(N, target), k, rng=rng
+                ).queries
+            )
+        fast = sample_partial_search_query_counts(N, k, FAST_TRIALS, rng=rng)
+        rows.append(
+            {
+                "k": k,
+                "honest_mean": float(np.mean(honest)),
+                "fast_mean": float(np.mean(fast)),
+                "fast_sem": float(np.std(fast) / np.sqrt(FAST_TRIALS)),
+                "formula": expected_queries_randomized_partial(N, k),
+                "lower": appendix_a_lower_bound(N, k),
+                "det": expected_queries_deterministic_partial(N, k),
+            }
+        )
+    return rows
+
+
+def test_appendixA_classical(benchmark, report):
+    rows = benchmark(_measure)
+
+    report(
+        "appendixA_classical",
+        format_table(
+            ["K", "measured (honest)", "measured (2e5 fast)", "formula",
+             "Appendix A lower bd", "deterministic", "saving vs N/2"],
+            [[r["k"], r["honest_mean"], r["fast_mean"], r["formula"], r["lower"],
+              r["det"], f"{(N / 2 - r['lower']) / (N / 2):.4%}"] for r in rows],
+            float_fmt=".1f",
+            title=f"Appendix A: classical partial search, N={N} "
+                  f"(expected queries; full search ~ {N // 2})",
+        ),
+    )
+
+    for r in rows:
+        # measured matches the exact formula within MC error
+        assert abs(r["fast_mean"] - r["formula"]) < 5 * max(r["fast_sem"], 0.1)
+        assert abs(r["honest_mean"] - r["formula"]) < 0.12 * r["formula"]
+        # upper bound meets the lower bound up to O(1): tightness
+        assert r["lower"] <= r["formula"] <= r["lower"] + 1.0
+    # savings decay ~ 1/K^2: each doubling of K shrinks the saving ~4x
+    savings = [N / 2 - r["lower"] for r in rows]
+    for a, b in zip(savings, savings[1:]):
+        assert 3.5 < a / b < 4.5

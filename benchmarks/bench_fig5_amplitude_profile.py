@@ -1,0 +1,72 @@
+"""F4/F5 — Figures 4-5: the Step 2 over-rotation and amplitude histogram.
+
+After Step 2 the state must look exactly like the paper's Figure 5: uniform
+positive amplitudes in non-target blocks, *negative* amplitudes on the
+target block's non-target states, a tall target amplitude — and the dotted
+line: the average amplitude over all non-target states equals (half) the
+per-state amplitude of non-target blocks, which is precisely the condition
+that makes Step 3 zero the non-target blocks.
+"""
+
+import numpy as np
+
+from repro import SingleTargetDatabase, run_partial_search
+from repro.analysis.histogram import block_profile
+from repro.util.tables import format_table
+
+N, K, TARGET = 2**14, 4, 5000
+
+
+def _profile():
+    res = run_partial_search(SingleTargetDatabase(N, TARGET), K, trace=True)
+    after2 = next(t for t in res.traces if t.label == "after_step2")
+    final = next(t for t in res.traces if t.label == "final")
+    return res, after2, final
+
+
+def test_fig5_amplitude_profile(benchmark, report):
+    res, after2, final = benchmark(_profile)
+    amps = after2.amplitudes
+    spec = res.spec
+    t_block = spec.block_of(TARGET)
+
+    # Figure-5 quantities.
+    target_amp = float(amps[TARGET])
+    in_block = np.delete(amps[spec.slice_of(t_block)], TARGET % spec.block_size)
+    outside = np.delete(amps.reshape(K, -1), t_block, axis=0).ravel()
+    nontarget_avg = float((in_block.sum() + outside.sum()) / (N - 1))
+
+    lines = [
+        "After Step 2 (N=2^14, K=4, target block %d):" % t_block,
+        format_table(
+            ["block", "min amp", "max amp", "uniform", "mass"],
+            [[r["block"], f"{r['min_amp']:+.6f}", f"{r['max_amp']:+.6f}",
+              str(r["uniform"]), f"{r['mass']:.6f}"]
+             for r in block_profile(amps, K)],
+        ),
+        "",
+        f"target amplitude:                    {target_amp:+.6f}",
+        f"target-block rest amplitude:         {float(in_block[0]):+.6f} (negative!)",
+        f"non-target-block amplitude (w):      {float(outside[0]):+.6f}",
+        f"average over all non-target states:  {nontarget_avg:+.6f}",
+        f"w / 2 (the dotted line):             {float(outside[0]) / 2:+.6f}",
+    ]
+
+    final_probs = final.block_probabilities(K)
+    lines += ["", "After Step 3, block distribution: "
+              + np.array2string(final_probs, precision=10)]
+    report("fig5_amplitude_profile", "\n".join(lines))
+
+    # Shape assertions (the paper's histogram, qualitatively exact):
+    assert np.all(in_block < 0)                       # negative amplitudes
+    assert np.ptp(in_block) < 1e-12                   # uniform within block
+    assert np.ptp(outside) < 1e-12                    # untouched outside
+    # tall target bar: at the optimal eps the target amplitude after Step 2
+    # is alpha_yt * cos(theta2) ~ 0.57 — towering over the ~1/sqrt(N) rest.
+    assert target_amp > 50 * abs(float(outside[0]))
+    assert target_amp > 0.5
+    # dotted line: average = w/2 up to the integer-schedule granularity
+    assert abs(nontarget_avg - outside[0] / 2) < 2.0 / N
+    # Step 3 wipes the non-target blocks
+    wrong_mass = final_probs.sum() - final_probs[t_block]
+    assert wrong_mass < 4.0 / N

@@ -1,0 +1,61 @@
+"""T2 — Theorem 1's large-K estimate: c_K >= 0.42/sqrt(K).
+
+Sweeps K over powers of two up to 2**16 and reports c_K * sqrt(K) for both
+the paper's eps = 1/sqrt(K) choice (whose limit is the exact constant
+1 - (2/pi) arcsin(pi/4) = 0.42497...) and the optimal eps (which can only be
+better).  The paper's displayed bound pi/4 (1 - 0.42/sqrt(K)) must upper-
+bound the optimised query coefficient for every large K.
+"""
+
+import math
+
+from repro.analysis.theory import LARGE_K_CONSTANT, large_k_coefficient, savings_factor
+from repro.core.optimizer import optimal_epsilon
+from repro.util.tables import format_table
+
+K_SWEEP = [2**i for i in range(2, 17)]
+
+
+def _sweep():
+    rows = []
+    for k in K_SWEEP:
+        opt = optimal_epsilon(k)
+        paper_eps_coeff = large_k_coefficient(k)
+        rows.append(
+            {
+                "k": k,
+                "c_opt": opt.savings * math.sqrt(k),
+                "c_paper_eps": savings_factor(paper_eps_coeff) * math.sqrt(k),
+                "coeff_opt": opt.coefficient,
+                "paper_bound": (math.pi / 4) * (1 - 0.42 / math.sqrt(k)),
+            }
+        )
+    return rows
+
+
+def test_largeK_asymptotics(benchmark, report):
+    rows = benchmark(_sweep)
+
+    report(
+        "largeK_asymptotics",
+        format_table(
+            ["K", "c_K*sqrt(K) (opt eps)", "c_K*sqrt(K) (eps=1/sqrt(K))",
+             "q(opt)", "pi/4(1-0.42/sqrt(K))"],
+            [[r["k"], r["c_opt"], r["c_paper_eps"], r["coeff_opt"],
+              r["paper_bound"]] for r in rows],
+            float_fmt=".4f",
+            title=f"Theorem 1 large-K constant (exact limit {LARGE_K_CONSTANT:.5f})",
+        ),
+    )
+
+    for r in rows:
+        if r["k"] >= 16:
+            # c_K >= 0.42/sqrt(K) — i.e. queries <= pi/4 (1 - 0.42/sqrt(K)) sqrt(N)
+            assert r["coeff_opt"] <= r["paper_bound"] + 1e-9
+            assert r["c_opt"] >= 0.42
+    # eps = 1/sqrt(K) curve converges to the exact constant
+    tail = rows[-1]
+    assert abs(tail["c_paper_eps"] - LARGE_K_CONSTANT) < 0.01
+    # optimal eps is at least as good as the paper's choice
+    for r in rows:
+        assert r["c_opt"] >= r["c_paper_eps"] - 1e-9

@@ -1,0 +1,67 @@
+"""X1 — Section 1.2 vs Section 3: naive K-1-block search vs GRK, head to head.
+
+Both run on the simulator with counted oracles at N = 2^14.  GRK must win
+for every K >= 3 (at K = 2 the two coincide), by a factor approaching
+(1 - 0.42/sqrt(K)) / (1 - 1/(2K)) — i.e. the Theta(1/sqrt(K)) saving beats
+the O(1/K) saving, more so for larger K... until both approach full search.
+"""
+
+import math
+
+from repro import SingleTargetDatabase, run_naive_partial_search, run_partial_search
+from repro.util.tables import format_table
+
+N, TARGET = 2**14, 9999
+K_VALUES = (2, 4, 8, 16, 64)
+
+
+def _head_to_head():
+    rows = []
+    for k in K_VALUES:
+        grk = run_partial_search(SingleTargetDatabase(N, TARGET), k)
+        naive = run_naive_partial_search(
+            SingleTargetDatabase(N, TARGET), k,
+            left_out_block=(TARGET // (N // k) + 1) % k,  # target searched
+            rng=0,
+        )
+        rows.append(
+            {
+                "k": k,
+                "grk_q": grk.queries,
+                "naive_q": naive.queries,
+                "grk_p": grk.success_probability,
+                "naive_p": naive.success_probability,
+                "saving": 1 - grk.queries / naive.queries,
+            }
+        )
+    return rows
+
+
+def test_naive_vs_grk(benchmark, report):
+    rows = benchmark(_head_to_head)
+
+    full = math.pi / 4 * math.sqrt(N)
+    report(
+        "naive_vs_grk",
+        format_table(
+            ["K", "GRK queries", "naive queries", "GRK P", "naive P", "GRK saves"],
+            [[r["k"], r["grk_q"], r["naive_q"], f"{r['grk_p']:.5f}",
+              f"{r['naive_p']:.5f}", f"{r['saving']:.1%}"] for r in rows],
+            title=f"naive (Section 1.2) vs GRK (Section 3), N=2^14 "
+                  f"(full search ~ {full:.0f} queries)",
+        ),
+    )
+
+    for r in rows:
+        assert r["grk_p"] > 0.999
+        if r["k"] == 2:
+            # coincide up to integer rounding
+            assert abs(r["grk_q"] - r["naive_q"]) <= 3
+        else:
+            assert r["grk_q"] < r["naive_q"]  # who wins: GRK, always
+    # rough factor: absolute saving (in queries) shrinks like 1/sqrt(K)
+    # relative to full search, but stays decisively positive at K=64.
+    assert rows[-1]["saving"] > 0.02
+    mid = next(r for r in rows if r["k"] == 8)
+    expect = 1 - (1 - 0.42 / math.sqrt(8)) / math.sqrt(1 - 1 / 8)
+    assert abs(mid["saving"] - expect) < 0.05

@@ -1,0 +1,67 @@
+"""T3 — Theorem 2's reduction: full search from iterated partial search.
+
+Runs the reduction on the simulator (every level a real quantum partial
+search sharing one query counter), prints the per-level accounting against
+the geometric series, and verifies the totals the proof manipulates:
+
+    total <= alpha_K * sqrt(K)/(sqrt(K)-1) * sqrt(N)
+
+with the implied alpha lower bound matching the paper's table column.
+"""
+
+import math
+
+from repro import SingleTargetDatabase, run_iterated_full_search
+from repro.grover import run_grover
+from repro.lowerbounds.partial import reduction_query_bound
+from repro.util.tables import format_table
+
+N, TARGET = 2**16, 54321
+K_VALUES = (2, 4, 16)
+
+
+def _run_reductions():
+    out = {}
+    for k in K_VALUES:
+        res = run_iterated_full_search(SingleTargetDatabase(N, TARGET), k)
+        out[k] = res
+    direct = run_grover(SingleTargetDatabase(N, TARGET))
+    return out, direct
+
+
+def test_theorem2_reduction(benchmark, report):
+    results, direct = benchmark(_run_reductions)
+
+    lines = []
+    for k, res in results.items():
+        alpha = res.levels[0].queries / math.sqrt(res.levels[0].size)
+        lines.append(
+            format_table(
+                ["level size", "queries", "alpha*sqrt(size)"],
+                [[lvl.size, lvl.queries, alpha * math.sqrt(lvl.size)]
+                 for lvl in res.levels],
+                float_fmt=".1f",
+                title=(f"K={k}: found {res.found_address} "
+                       f"({'correct' if res.correct else 'WRONG'}), "
+                       f"total={res.total_queries}, brute={res.brute_force_queries}, "
+                       f"series bound={res.series_bound:.1f}"),
+            )
+        )
+        lines.append("")
+    lines.append(f"direct Grover search: {direct.queries} queries")
+    report("theorem2_reduction", "\n".join(lines))
+
+    for k, res in results.items():
+        assert res.correct
+        quantum = sum(lvl.queries for lvl in res.levels)
+        # the proof's series cap holds for the quantum levels
+        assert quantum <= res.series_bound * (1 + 1e-9)
+        # and the whole reduction is within the sqrt(K)/(sqrt(K)-1) factor
+        factor = math.sqrt(k) / (math.sqrt(k) - 1)
+        alpha = res.levels[0].queries / math.sqrt(N)
+        assert res.total_queries <= reduction_query_bound(alpha, N, k) + N ** (1 / 3) + k
+        # consistency with Zalka: the reduction can't beat (pi/4) sqrt(N) by
+        # more than rounding, hence alpha >= (pi/4)(1 - 1/sqrt(K)) - o(1).
+        assert res.total_queries >= direct.queries * 0.9
+        implied_alpha = (direct.queries * 0.9) / (factor * math.sqrt(N))
+        assert alpha >= implied_alpha - 0.05

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Figure 1, animated in ASCII: partial search of a 12-item database.
+
+The paper's worked example (Section 1.3): twelve items, three blocks of
+four, one marked item.  Finding the item *exactly* needs three quantum
+queries; finding only its block needs **two**:
+
+    (A) uniform superposition
+    (B) invert the target's amplitude          <- query 1
+    (C) invert about the average in each block
+    (D) invert the target's amplitude again    <- query 2
+    (E) invert about the global average
+
+After (E) all amplitude sits in the target block (probability 1), with the
+target itself at amplitude 3/sqrt(12) (probability 3/4).
+
+Run:  python examples/twelve_items.py
+"""
+
+import numpy as np
+
+from repro.analysis.histogram import amplitude_bars
+from repro.statevector import ops
+
+N, K, TARGET = 12, 3, 5  # target in the middle block, matching the figure
+
+
+def show(label: str, description: str, amps: np.ndarray) -> None:
+    print(f"({label}) {description}")
+    labels = [f"{y}:{z}" + (" *" if y * 4 + z == TARGET else "  ")
+              for y in range(K) for z in range(N // K)]
+    print(amplitude_bars(amps, width=25, labels=labels))
+    print()
+
+
+def main() -> None:
+    amps = np.full(N, 1 / np.sqrt(N))
+    show("A", "uniform superposition of the twelve states", amps)
+
+    ops.phase_flip(amps, TARGET)
+    show("B", "invert the amplitude of the target state  [query 1]", amps)
+
+    ops.invert_about_mean_blocks(amps, K)
+    show("C", "invert about the average in each of the three blocks", amps)
+
+    ops.phase_flip(amps, TARGET)
+    show("D", "invert the amplitude of the target state again  [query 2]", amps)
+
+    ops.invert_about_mean(amps)
+    show("E", "invert about the global average", amps)
+
+    block_probs = (amps.reshape(K, N // K) ** 2).sum(axis=1)
+    print(f"block probabilities: {np.round(block_probs, 12)}")
+    print(f"-> the target block ({TARGET // 4}) is identified with certainty "
+          f"after 2 queries;")
+    print(f"   the target state itself carries probability "
+          f"{amps[TARGET] ** 2:.4f} (the paper's 3/4).")
+
+
+if __name__ == "__main__":
+    main()

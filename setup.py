@@ -1,0 +1,10 @@
+"""Legacy-install shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists only so
+``pip install -e . --no-use-pep517`` works on environments whose setuptools
+predates PEP 660 editable installs (e.g. offline boxes without ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,79 @@
+"""repro — reproduction of Grover & Radhakrishnan (SPAA 2005),
+"Is partial quantum search of a database any easier?".
+
+The library implements, from scratch on a numpy state-vector substrate:
+
+- the **GRK partial-search algorithm** (Section 3) and its sure-success
+  variant, with exact oracle-query accounting;
+- the **standard Grover search** baseline (plus Long's zero-failure form)
+  and Section 1.2's naive K−1-block quantum baseline;
+- the **classical** deterministic/randomized full and partial searches and
+  Appendix A's matching lower bound;
+- **Theorem 2's reduction** (full search from iterated partial search) and
+  **Theorem 3 / Appendix B** (Zalka's bound with error) as executable,
+  instance-certified computations;
+- analytic **subspace models** evaluating everything in O(1) per schedule
+  for arbitrarily large ``N``.
+
+Quickstart::
+
+    from repro import SingleTargetDatabase, run_partial_search
+
+    db = SingleTargetDatabase(n_items=4096, target=2717)
+    result = run_partial_search(db, n_blocks=4)
+    print(result.block_guess, result.queries, result.success_probability)
+
+See README.md for the architecture overview, DESIGN.md for the
+paper-to-module map, and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from repro.core import (
+    BlockSpec,
+    GRKParameters,
+    GRKSchedule,
+    PartialSearchResult,
+    SubspaceGRK,
+    coefficient_table,
+    optimal_epsilon,
+    plan_schedule,
+    run_iterated_full_search,
+    run_naive_partial_search,
+    run_partial_search,
+    run_sure_success_partial_search,
+)
+from repro.grover import TwoLevelGrover, run_exact_grover, run_grover
+from repro.lowerbounds import (
+    analyze_grover_hybrids,
+    lower_bound_coefficient,
+    zalka_bound,
+)
+from repro.oracle import Database, QueryCounter, SingleTargetDatabase
+from repro.statevector import StateVector
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlockSpec",
+    "GRKParameters",
+    "GRKSchedule",
+    "PartialSearchResult",
+    "SubspaceGRK",
+    "coefficient_table",
+    "optimal_epsilon",
+    "plan_schedule",
+    "run_iterated_full_search",
+    "run_naive_partial_search",
+    "run_partial_search",
+    "run_sure_success_partial_search",
+    "TwoLevelGrover",
+    "run_exact_grover",
+    "run_grover",
+    "analyze_grover_hybrids",
+    "lower_bound_coefficient",
+    "zalka_bound",
+    "Database",
+    "QueryCounter",
+    "SingleTargetDatabase",
+    "StateVector",
+    "__version__",
+]

@@ -1,0 +1,98 @@
+"""ASCII amplitude histograms — Figures 1 and 5 as terminal output.
+
+The paper's figures are signed bar charts of basis-state amplitudes with the
+block structure visible.  For small ``N`` we draw one bar per basis state;
+for large ``N`` we aggregate per block (target amplitude, per-state rest
+amplitude), which loses nothing because every GRK stage is symmetric within
+each block class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["amplitude_bars", "block_profile", "figure_histogram"]
+
+
+def amplitude_bars(amplitudes, width: int = 41, labels=None) -> str:
+    """Signed horizontal bars, one line per basis state (small ``N``).
+
+    The zero axis sits mid-line; ``#`` bars extend right for positive and
+    left for negative amplitudes, scaled to the largest magnitude.
+    """
+    amps = np.asarray(amplitudes, dtype=float)
+    if amps.ndim != 1:
+        raise ValueError("amplitudes must be 1-D (flatten ancilla first)")
+    if width < 5 or width % 2 == 0:
+        raise ValueError("width must be an odd integer >= 5")
+    half = (width - 1) // 2
+    peak = float(np.max(np.abs(amps))) or 1.0
+    if labels is None:
+        labels = [str(i) for i in range(amps.size)]
+    label_w = max(len(str(lbl)) for lbl in labels)
+    lines = []
+    for lbl, a in zip(labels, amps):
+        n_cells = round(abs(a) / peak * half)
+        left = "#" * n_cells if a < 0 else ""
+        right = "#" * n_cells if a > 0 else ""
+        bar = left.rjust(half) + "|" + right.ljust(half)
+        lines.append(f"{str(lbl).rjust(label_w)}  {bar}  {a:+.4f}")
+    return "\n".join(lines)
+
+
+def block_profile(amplitudes, n_blocks: int) -> list[dict]:
+    """Per-block summary rows: extremes and whether the block is uniform.
+
+    Each row: ``block``, ``max_amp``, ``min_amp``, ``uniform`` (all
+    amplitudes equal to 1e-12), ``mass`` (probability of the block).
+    """
+    amps = np.asarray(amplitudes, dtype=float)
+    n = amps.shape[-1]
+    if n_blocks <= 0 or n % n_blocks != 0:
+        raise ValueError(f"n_blocks={n_blocks} must divide {n}")
+    view = amps.reshape(n_blocks, n // n_blocks)
+    rows = []
+    for y in range(n_blocks):
+        block = view[y]
+        rows.append(
+            {
+                "block": y,
+                "max_amp": float(block.max()),
+                "min_amp": float(block.min()),
+                "uniform": bool(np.ptp(block) < 1e-12),
+                "mass": float(np.sum(block**2)),
+            }
+        )
+    return rows
+
+
+def figure_histogram(amplitudes, n_blocks: int, *, max_states: int = 64) -> str:
+    """Figure 1/5-style rendering with block separators.
+
+    One bar per state when ``N <= max_states``; otherwise a two-line
+    summary per block (target-like extreme and typical rest amplitude),
+    which is lossless for the symmetric states the algorithm produces.
+    """
+    amps = np.asarray(amplitudes, dtype=float)
+    n = amps.shape[-1]
+    if n_blocks <= 0 or n % n_blocks != 0:
+        raise ValueError(f"n_blocks={n_blocks} must divide {n}")
+    block = n // n_blocks
+    if n <= max_states:
+        labels = [f"{y}:{z}" for y in range(n_blocks) for z in range(block)]
+        body = amplitude_bars(amps, labels=labels)
+        # Insert a separator line between blocks.
+        lines = body.split("\n")
+        out = []
+        for i, line in enumerate(lines):
+            if i > 0 and i % block == 0:
+                out.append("-" * len(line))
+            out.append(line)
+        return "\n".join(out)
+    rows = block_profile(amps, n_blocks)
+    summary = [
+        f"block {r['block']:>4}:  amp range [{r['min_amp']:+.6f}, {r['max_amp']:+.6f}]"
+        f"  mass {r['mass']:.6f}" + ("  (uniform)" if r["uniform"] else "")
+        for r in rows
+    ]
+    return "\n".join(summary)

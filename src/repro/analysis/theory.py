@@ -1,0 +1,71 @@
+"""Closed-form comparisons and the paper's large-``K`` asymptotics.
+
+The quantities every bench quotes, in one place:
+
+- full quantum search: ``(pi/4) sqrt(N)``;
+- naive quantum partial search (Section 1.2):
+  ``(pi/4) sqrt((K-1)/K) sqrt(N) ~ (pi/4)(1 - 1/(2K)) sqrt(N)``;
+- GRK partial search: ``(pi/4)(1 - c_K) sqrt(N)`` with
+  ``c_K >= 0.42/sqrt(K)`` for large ``K`` — the 0.42 being
+  ``1 - (2/pi) arcsin(pi/4) = 0.42497...`` (:data:`LARGE_K_CONSTANT`);
+- classical randomized partial search: ``(N/2)(1 - 1/K^2)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.parameters import GRKParameters
+
+__all__ = [
+    "LARGE_K_CONSTANT",
+    "large_k_epsilon",
+    "large_k_coefficient",
+    "naive_quantum_coefficient",
+    "classical_randomized_partial_coefficient",
+    "savings_factor",
+]
+
+#: ``1 - (2/pi) arcsin(pi/4)`` — the paper's "0.42" (Section 3.1, last line).
+LARGE_K_CONSTANT = 1.0 - (2.0 / math.pi) * math.asin(math.pi / 4.0)
+
+
+def large_k_epsilon(n_blocks: int) -> float:
+    """The paper's large-``K`` choice ``eps = 1/sqrt(K)``."""
+    if n_blocks < 2:
+        raise ValueError("n_blocks must be >= 2")
+    return 1.0 / math.sqrt(n_blocks)
+
+
+def large_k_coefficient(n_blocks: int, *, first_order: bool = False) -> float:
+    """Query coefficient at ``eps = 1/sqrt(K)``.
+
+    ``first_order=False`` (default) evaluates the exact formula
+    ``q(1/sqrt(K), K)``; ``first_order=True`` returns the paper's expansion
+    ``(pi/4)(1 - LARGE_K_CONSTANT/sqrt(K))`` — they agree to ``O(1/K)``,
+    which the asymptotics bench demonstrates.
+    """
+    if first_order:
+        return (math.pi / 4.0) * (1.0 - LARGE_K_CONSTANT / math.sqrt(n_blocks))
+    return GRKParameters(n_blocks, large_k_epsilon(n_blocks)).query_coefficient
+
+
+def naive_quantum_coefficient(n_blocks: int) -> float:
+    """Section 1.2 baseline: ``(pi/4) sqrt((K-1)/K)`` per ``sqrt(N)``."""
+    if n_blocks < 2:
+        raise ValueError("n_blocks must be >= 2")
+    return (math.pi / 4.0) * math.sqrt((n_blocks - 1) / n_blocks)
+
+
+def classical_randomized_partial_coefficient(n_blocks: int) -> float:
+    """Classical expected queries per ``N`` (not per ``sqrt(N)``):
+    ``(1/2)(1 - 1/K^2)``."""
+    if n_blocks < 2:
+        raise ValueError("n_blocks must be >= 2")
+    return 0.5 * (1.0 - 1.0 / n_blocks**2)
+
+
+def savings_factor(coefficient: float) -> float:
+    """``c`` such that ``coefficient = (pi/4)(1 - c)`` — how much of full
+    search's budget an algorithm saves."""
+    return 1.0 - coefficient / (math.pi / 4.0)

@@ -1,0 +1,43 @@
+"""Gate-level circuit IR: the paper's algorithms as real quantum circuits.
+
+The structured kernels in :mod:`repro.statevector.ops` are mathematically
+convenient but hide the circuit cost model.  This package expresses the same
+algorithms with an explicit gate set — ``H``, ``X``, ``Z``, phase gates,
+multi-controlled ``Z``/``X`` and a bookkeeping global phase — and simulates
+them qubit-wise, so the test suite can verify gate-for-gate that
+
+- the oracle circuit (X-conjugated MCZ) equals ``I_t``,
+- the diffusion circuit (``H X MCZ X H`` + global phase) equals ``I_0``,
+- the block diffusion acts only on the last ``n - k`` qubits (= ``I_K ⊗
+  I_0,[N/K]`` because the block index is the *first* k bits),
+- the full Step 1/2/3 circuit — ancilla included — reproduces the
+  state-vector runner's output exactly.
+
+Qubit convention: qubit 0 is the **most significant** address bit, matching
+the paper's "first k bits" semantics; the optional ancilla is the last wire.
+"""
+
+from repro.circuits.gates import Gate
+from repro.circuits.circuit import Circuit
+from repro.circuits.simulator import apply_gate, run_circuit
+from repro.circuits.builders import (
+    block_diffusion_circuit,
+    diffusion_circuit,
+    grover_circuit,
+    oracle_circuit,
+    partial_search_circuit,
+    uniform_superposition_circuit,
+)
+
+__all__ = [
+    "Gate",
+    "Circuit",
+    "apply_gate",
+    "run_circuit",
+    "block_diffusion_circuit",
+    "diffusion_circuit",
+    "grover_circuit",
+    "oracle_circuit",
+    "partial_search_circuit",
+    "uniform_superposition_circuit",
+]

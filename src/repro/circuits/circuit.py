@@ -1,0 +1,98 @@
+"""The circuit container: an ordered gate list on a fixed wire count."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.circuits.gates import Gate
+
+__all__ = ["Circuit"]
+
+
+@dataclass
+class Circuit:
+    """A quantum circuit on ``n_qubits`` wires.
+
+    Wires are indexed ``0 .. n_qubits - 1`` with qubit 0 the most
+    significant address bit (the paper's "first bit").  Gates are stored in
+    application order.  Circuits are cheap value objects: composing copies
+    gate tuples, never states.
+
+    Attributes:
+        n_qubits: number of wires.
+        gates: the gate sequence (mutated only via :meth:`append` /
+            :meth:`extend`).
+    """
+
+    n_qubits: int
+    gates: list[Gate] = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.n_qubits < 1:
+            raise ValueError("n_qubits must be positive")
+        for gate in self.gates:
+            self._check(gate)
+
+    def _check(self, gate: Gate) -> None:
+        if gate.qubits and max(gate.qubits) >= self.n_qubits:
+            raise ValueError(
+                f"gate {gate} touches qubit {max(gate.qubits)} but circuit has "
+                f"{self.n_qubits} wires"
+            )
+
+    # ------------------------------------------------------------- building
+    def append(self, gate: Gate) -> "Circuit":
+        """Add one gate (validated against the wire count); returns self."""
+        self._check(gate)
+        self.gates.append(gate)
+        return self
+
+    def extend(self, gates: Iterable[Gate]) -> "Circuit":
+        """Add many gates in order; returns self."""
+        for g in gates:
+            self.append(g)
+        return self
+
+    def compose(self, other: "Circuit") -> "Circuit":
+        """New circuit: self followed by *other* (wire counts must match)."""
+        if other.n_qubits != self.n_qubits:
+            raise ValueError("cannot compose circuits with different wire counts")
+        return Circuit(self.n_qubits, list(self.gates) + list(other.gates))
+
+    def repeated(self, times: int) -> "Circuit":
+        """New circuit repeating this one *times* times."""
+        if times < 0:
+            raise ValueError("times must be non-negative")
+        return Circuit(self.n_qubits, list(self.gates) * times)
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def n_gates(self) -> int:
+        """Total gate count."""
+        return len(self.gates)
+
+    @property
+    def oracle_queries(self) -> int:
+        """Number of oracle-tagged gates — the circuit-level query count.
+
+        Builders tag exactly one gate per oracle invocation (the central
+        MCZ/MCX), so this equals the paper's query measure.
+        """
+        return sum(1 for g in self.gates if g.is_oracle)
+
+    def depth_by_name(self) -> dict:
+        """Histogram of gate names (for reporting/resource tables)."""
+        out: dict = {}
+        for g in self.gates:
+            out[g.name] = out.get(g.name, 0) + 1
+        return out
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Circuit(n_qubits={self.n_qubits}, n_gates={self.n_gates})"

@@ -1,0 +1,80 @@
+"""The gate set: a small, closed vocabulary the simulator knows natively.
+
+Multi-controlled gates are first-class (not decomposed into Toffolis): the
+paper counts *oracle queries*, not two-qubit gates, so the IR keeps the
+query-relevant structure explicit while remaining executable.  Each gate is
+an immutable record; validation happens at construction so circuits are
+well-formed by the time they reach the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Gate", "GATE_NAMES"]
+
+#: Recognised gate names and their arity rules (checked in ``__post_init__``).
+GATE_NAMES = {
+    "H": "single",       # Hadamard
+    "X": "single",       # bit flip
+    "Z": "single",       # phase flip
+    "P": "single",       # phase(phi) on |1>
+    "CZ": "two",         # controlled-Z (symmetric)
+    "CX": "two",         # controlled-X (control first)
+    "MCZ": "multi",      # Z on the all-ones pattern of the listed qubits
+    "MCP": "multi",      # phase(phi) on the all-ones pattern
+    "MCX": "multi",      # X on the last qubit, controlled on the others
+    "GPHASE": "none",    # global phase e^{i phi} (bookkeeping, 0 qubits)
+}
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One gate application.
+
+    Attributes:
+        name: one of :data:`GATE_NAMES`.
+        qubits: wire indices the gate touches (order matters for ``CX`` —
+            control first — and ``MCX`` — target last).
+        param: phase parameter for ``P``/``MCP``/``GPHASE``; ``None`` others.
+        tag: free-form label; the builders tag oracle gates ``"oracle"`` so
+            circuit-level query counting is possible.
+    """
+
+    name: str
+    qubits: tuple[int, ...] = ()
+    param: float | None = None
+    tag: str | None = field(default=None, compare=False)
+
+    def __post_init__(self):
+        if self.name not in GATE_NAMES:
+            raise ValueError(f"unknown gate {self.name!r}")
+        arity = GATE_NAMES[self.name]
+        nq = len(self.qubits)
+        if arity == "single" and nq != 1:
+            raise ValueError(f"{self.name} needs exactly 1 qubit, got {nq}")
+        if arity == "two" and nq != 2:
+            raise ValueError(f"{self.name} needs exactly 2 qubits, got {nq}")
+        if arity == "multi" and nq < 1:
+            raise ValueError(f"{self.name} needs at least 1 qubit")
+        if arity == "none" and nq != 0:
+            raise ValueError(f"{self.name} takes no qubits")
+        if len(set(self.qubits)) != nq:
+            raise ValueError(f"duplicate qubits in {self.name}: {self.qubits}")
+        if any(q < 0 for q in self.qubits):
+            raise ValueError("qubit indices must be non-negative")
+        needs_param = self.name in ("P", "MCP", "GPHASE")
+        if needs_param and self.param is None:
+            raise ValueError(f"{self.name} requires a phase parameter")
+        if not needs_param and self.param is not None:
+            raise ValueError(f"{self.name} takes no parameter")
+
+    @property
+    def is_oracle(self) -> bool:
+        """Whether this gate was tagged as part of an oracle call."""
+        return self.tag == "oracle"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        args = ",".join(map(str, self.qubits))
+        param = f"({self.param:.4f})" if self.param is not None else ""
+        return f"{self.name}{param}[{args}]"

@@ -1,0 +1,107 @@
+"""Qubit-wise state-vector execution of circuits.
+
+States are complex vectors of length ``2**n_qubits`` in big-endian order
+(qubit 0 = most significant bit), so the integer basis index *is* the
+paper's address (with the ancilla, if any, as the least significant bit —
+builders put it on the last wire).
+
+Single-qubit gates are applied via a reshape to ``(left, 2, right)`` and a
+batched 2x2 matmul (a view, no copy of the state layout); multi-controlled
+diagonal/permutation gates are applied by boolean index masks.  Both are
+O(2**n) per gate with small constants — comfortably fast for the ≤ 14-qubit
+circuits the tests and benches run.
+"""
+
+from __future__ import annotations
+
+import cmath
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+
+__all__ = ["apply_gate", "run_circuit"]
+
+_SQRT2 = 1.0 / np.sqrt(2.0)
+_H = np.array([[_SQRT2, _SQRT2], [_SQRT2, -_SQRT2]], dtype=np.complex128)
+_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=np.complex128)
+_Z = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=np.complex128)
+
+
+def _apply_single(state: np.ndarray, mat: np.ndarray, qubit: int, n_qubits: int) -> np.ndarray:
+    left = 1 << qubit
+    right = 1 << (n_qubits - 1 - qubit)
+    view = state.reshape(left, 2, right)
+    # out[a, i, b] = sum_j mat[i, j] view[a, j, b]
+    state = np.einsum("ij,ajb->aib", mat, view).reshape(-1)
+    return state
+
+
+def _ones_mask(qubits, n_qubits: int) -> int:
+    mask = 0
+    for q in qubits:
+        mask |= 1 << (n_qubits - 1 - q)
+    return mask
+
+
+def apply_gate(state: np.ndarray, gate: Gate, n_qubits: int) -> np.ndarray:
+    """Apply one gate; returns the (possibly new) state array."""
+    name = gate.name
+    if name == "H":
+        return _apply_single(state, _H, gate.qubits[0], n_qubits)
+    if name == "X":
+        return _apply_single(state, _X, gate.qubits[0], n_qubits)
+    if name == "Z":
+        return _apply_single(state, _Z, gate.qubits[0], n_qubits)
+    if name == "P":
+        mat = np.array(
+            [[1.0, 0.0], [0.0, cmath.exp(1j * gate.param)]], dtype=np.complex128
+        )
+        return _apply_single(state, mat, gate.qubits[0], n_qubits)
+    if name == "GPHASE":
+        state = state * cmath.exp(1j * gate.param)
+        return state
+    indices = np.arange(state.size)
+    if name in ("CZ", "MCZ"):
+        mask = _ones_mask(gate.qubits, n_qubits)
+        state = state.copy()
+        state[(indices & mask) == mask] *= -1.0
+        return state
+    if name == "MCP":
+        mask = _ones_mask(gate.qubits, n_qubits)
+        state = state.copy()
+        state[(indices & mask) == mask] *= cmath.exp(1j * gate.param)
+        return state
+    if name in ("CX", "MCX"):
+        controls, target = gate.qubits[:-1], gate.qubits[-1]
+        cmask = _ones_mask(controls, n_qubits)
+        tbit = 1 << (n_qubits - 1 - target)
+        sel = ((indices & cmask) == cmask) & ((indices & tbit) == 0)
+        lo = indices[sel]
+        hi = lo | tbit
+        state = state.copy()
+        state[lo], state[hi] = state[hi].copy(), state[lo].copy()
+        return state
+    raise ValueError(f"simulator does not know gate {name!r}")  # pragma: no cover
+
+
+def run_circuit(
+    circuit: Circuit, initial: np.ndarray | None = None
+) -> np.ndarray:
+    """Execute *circuit* from ``|0...0>`` (or a given initial state).
+
+    Returns the final state as a fresh ``complex128`` array of length
+    ``2**n_qubits``.
+    """
+    dim = 1 << circuit.n_qubits
+    if initial is None:
+        state = np.zeros(dim, dtype=np.complex128)
+        state[0] = 1.0
+    else:
+        state = np.asarray(initial, dtype=np.complex128).copy()
+        if state.shape != (dim,):
+            raise ValueError(f"initial state must have shape ({dim},)")
+    for gate in circuit:
+        state = apply_gate(state, gate, circuit.n_qubits)
+    return state

@@ -1,0 +1,173 @@
+"""The GRK partial-search algorithm (Figure 2 of the paper), executable.
+
+Three steps, exactly as published:
+
+1. ``l1`` standard Grover iterations on the full address space, stopping
+   ``theta = eps*pi/2`` short of the target.
+2. ``l2`` *block-local* Grover iterations ``A_[N/K]``: non-target blocks are
+   fixed points; the target block over-rotates past the target so its
+   non-target amplitudes turn negative, tuned so the average amplitude over
+   all non-target states is half the per-state amplitude in non-target
+   blocks.
+3. One more query: the bit-flip oracle "moves the target out" into an
+   ancilla branch, then an inversion about the (full, uniform) average —
+   controlled on the ancilla being 0 — sends every non-target-*block*
+   amplitude to (essentially) zero.
+
+Measuring the block register then returns the target's block with
+probability ``1 - O(1/sqrt(N))`` (this implementation's integer schedules
+actually achieve ``1 - O(1/N)``; see :mod:`repro.core.parameters`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blockspec import BlockSpec
+from repro.core.parameters import GRKSchedule, plan_schedule
+from repro.core.tracing import StageTrace
+from repro.oracle.database import Database
+from repro.oracle.quantum import BitFlipOracle, PhaseOracle
+from repro.statevector import ops
+from repro.statevector.measurement import block_probabilities, sample_blocks
+
+__all__ = ["PartialSearchResult", "run_partial_search"]
+
+
+@dataclass(frozen=True)
+class PartialSearchResult:
+    """Outcome of one partial-search run.
+
+    Attributes:
+        spec: the ``(N, K)`` geometry.
+        schedule: the executed integer schedule.
+        branches: final state, shape ``(2, N)`` — row ``b`` is the
+            ancilla-``b`` branch.
+        block_distribution: probabilities of each block under measurement.
+        block_guess: the algorithm's output — the most likely block (what a
+            single measurement returns with probability ``success_probability``).
+        success_probability: probability mass on the true target block.
+        queries: oracle queries actually counted during the run.
+        traces: stage snapshots when tracing was requested, else ``None``.
+    """
+
+    spec: BlockSpec
+    schedule: GRKSchedule
+    branches: np.ndarray
+    block_distribution: np.ndarray
+    block_guess: int
+    success_probability: float
+    queries: int
+    traces: tuple[StageTrace, ...] | None = None
+
+    @property
+    def failure_probability(self) -> float:
+        """Probability of observing a wrong block (clipped at 0: float
+        rounding can push a sure-success run's success a few ulp past 1)."""
+        return max(0.0, 1.0 - self.success_probability)
+
+    def measure_block(self, rng=None, size=None):
+        """Sample the final block measurement (repeatable)."""
+        return sample_blocks(self.branches, self.spec.n_blocks, rng=rng, size=size)
+
+
+def _single_target_of(database: Database) -> int:
+    marked = database.reveal_marked()
+    if len(marked) != 1:
+        raise ValueError(
+            f"partial search requires exactly one marked item, got {len(marked)}"
+        )
+    return next(iter(marked))
+
+
+def run_partial_search(
+    database: Database,
+    n_blocks: int,
+    epsilon: float | None = None,
+    *,
+    schedule: GRKSchedule | None = None,
+    trace: bool = False,
+) -> PartialSearchResult:
+    """Execute the three-step GRK algorithm against a counted oracle.
+
+    Args:
+        database: database with exactly one marked address; its counter
+            accumulates this run's queries.
+        n_blocks: ``K`` (must divide ``N``; any ``K >= 2``, powers of two
+            not required).
+        epsilon: Step 1 stopping parameter; ``None`` uses the optimal value
+            for this ``K``.
+        schedule: pre-planned schedule (overrides ``epsilon``); useful for
+            ablations with explicit ``(l1, l2)``.
+        trace: record stage snapshots (copies the state ~5 times).
+
+    Returns:
+        :class:`PartialSearchResult`.  ``success_probability`` is exact (it
+        reads the final distribution, it does not sample).
+    """
+    n = database.n_items
+    if schedule is None:
+        schedule = plan_schedule(n, n_blocks, epsilon)
+    spec = schedule.spec
+    if spec.n_items != n or spec.n_blocks != n_blocks:
+        raise ValueError(
+            f"schedule is for (N={spec.n_items}, K={spec.n_blocks}), "
+            f"but this run has (N={n}, K={n_blocks})"
+        )
+    target = _single_target_of(database)
+    target_block = spec.block_of(target)
+
+    oracle = PhaseOracle(database)
+    start_count = database.counter.count
+    amps = np.full(n, 1.0 / np.sqrt(n))
+
+    traces: list[StageTrace] | None = [] if trace else None
+
+    def record(label: str, description: str, state: np.ndarray) -> None:
+        if traces is not None:
+            traces.append(
+                StageTrace(
+                    label=label,
+                    description=description,
+                    amplitudes=state.copy(),
+                    queries=database.counter.count - start_count,
+                )
+            )
+
+    record("initial", "uniform superposition over all N addresses", amps)
+
+    # Step 1 — global amplification, stopped theta short of the target.
+    for _ in range(schedule.l1):
+        oracle.apply(amps)
+        ops.invert_about_mean(amps)
+    record("after_step1", f"{schedule.l1} standard Grover iterations", amps)
+
+    # Step 2 — block-local amplification; target block over-rotates.
+    for _ in range(schedule.l2):
+        oracle.apply(amps)
+        ops.invert_about_mean_blocks(amps, n_blocks)
+    record("after_step2", f"{schedule.l2} block-local iterations", amps)
+
+    # Step 3 — one query: move the target into the ancilla-1 branch, then
+    # invert the ancilla-0 branch about the full uniform average.
+    branches = np.zeros((2, n), dtype=amps.dtype)
+    branches[0] = amps
+    BitFlipOracle(database).apply(branches)
+    record("after_moveout", "bit-flip oracle parks the target in ancilla 1", branches)
+    ops.invert_about_mean(branches[0])
+    record("final", "controlled inversion about average zeroes non-target blocks", branches)
+
+    queries = database.counter.count - start_count
+    dist = block_probabilities(branches, n_blocks)
+    return PartialSearchResult(
+        spec=spec,
+        schedule=schedule,
+        branches=branches,
+        block_distribution=dist,
+        block_guess=int(np.argmax(dist)),
+        success_probability=float(dist[target_block]),
+        queries=queries,
+        traces=tuple(traces) if traces is not None else None,
+    )

@@ -1,0 +1,132 @@
+"""Vectorised batch execution: many partial searches in one numpy sweep.
+
+All structured kernels broadcast over leading axes, so ``B`` independent
+searches (one per target) can be advanced together as a ``(B, N)`` amplitude
+matrix — one fused vector pass per oracle query instead of ``B`` Python
+loops.  This is the guide-recommended way to compute success statistics over
+*every* target of an instance (e.g. the worst-case-over-targets numbers in
+the ablation bench) at 10-50x the throughput of per-target runs.
+
+Query accounting note: a batch models ``B`` separate executions of the same
+circuit, so the per-run query count is the schedule's ``l1 + l2 + 1``; the
+returned :class:`BatchResult` reports that per-run figure (matching what a
+single :func:`repro.core.algorithm.run_partial_search` would count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blockspec import BlockSpec
+from repro.core.parameters import GRKSchedule, plan_schedule
+from repro.statevector import ops
+
+__all__ = ["BatchResult", "run_partial_search_batch"]
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of a batched run over many targets.
+
+    Attributes:
+        spec: the shared ``(N, K)`` geometry.
+        schedule: the shared integer schedule.
+        targets: the target address per batch row, shape ``(B,)``.
+        success_probabilities: exact block-measurement success per row.
+        block_guesses: argmax block per row.
+        queries_per_run: oracle queries each individual run costs.
+    """
+
+    spec: BlockSpec
+    schedule: GRKSchedule
+    targets: np.ndarray
+    success_probabilities: np.ndarray
+    block_guesses: np.ndarray
+    queries_per_run: int
+
+    @property
+    def all_correct(self) -> bool:
+        """Did every row's most-likely block equal its target's block?"""
+        true_blocks = self.targets // self.spec.block_size
+        return bool(np.all(self.block_guesses == true_blocks))
+
+    @property
+    def worst_success(self) -> float:
+        """Minimum success probability across the batch."""
+        return float(self.success_probabilities.min())
+
+
+def _phase_flip_batch(amps: np.ndarray, targets: np.ndarray) -> None:
+    """Per-row oracle reflection: row ``i`` flips its own target column."""
+    rows = np.arange(amps.shape[0])
+    amps[rows, targets] *= -1.0
+
+
+def run_partial_search_batch(
+    n_items: int,
+    n_blocks: int,
+    targets,
+    epsilon: float | None = None,
+    *,
+    schedule: GRKSchedule | None = None,
+) -> BatchResult:
+    """Run the GRK algorithm for many targets in one vectorised sweep.
+
+    Args:
+        n_items: database size ``N``.
+        n_blocks: block count ``K``.
+        targets: iterable of target addresses (one independent run each).
+        epsilon: Step 1 parameter (``None`` = optimal for this ``K``).
+        schedule: pre-planned schedule overriding ``epsilon``.
+
+    Returns:
+        :class:`BatchResult` with exact per-target success probabilities.
+
+    This bypasses the counted-oracle interface (batching is an analysis
+    tool, not an adversarial execution); its numbers are validated against
+    the counted runner in the test suite.
+    """
+    if schedule is None:
+        schedule = plan_schedule(n_items, n_blocks, epsilon)
+    spec = schedule.spec
+    if spec.n_items != n_items or spec.n_blocks != n_blocks:
+        raise ValueError("schedule does not match this instance's (N, K)")
+    targets = np.asarray(list(targets), dtype=np.intp)
+    if targets.ndim != 1 or targets.size == 0:
+        raise ValueError("targets must be a non-empty 1-D collection")
+    if targets.min() < 0 or targets.max() >= n_items:
+        raise ValueError("targets out of address range")
+
+    b = targets.size
+    amps = np.full((b, n_items), 1.0 / np.sqrt(n_items))
+
+    for _ in range(schedule.l1):
+        _phase_flip_batch(amps, targets)
+        ops.invert_about_mean(amps)
+    for _ in range(schedule.l2):
+        _phase_flip_batch(amps, targets)
+        ops.invert_about_mean_blocks(amps, n_blocks)
+
+    # Step 3, batched: park each row's target amplitude, invert the rest
+    # about the full mean, then fold the parked amplitude back into the
+    # block distribution.
+    rows = np.arange(b)
+    parked = amps[rows, targets].copy()
+    amps[rows, targets] = 0.0
+    ops.invert_about_mean(amps)
+
+    probs = amps.reshape(b, n_blocks, spec.block_size) ** 2
+    block_probs = probs.sum(axis=2)
+    block_probs[rows, targets // spec.block_size] += parked**2
+
+    true_blocks = targets // spec.block_size
+    return BatchResult(
+        spec=spec,
+        schedule=schedule,
+        targets=targets,
+        success_probabilities=block_probs[rows, true_blocks].astype(float),
+        block_guesses=np.argmax(block_probs, axis=1),
+        queries_per_run=schedule.queries,
+    )

@@ -1,0 +1,188 @@
+"""Exact O(1) evolution of the GRK algorithm's 3-dimensional subspace.
+
+Every operator the algorithm applies — ``I_t``, global diffusion, block-local
+diffusion, the Step 3 move-out and controlled diffusion — preserves the
+symmetry type
+
+    ``u |t>  +  v * (uniform over the target block minus t)
+             +  w * (uniform over all non-target blocks)``
+
+so the whole run is captured by three real coordinates (plus the ancilla
+branch in Step 3).  Tracking them costs O(1) per *schedule*, independent of
+``N``: Step 1 and Step 2 are exact SU(2) rotations with closed forms, Step 3
+is three affine updates.  This model
+
+- plans integer schedules (``l2`` refinement) without touching a state
+  vector,
+- evaluates the paper's table at ``N`` up to ``2**60`` and beyond, and
+- serves as an independent oracle for property tests against the full
+  simulator (they must agree to ~1e-12 on every coordinate).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.blockspec import BlockSpec
+from repro.grover.angles import grover_angle
+
+__all__ = ["SubspaceCoordinates", "SubspaceFinal", "SubspaceGRK"]
+
+
+@dataclass(frozen=True)
+class SubspaceCoordinates:
+    """Symmetric-state coordinates (see module docstring).
+
+    Attributes:
+        target: amplitude ``u`` of the target address.
+        block_rest: per-address amplitude ``v`` of the other ``N/K - 1``
+            addresses in the target block.
+        outside: per-address amplitude ``w`` of every address in the other
+            ``K - 1`` blocks.
+    """
+
+    target: float
+    block_rest: float
+    outside: float
+
+    def norm_squared(self, spec: BlockSpec) -> float:
+        """Total probability mass (must be 1 for any unitary history)."""
+        b = spec.block_size
+        n = spec.n_items
+        return (
+            self.target**2
+            + (b - 1) * self.block_rest**2
+            + (n - b) * self.outside**2
+        )
+
+    def target_block_mass(self, spec: BlockSpec) -> float:
+        """Probability of the target block (``alpha_yt^2`` in eq. (2))."""
+        return self.target**2 + (spec.block_size - 1) * self.block_rest**2
+
+    def nontarget_average(self, spec: BlockSpec) -> float:
+        """Mean amplitude over all ``N - 1`` non-target addresses.
+
+        Figure 5's dotted line: Step 2 arranges this to be (asymptotically)
+        half of ``outside``.
+        """
+        b, n = spec.block_size, spec.n_items
+        return ((b - 1) * self.block_rest + (n - b) * self.outside) / (n - 1)
+
+    def to_statevector(self, spec: BlockSpec, target_address: int) -> np.ndarray:
+        """Materialise the full ``N``-vector (small ``N`` cross-validation)."""
+        amps = np.full(spec.n_items, self.outside)
+        amps[spec.slice_of(spec.block_of(target_address))] = self.block_rest
+        amps[target_address] = self.target
+        return amps
+
+
+@dataclass(frozen=True)
+class SubspaceFinal:
+    """Post-Step-3 coordinates, ancilla branches separated.
+
+    Attributes:
+        target_moved: amplitude of ``|t>`` in the ancilla-1 branch (parked
+            there by the move-out ``M``).
+        target_regrown: amplitude of ``|t>`` regenerated in the ancilla-0
+            branch by the controlled diffusion (``2S/N``).
+        block_rest: per-address amplitude in the target block (ancilla 0).
+        outside: per-address amplitude in non-target blocks (ancilla 0) —
+            **exactly zero** when the zeroing condition is met.
+    """
+
+    target_moved: float
+    target_regrown: float
+    block_rest: float
+    outside: float
+
+    def success_probability(self, spec: BlockSpec) -> float:
+        """Probability a block measurement lands in the target block."""
+        b = spec.block_size
+        return (
+            self.target_moved**2
+            + self.target_regrown**2
+            + (b - 1) * self.block_rest**2
+        )
+
+    def failure_probability(self, spec: BlockSpec) -> float:
+        """Probability mass left in the ``K - 1`` non-target blocks."""
+        return (spec.n_items - spec.block_size) * self.outside**2
+
+
+class SubspaceGRK:
+    """Closed-form evaluator of the GRK schedule on a given :class:`BlockSpec`."""
+
+    def __init__(self, spec: BlockSpec):
+        self.spec = spec
+        self._beta = grover_angle(spec.n_items)
+        self._beta_block = grover_angle(spec.block_size) if spec.block_size > 1 else math.pi / 2
+
+    # ------------------------------------------------------------- stage maps
+    def after_step1(self, l1: int) -> SubspaceCoordinates:
+        """Exact state after ``l1`` global Grover iterations from uniform."""
+        if l1 < 0:
+            raise ValueError("l1 must be non-negative")
+        n = self.spec.n_items
+        ang = (2 * l1 + 1) * self._beta
+        u = math.sin(ang)
+        rest = math.cos(ang) / math.sqrt(n - 1)
+        return SubspaceCoordinates(target=u, block_rest=rest, outside=rest)
+
+    def after_step2(self, l1: int, l2: int) -> SubspaceCoordinates:
+        """Exact state after Step 2's ``l2`` block-local iterations.
+
+        The target block rotates by ``2 * beta_block`` per iteration in its
+        own (target, block-rest) plane; non-target blocks are fixed points.
+        """
+        if l2 < 0:
+            raise ValueError("l2 must be non-negative")
+        c = self.after_step1(l1)
+        b = self.spec.block_size
+        if b == 1:
+            # Degenerate K == N: blocks are single addresses; Step 2 is
+            # identity (each "block" is trivially uniform).
+            return c
+        rest_len = math.sqrt(b - 1)
+        alpha = math.hypot(c.target, c.block_rest * rest_len)
+        gamma = math.atan2(c.target, c.block_rest * rest_len) + 2 * l2 * self._beta_block
+        return SubspaceCoordinates(
+            target=alpha * math.sin(gamma),
+            block_rest=alpha * math.cos(gamma) / rest_len,
+            outside=c.outside,
+        )
+
+    def final(self, l1: int, l2: int) -> SubspaceFinal:
+        """Exact state after Step 3 (move-out + controlled diffusion)."""
+        c = self.after_step2(l1, l2)
+        b, n = self.spec.block_size, self.spec.n_items
+        # M parks the target amplitude in the ancilla-1 branch ...
+        moved = c.target
+        # ... and the controlled diffusion inverts the ancilla-0 branch
+        # about the mean of the *full* uniform state (target entry now 0).
+        mean = ((b - 1) * c.block_rest + (n - b) * c.outside) / n
+        return SubspaceFinal(
+            target_moved=moved,
+            target_regrown=2.0 * mean,
+            block_rest=2.0 * mean - c.block_rest,
+            outside=2.0 * mean - c.outside,
+        )
+
+    # ------------------------------------------------------------ shorthands
+    def success_probability(self, l1: int, l2: int) -> float:
+        """Block-measurement success of the ``(l1, l2)`` schedule."""
+        return self.final(l1, l2).success_probability(self.spec)
+
+    def failure_probability(self, l1: int, l2: int) -> float:
+        """``1 - success`` computed directly from the residual amplitudes
+        (numerically superior to subtracting near-equal numbers)."""
+        return self.final(l1, l2).failure_probability(self.spec)
+
+    def required_block_rest(self, after_step1: SubspaceCoordinates) -> float:
+        """The exact ``v*`` Step 2 must reach for Step 3 to zero non-target
+        blocks: ``(b - 1) v* = w (b - N/2)`` (the finite-``N`` form of the
+        paper's ``Y`` computation)."""
+        b, n = self.spec.block_size, self.spec.n_items
+        return after_step1.outside * (b - n / 2.0) / (b - 1)

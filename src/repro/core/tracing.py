@@ -1,0 +1,57 @@
+"""Stage-by-stage snapshots of a partial-search run (Figures 1, 3–5).
+
+Tracing is opt-in (it copies the state at each stage) and exists so the
+benchmark harness can regenerate the paper's amplitude histograms from an
+actual run rather than from the analytic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.statevector.measurement import address_probabilities, block_probabilities
+
+__all__ = ["StageTrace"]
+
+
+@dataclass(frozen=True)
+class StageTrace:
+    """One recorded stage of a run.
+
+    Attributes:
+        label: short machine-friendly stage id (e.g. ``"after_step1"``).
+        description: human-readable description of what just happened.
+        amplitudes: state snapshot — shape ``(N,)`` before Step 3 or
+            ``(2, N)`` once the ancilla branch exists.
+        queries: oracle queries spent up to (and including) this stage.
+    """
+
+    label: str
+    description: str
+    amplitudes: np.ndarray
+    queries: int
+
+    @property
+    def n_items(self) -> int:
+        """Address-space size ``N``."""
+        return self.amplitudes.shape[-1]
+
+    def address_probabilities(self) -> np.ndarray:
+        """``P(x)`` at this stage (ancilla traced out if present)."""
+        return address_probabilities(self.amplitudes)
+
+    def block_probabilities(self, n_blocks: int) -> np.ndarray:
+        """Block-measurement distribution at this stage."""
+        return block_probabilities(self.amplitudes, n_blocks)
+
+    def flat_amplitudes(self) -> np.ndarray:
+        """Address amplitudes with any ancilla branches summed.
+
+        Only meaningful for plotting: coherent branches are combined by
+        simple addition, which matches Figure 1's single-histogram view
+        because at most one branch is nonzero per address in these runs.
+        """
+        amps = self.amplitudes
+        return amps if amps.ndim == 1 else amps.sum(axis=0)

@@ -1,0 +1,47 @@
+"""Standard quantum search (Grover) substrate.
+
+The GRK partial-search algorithm is built from pieces of ordinary Grover
+search, so this package provides them as first-class, independently tested
+components:
+
+- :mod:`repro.grover.angles` — the exact SU(2) picture: rotation angles,
+  iteration counts, closed-form success probabilities.
+- :mod:`repro.grover.standard` — the textbook algorithm run on the
+  state-vector simulator through a counted oracle.
+- :mod:`repro.grover.exact` — Long-style phase-matched search with *zero*
+  failure probability (the paper's "can be modified to return the correct
+  answer with certainty" for full search).
+- :mod:`repro.grover.amplify` — generalised (phased) amplitude-amplification
+  steps and a numeric phase solver, used by the sure-success partial search.
+- :mod:`repro.grover.twolevel` — O(1)-per-iteration analytic evolution in the
+  two-dimensional invariant subspace, for arbitrarily large ``N``.
+"""
+
+from repro.grover.angles import (
+    amplitude_pair_after,
+    angle_after,
+    grover_angle,
+    optimal_iterations,
+    queries_for_full_search,
+    success_probability_after,
+)
+from repro.grover.standard import GroverResult, run_grover
+from repro.grover.exact import long_phase, run_exact_grover
+from repro.grover.twolevel import TwoLevelGrover
+from repro.grover.bbht import BBHTResult, run_bbht
+
+__all__ = [
+    "amplitude_pair_after",
+    "angle_after",
+    "grover_angle",
+    "optimal_iterations",
+    "queries_for_full_search",
+    "success_probability_after",
+    "GroverResult",
+    "run_grover",
+    "long_phase",
+    "run_exact_grover",
+    "TwoLevelGrover",
+    "BBHTResult",
+    "run_bbht",
+]

@@ -1,0 +1,108 @@
+"""Exact SU(2) kinematics of Grover search (single marked item unless noted).
+
+With ``beta = arcsin(sqrt(M/N))`` (``M`` marked of ``N``), the state after
+``j`` iterations of ``A = I_0 I_t`` starting from the uniform superposition is
+
+    ``sin((2j+1) beta) |marked> + cos((2j+1) beta) |rest>``
+
+where ``|marked>``/``|rest>`` are the uniform superpositions over marked and
+unmarked addresses.  Everything here is closed-form and O(1), valid for any
+``N`` (including sizes far beyond what a state vector can hold), and is the
+ground truth the simulator is tested against.
+
+The paper measures the Step 1 stopping point by the angle ``theta`` *left to
+the target*: ``theta = pi/2 - (2 l1 + 1) beta``; see
+:mod:`repro.core.parameters` for the partial-search-specific quantities.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "grover_angle",
+    "angle_after",
+    "angle_to_target_after",
+    "amplitude_pair_after",
+    "success_probability_after",
+    "optimal_iterations",
+    "iterations_for_angle",
+    "queries_for_full_search",
+]
+
+
+def grover_angle(n_items: int, n_marked: int = 1) -> float:
+    """``beta = arcsin(sqrt(M/N))`` — half the rotation per iteration."""
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    if not 0 < n_marked <= n_items:
+        raise ValueError("need 0 < n_marked <= n_items")
+    return math.asin(math.sqrt(n_marked / n_items))
+
+
+def angle_after(n_items: int, iterations: int, n_marked: int = 1) -> float:
+    """Angle ``(2j+1) beta`` between the state and ``|rest>`` after ``j`` iterations."""
+    if iterations < 0:
+        raise ValueError("iterations must be non-negative")
+    return (2 * iterations + 1) * grover_angle(n_items, n_marked)
+
+
+def angle_to_target_after(n_items: int, iterations: int, n_marked: int = 1) -> float:
+    """The paper's ``theta``: angle still separating the state from ``|marked>``."""
+    return math.pi / 2 - angle_after(n_items, iterations, n_marked)
+
+
+def amplitude_pair_after(
+    n_items: int, iterations: int, n_marked: int = 1
+) -> tuple[float, float]:
+    """Per-address amplitudes ``(a_marked, a_rest)`` after ``j`` iterations.
+
+    Each marked address holds ``sin((2j+1)beta)/sqrt(M)``; each unmarked one
+    ``cos((2j+1)beta)/sqrt(N-M)``.
+    """
+    ang = angle_after(n_items, iterations, n_marked)
+    a_marked = math.sin(ang) / math.sqrt(n_marked)
+    rest = n_items - n_marked
+    a_rest = math.cos(ang) / math.sqrt(rest) if rest else 0.0
+    return a_marked, a_rest
+
+
+def success_probability_after(n_items: int, iterations: int, n_marked: int = 1) -> float:
+    """``sin^2((2j+1) beta)`` — probability of measuring a marked address."""
+    return math.sin(angle_after(n_items, iterations, n_marked)) ** 2
+
+
+def optimal_iterations(n_items: int, n_marked: int = 1) -> int:
+    """The success-maximising count: the ``j`` whose angle ``(2j+1) beta``
+    lands closest to ``pi/2`` (≈ ``(pi/4) sqrt(N/M)``; may overshoot by less
+    than one iteration, which beats stopping short).
+
+    Success probability at this ``j`` is ``>= 1 - M/N``.
+    """
+    beta = grover_angle(n_items, n_marked)
+    j = max(0, round((math.pi / (2.0 * beta) - 1.0) / 2.0))
+    candidates = sorted({max(0, j - 1), j, j + 1})
+    return min(candidates, key=lambda c: abs((2 * c + 1) * beta - math.pi / 2))
+
+
+def iterations_for_angle(n_items: int, theta_remaining: float, n_marked: int = 1) -> int:
+    """Largest ``j`` whose angle-to-target is still >= ``theta_remaining``.
+
+    This realises the paper's ``l1(eps) = (pi/4)(1-eps) sqrt(N)`` with exact
+    integer arithmetic: for ``theta_remaining = eps * pi/2`` it returns the
+    number of standard iterations that stops (just short of) ``theta``
+    radians from the target.
+    """
+    if not 0.0 <= theta_remaining <= math.pi / 2:
+        raise ValueError("theta_remaining must lie in [0, pi/2]")
+    beta = grover_angle(n_items, n_marked)
+    # (2j+1) beta <= pi/2 - theta_remaining
+    j = int(math.floor(((math.pi / 2 - theta_remaining) / beta - 1.0) / 2.0))
+    return max(j, 0)
+
+
+def queries_for_full_search(n_items: int) -> float:
+    """The paper's headline ``(pi/4) sqrt(N)`` (a real number, not rounded)."""
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    return math.pi / 4 * math.sqrt(n_items)

@@ -1,0 +1,34 @@
+"""Lower-bound machinery: Theorem 2 (partial search) and Theorem 3 (Zalka).
+
+- :mod:`repro.lowerbounds.partial` — the reduction-based bound
+  ``alpha_K >= (pi/4)(1 - 1/sqrt(K))`` and its query accounting (the
+  geometric series of the nested partial searches).
+- :mod:`repro.lowerbounds.zalka` — Appendix B made executable: hybrid states
+  ``phi_T^{y,i}``, the three lemma quantities, and the explicit bound
+  ``T >= (pi/4) sqrt(N) (1 - O(sqrt(eps) + N^{-1/4}))`` evaluated on real
+  algorithm runs.
+"""
+
+from repro.lowerbounds.partial import (
+    lower_bound_coefficient,
+    lower_bound_queries,
+    reduction_query_bound,
+    reduction_series,
+)
+from repro.lowerbounds.zalka import (
+    HybridAnalysis,
+    ZalkaBound,
+    analyze_grover_hybrids,
+    zalka_bound,
+)
+
+__all__ = [
+    "lower_bound_coefficient",
+    "lower_bound_queries",
+    "reduction_query_bound",
+    "reduction_series",
+    "HybridAnalysis",
+    "ZalkaBound",
+    "analyze_grover_hybrids",
+    "zalka_bound",
+]

@@ -1,0 +1,81 @@
+"""Theorem 2: the lower bound for partial search, via reduction.
+
+An ``alpha_K sqrt(N)``-query partial-search algorithm yields a *full*-search
+algorithm: find the target's block among ``K`` blocks of the ``N``-item
+database, recurse into it (``N/K`` items), and so on.  The total is the
+geometric series
+
+    ``alpha_K sqrt(N) (1 + 1/sqrt(K) + 1/K + ...)
+        <= alpha_K (sqrt(K) / (sqrt(K) - 1)) sqrt(N)``
+
+which, by Zalka's optimality of Grover search (``>= (pi/4) sqrt(N)``), forces
+
+    ``alpha_K >= (pi/4)(1 - 1/sqrt(K))``.
+
+This module provides the bound values and the series accounting; the
+*executable* form of the reduction (actually running nested partial searches
+on the simulator) is :func:`repro.core.iterated.run_iterated_full_search`,
+and the error-tolerant version of Zalka's bound it leans on is
+:mod:`repro.lowerbounds.zalka`.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "lower_bound_coefficient",
+    "lower_bound_queries",
+    "reduction_series",
+    "reduction_query_bound",
+    "implied_alpha_lower_bound",
+]
+
+
+def lower_bound_coefficient(n_blocks: int) -> float:
+    """``(pi/4)(1 - 1/sqrt(K))`` — the table's "Lower bound" column."""
+    if n_blocks < 2:
+        raise ValueError("n_blocks must be >= 2")
+    return (math.pi / 4.0) * (1.0 - 1.0 / math.sqrt(n_blocks))
+
+
+def lower_bound_queries(n_items: int, n_blocks: int) -> float:
+    """The bound in queries for a concrete instance: coefficient × sqrt(N)."""
+    if n_items < 2:
+        raise ValueError("n_items must be >= 2")
+    return lower_bound_coefficient(n_blocks) * math.sqrt(n_items)
+
+
+def reduction_series(n_items: int, n_blocks: int, *, cutoff: int = 1) -> list[float]:
+    """Per-level ``sqrt(size)`` factors of the reduction, outermost first.
+
+    Level ``i`` searches a database of ``N / K^i`` items, costing
+    ``alpha_K sqrt(N / K^i)`` queries; the list stops once the size drops to
+    ``cutoff`` or below (the paper switches to brute force near ``N^(1/3)``).
+    """
+    if n_items < 1 or n_blocks < 2:
+        raise ValueError("need n_items >= 1 and n_blocks >= 2")
+    out = []
+    size = n_items
+    while size > cutoff and size % n_blocks == 0:
+        out.append(math.sqrt(size))
+        size //= n_blocks
+    return out
+
+
+def reduction_query_bound(alpha: float, n_items: int, n_blocks: int) -> float:
+    """Closed-form cap on the reduction's total queries:
+    ``alpha * sqrt(K)/(sqrt(K)-1) * sqrt(N)``."""
+    if n_blocks < 2:
+        raise ValueError("n_blocks must be >= 2")
+    root_k = math.sqrt(n_blocks)
+    return alpha * (root_k / (root_k - 1.0)) * math.sqrt(n_items)
+
+
+def implied_alpha_lower_bound(n_blocks: int, full_search_coefficient: float = math.pi / 4.0) -> float:
+    """Invert the reduction: given the full-search bound coefficient (Zalka's
+    ``pi/4`` by default), the partial-search coefficient must satisfy
+    ``alpha >= coefficient * (1 - 1/sqrt(K))``."""
+    if n_blocks < 2:
+        raise ValueError("n_blocks must be >= 2")
+    return full_search_coefficient * (1.0 - 1.0 / math.sqrt(n_blocks))

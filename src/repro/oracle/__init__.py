@@ -1,0 +1,32 @@
+"""The database / oracle layer — the *only* place queries are counted.
+
+The paper models the database as ``f : [N] -> {0,1}`` with a unique marked
+address, supplied to quantum algorithms as the unitary
+``T_f |x>|b> = |x>|b xor f(x)>``.  This package provides:
+
+- :class:`~repro.oracle.database.Database` /
+  :class:`~repro.oracle.database.SingleTargetDatabase` — the classical
+  function with exact query accounting;
+- :class:`~repro.oracle.quantum.PhaseOracle` — the phase-kickback form
+  ``I_t`` (one query per application), the workhorse of all Grover-type
+  algorithms;
+- :class:`~repro.oracle.quantum.BitFlipOracle` — the raw ``T_f`` acting on an
+  explicit ancilla branch pair; the paper's Step 3 "move-out" operation ``M``
+  *is* this oracle, which is why Step 3 costs exactly one query.
+
+Algorithms receive oracles, never raw targets: every lookup of the marked
+address flows through a counted call, so reported query counts are honest.
+Analysis / verification code may call ``reveal_target()`` explicitly.
+"""
+
+from repro.oracle.database import Database, SingleTargetDatabase
+from repro.oracle.counting import QueryCounter
+from repro.oracle.quantum import BitFlipOracle, PhaseOracle
+
+__all__ = [
+    "Database",
+    "SingleTargetDatabase",
+    "QueryCounter",
+    "BitFlipOracle",
+    "PhaseOracle",
+]

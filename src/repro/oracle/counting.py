@@ -1,0 +1,41 @@
+"""Exact query accounting shared by classical and quantum oracles."""
+
+from __future__ import annotations
+
+__all__ = ["QueryCounter"]
+
+
+class QueryCounter:
+    """A monotone counter of oracle invocations.
+
+    Query complexity is *the* resource the paper measures, so the counter is
+    deliberately minimal and impossible to decrement: tests assert both that
+    algorithms succeed and that they spent exactly the advertised number of
+    queries.  Several oracles may share one counter (e.g. the phase oracle
+    used in Steps 1–2 and the bit-flip oracle used in Step 3 of the same
+    run), giving a single total per experiment.
+    """
+
+    __slots__ = ("_count",)
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """Total queries recorded so far."""
+        return self._count
+
+    def increment(self, amount: int = 1) -> int:
+        """Record *amount* additional queries; returns the new total."""
+        if amount < 0:
+            raise ValueError("query counts cannot decrease")
+        self._count += amount
+        return self._count
+
+    def checkpoint(self) -> int:
+        """Alias for :attr:`count`, reads nicely at call sites that diff totals."""
+        return self._count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"QueryCounter(count={self._count})"

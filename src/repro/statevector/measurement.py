@@ -1,0 +1,86 @@
+"""Measurement statistics: address distributions, block marginals, sampling.
+
+All functions accept amplitude arrays of shape ``(..., N)``; leading axes are
+treated as *branches of the same state* (e.g. an ancilla qubit stored as the
+first axis) and are summed over incoherently, which is exactly what measuring
+only the address register does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import as_rng
+
+__all__ = [
+    "address_probabilities",
+    "block_probabilities",
+    "sample_addresses",
+    "sample_blocks",
+    "success_probability",
+]
+
+
+def address_probabilities(amps: np.ndarray) -> np.ndarray:
+    """``P(x)`` over the last axis, tracing out any leading (ancilla) axes.
+
+    The result is clipped at 0 and **not** renormalised: for a valid state it
+    already sums to 1 up to float error, and renormalising would mask norm
+    bugs in the evolution kernels.
+    """
+    probs = np.abs(np.asarray(amps)) ** 2
+    while probs.ndim > 1:
+        probs = probs.sum(axis=0)
+    return probs
+
+
+def block_probabilities(amps: np.ndarray, n_blocks: int) -> np.ndarray:
+    """Distribution over ``n_blocks`` contiguous equal blocks of addresses.
+
+    This is the measurement the partial-search algorithm ends with: observing
+    only the first ``k = log2(K)`` address bits.
+    """
+    probs = address_probabilities(amps)
+    n = probs.shape[-1]
+    if n_blocks <= 0 or n % n_blocks != 0:
+        raise ValueError(f"n_blocks={n_blocks} must divide state size {n}")
+    return probs.reshape(n_blocks, n // n_blocks).sum(axis=-1)
+
+
+def sample_addresses(amps: np.ndarray, rng=None, size: int | None = None):
+    """Draw address measurement outcome(s) from ``|a_x|^2``.
+
+    Args:
+        amps: amplitude array ``(..., N)``.
+        rng: seed / generator (see :func:`repro.util.rng.as_rng`).
+        size: ``None`` for a single int outcome, else an array of outcomes
+            (sampling *with replacement* — repeated identical preparations).
+    """
+    probs = address_probabilities(amps)
+    total = probs.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"probabilities sum to {total}, state is not normalised")
+    probs = probs / total  # remove float residue for np.choice's strict check
+    gen = as_rng(rng)
+    out = gen.choice(probs.shape[-1], size=size, p=probs)
+    return int(out) if size is None else out
+
+
+def sample_blocks(amps: np.ndarray, n_blocks: int, rng=None, size: int | None = None):
+    """Draw block measurement outcome(s) — i.e. measure the first k bits."""
+    probs = block_probabilities(amps, n_blocks)
+    total = probs.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise ValueError(f"probabilities sum to {total}, state is not normalised")
+    probs = probs / total
+    gen = as_rng(rng)
+    out = gen.choice(n_blocks, size=size, p=probs)
+    return int(out) if size is None else out
+
+
+def success_probability(amps: np.ndarray, target_block: int, n_blocks: int) -> float:
+    """Probability that a block measurement returns ``target_block``."""
+    probs = block_probabilities(amps, n_blocks)
+    if not 0 <= target_block < n_blocks:
+        raise ValueError(f"target_block {target_block} out of range [0, {n_blocks})")
+    return float(probs[target_block])

@@ -1,0 +1,117 @@
+"""Bit- and block-level address arithmetic.
+
+The paper identifies the address space ``[N] = {0, ..., N-1}`` with
+``{0,1}^n`` and partitions it into ``K`` equal blocks of ``N/K`` addresses.
+When ``K = 2^k``, an address ``x`` splits as ``x = (y, z)`` where ``y`` is the
+*first k bits* (the block index, the quantity partial search must return) and
+``z`` the remaining ``n - k`` bits (the offset inside the block).
+
+Because the "first" bits are the most significant ones, block ``y`` occupies
+the contiguous address range ``[y * N/K, (y+1) * N/K)``.  That contiguity is
+what lets the simulator implement block-local operators as reshaped views.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "int_to_bits",
+    "bits_to_int",
+    "first_k_bits",
+    "split_address",
+    "join_address",
+    "block_index",
+    "block_slice",
+]
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` iff *value* is a positive power of two (1 counts)."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def ilog2(value: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises:
+        ValueError: if *value* is not a positive power of two.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"expected a positive power of two, got {value!r}")
+    return value.bit_length() - 1
+
+
+def int_to_bits(value: int, width: int) -> tuple[int, ...]:
+    """Big-endian bit tuple of *value*, zero-padded to *width* bits.
+
+    ``int_to_bits(5, 4) == (0, 1, 0, 1)``.
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if value < 0 or value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return tuple((value >> (width - 1 - i)) & 1 for i in range(width))
+
+
+def bits_to_int(bits) -> int:
+    """Inverse of :func:`int_to_bits` (big-endian)."""
+    out = 0
+    for b in bits:
+        if b not in (0, 1):
+            raise ValueError(f"bits must be 0/1, got {b!r}")
+        out = (out << 1) | b
+    return out
+
+
+def first_k_bits(address: int, n: int, k: int) -> int:
+    """The first (most significant) *k* of the *n* address bits.
+
+    This is exactly the quantity partial search is asked to produce.
+    """
+    if not 0 <= k <= n:
+        raise ValueError(f"need 0 <= k <= n, got k={k}, n={n}")
+    if address < 0 or address >= (1 << n):
+        raise ValueError(f"address {address} out of range for n={n}")
+    return address >> (n - k)
+
+
+def split_address(address: int, n_items: int, n_blocks: int) -> tuple[int, int]:
+    """Split ``address`` into ``(y, z)`` — block index and in-block offset.
+
+    Works for any ``n_blocks`` dividing ``n_items`` (powers of two not
+    required, matching the paper's general "K equal blocks" setting).
+    """
+    if n_items % n_blocks != 0:
+        raise ValueError(f"n_blocks={n_blocks} must divide n_items={n_items}")
+    if address < 0 or address >= n_items:
+        raise ValueError(f"address {address} out of range [0, {n_items})")
+    block_size = n_items // n_blocks
+    return address // block_size, address % block_size
+
+
+def join_address(y: int, z: int, n_items: int, n_blocks: int) -> int:
+    """Inverse of :func:`split_address`."""
+    if n_items % n_blocks != 0:
+        raise ValueError(f"n_blocks={n_blocks} must divide n_items={n_items}")
+    block_size = n_items // n_blocks
+    if not 0 <= y < n_blocks:
+        raise ValueError(f"block index {y} out of range [0, {n_blocks})")
+    if not 0 <= z < block_size:
+        raise ValueError(f"offset {z} out of range [0, {block_size})")
+    return y * block_size + z
+
+
+def block_index(address: int, n_items: int, n_blocks: int) -> int:
+    """Block containing *address* (``y`` of :func:`split_address`)."""
+    return split_address(address, n_items, n_blocks)[0]
+
+
+def block_slice(y: int, n_items: int, n_blocks: int) -> slice:
+    """Contiguous address ``slice`` covered by block *y*."""
+    if n_items % n_blocks != 0:
+        raise ValueError(f"n_blocks={n_blocks} must divide n_items={n_items}")
+    if not 0 <= y < n_blocks:
+        raise ValueError(f"block index {y} out of range [0, {n_blocks})")
+    block_size = n_items // n_blocks
+    return slice(y * block_size, (y + 1) * block_size)

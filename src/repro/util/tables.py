@@ -1,0 +1,61 @@
+"""Plain-text table rendering for benchmark output.
+
+The benchmark harness reproduces the paper's tables as aligned ASCII so the
+"rows the paper reports" can be eyeballed (and asserted on) directly from
+terminal output — no plotting dependency needed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_row", "format_table"]
+
+
+def _render_cell(value, float_fmt: str) -> str:
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+def format_row(cells: Sequence, widths: Sequence[int], float_fmt: str = ".3f") -> str:
+    """One aligned row; numeric cells right-aligned, text left-aligned."""
+    parts = []
+    for cell, width in zip(cells, widths):
+        text = _render_cell(cell, float_fmt)
+        if isinstance(cell, (int, float)) and not isinstance(cell, bool):
+            parts.append(text.rjust(width))
+        else:
+            parts.append(text.ljust(width))
+    return "  ".join(parts).rstrip()
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    float_fmt: str = ".3f",
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* as an aligned ASCII table.
+
+    Column widths are computed from the rendered content, so the output is
+    stable across Python/numpy versions (useful for golden-output tests).
+    """
+    rendered = [[_render_cell(c, float_fmt) for c in row] for row in rows]
+    ncols = len(headers)
+    for r in rendered:
+        if len(r) != ncols:
+            raise ValueError(f"row has {len(r)} cells, expected {ncols}")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rendered)) if rendered else len(headers[i])
+        for i in range(ncols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(format_row(headers, widths))
+    lines.append("  ".join("-" * w for w in widths))
+    for original, pre in zip(rows, rendered):
+        # Re-render through format_row for alignment decisions based on types.
+        lines.append(format_row(list(original), widths, float_fmt))
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""ASCII histogram rendering."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import amplitude_bars, block_profile, figure_histogram
+
+
+class TestAmplitudeBars:
+    def test_contains_values(self):
+        out = amplitude_bars([0.5, -0.5, 0.0])
+        lines = out.split("\n")
+        assert len(lines) == 3
+        assert "+0.5000" in lines[0]
+        assert "-0.5000" in lines[1]
+
+    def test_signed_direction(self):
+        out = amplitude_bars([1.0, -1.0])
+        pos, neg = out.split("\n")
+        assert pos.index("|") < pos.index("#", pos.index("|"))
+        assert "#" in neg[: neg.index("|")]
+
+    def test_zero_state_no_bars(self):
+        out = amplitude_bars([0.0, 0.0])
+        assert "#" not in out
+
+    def test_custom_labels(self):
+        out = amplitude_bars([0.3], labels=["t"])
+        assert out.startswith("t")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            amplitude_bars(np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            amplitude_bars([0.1], width=10)  # even
+
+
+class TestBlockProfile:
+    def test_uniform_blocks(self):
+        amps = np.full(12, 1 / np.sqrt(12))
+        rows = block_profile(amps, 3)
+        assert all(r["uniform"] for r in rows)
+        assert sum(r["mass"] for r in rows) == pytest.approx(1.0)
+
+    def test_target_block_flagged(self):
+        amps = np.zeros(12)
+        amps[5] = 1.0
+        rows = block_profile(amps, 3)
+        assert not rows[1]["uniform"]
+        assert rows[1]["mass"] == pytest.approx(1.0)
+        assert rows[0]["uniform"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_profile(np.zeros(10), 3)
+
+
+class TestFigureHistogram:
+    def test_small_n_per_state(self):
+        amps = np.full(12, 1 / np.sqrt(12))
+        out = figure_histogram(amps, 3)
+        assert out.count("\n") >= 12  # 12 bars + separators
+        assert "0:0" in out  # block:offset labels
+
+    def test_large_n_aggregates(self):
+        amps = np.full(256, 1 / 16.0)
+        out = figure_histogram(amps, 4)
+        assert "block" in out
+        assert out.count("\n") == 3  # one line per block
+
+    def test_separator_between_blocks(self):
+        amps = np.full(8, 1 / np.sqrt(8))
+        out = figure_histogram(amps, 2)
+        assert "----" in out

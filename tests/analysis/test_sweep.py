@@ -1,0 +1,45 @@
+"""Sweep helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.sweep import sweep_coefficients, sweep_partial_search
+
+
+class TestSweepPartialSearch:
+    def test_grid_rows(self):
+        rows = sweep_partial_search([256, 1024], [2, 4])
+        assert len(rows) == 4
+        for row in rows:
+            assert row["success"] > 0.97
+            assert row["queries"] == row["l1"] + row["l2"] + 1
+
+    def test_skips_non_divisible(self):
+        rows = sweep_partial_search([100], [3, 5])
+        assert [r["n_blocks"] for r in rows] == [5]
+
+    def test_coefficient_definition(self):
+        row = sweep_partial_search([4096], [4])[0]
+        assert row["coefficient"] == pytest.approx(row["queries"] / 64.0)
+
+    def test_success_plus_failure(self):
+        row = sweep_partial_search([1 << 16], [8])[0]
+        assert row["success"] + row["failure"] == pytest.approx(1.0, abs=1e-12)
+
+    def test_huge_n_fast(self):
+        rows = sweep_partial_search([1 << 40], [4])
+        assert rows[0]["success"] > 1 - 1e-9
+
+
+class TestSweepCoefficients:
+    def test_ordering_invariants(self):
+        for row in sweep_coefficients([2, 4, 8, 32]):
+            assert row["lower"] < row["grk"] < row["naive"] < math.pi / 4 + 1e-12
+
+    def test_savings_constant_converges(self):
+        rows = sweep_coefficients([2**i for i in range(2, 12)])
+        tail = [r["grk_savings_times_sqrt_k"] for r in rows[-3:]]
+        for v in tail:
+            assert v >= 0.42  # Theorem 1
+            assert v < 0.50

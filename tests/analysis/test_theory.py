@@ -1,0 +1,75 @@
+"""Closed-form comparisons and the large-K constant."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    LARGE_K_CONSTANT,
+    classical_randomized_partial_coefficient,
+    large_k_coefficient,
+    large_k_epsilon,
+    naive_quantum_coefficient,
+    savings_factor,
+)
+
+
+class TestLargeKConstant:
+    def test_value(self):
+        # The paper's "0.42": 1 - (2/pi) arcsin(pi/4) = 0.42497...
+        assert LARGE_K_CONSTANT == pytest.approx(0.425, abs=5e-4)
+        assert LARGE_K_CONSTANT >= 0.42  # Theorem 1's stated constant
+
+    def test_first_order_expansion_converges(self):
+        # Exact q(1/sqrt(K), K) minus its first-order form is O(1/K).
+        for k in (64, 256, 1024, 4096):
+            exact = large_k_coefficient(k)
+            first = large_k_coefficient(k, first_order=True)
+            assert abs(exact - first) < 3.0 / k
+
+    def test_savings_bound_for_large_k(self):
+        # c_K sqrt(K) >= 0.42 at the paper's eps = 1/sqrt(K) choice.
+        for k in (64, 256, 1024):
+            c_k = savings_factor(large_k_coefficient(k))
+            assert c_k * math.sqrt(k) >= 0.42
+
+
+class TestCoefficients:
+    def test_naive_expansion(self):
+        # sqrt((K-1)/K) ~ 1 - 1/(2K)
+        for k in (8, 64, 512):
+            assert naive_quantum_coefficient(k) == pytest.approx(
+                (math.pi / 4) * (1 - 1 / (2 * k)), abs=1.0 / k**2
+            )
+
+    def test_grk_beats_naive_for_k_at_least_3(self):
+        from repro.core.optimizer import optimal_epsilon
+
+        for k in (3, 4, 5, 8, 32, 128):
+            assert optimal_epsilon(k).coefficient < naive_quantum_coefficient(k) - 1e-3
+
+    def test_grk_equals_naive_at_k2(self):
+        # Both reduce to pi/(4 sqrt(2)): searching both halves locally and
+        # searching one half globally cost the same at K = 2.
+        from repro.core.optimizer import optimal_epsilon
+
+        assert optimal_epsilon(2).coefficient == pytest.approx(
+            naive_quantum_coefficient(2), abs=1e-7
+        )
+
+    def test_classical_coefficient(self):
+        assert classical_randomized_partial_coefficient(2) == pytest.approx(0.375)
+        assert classical_randomized_partial_coefficient(10**6) == pytest.approx(0.5)
+
+    def test_epsilon_choice(self):
+        assert large_k_epsilon(16) == 0.25
+
+    def test_savings_factor_round_trip(self):
+        q = (math.pi / 4) * (1 - 0.3)
+        assert savings_factor(q) == pytest.approx(0.3)
+
+    def test_validation(self):
+        for fn in (large_k_epsilon, naive_quantum_coefficient,
+                   classical_randomized_partial_coefficient):
+            with pytest.raises(ValueError):
+                fn(1)

@@ -1,0 +1,55 @@
+"""Unit tests for the Circuit container."""
+
+import pytest
+
+from repro.circuits import Circuit, Gate
+
+
+class TestCircuit:
+    def test_append_validates_wires(self):
+        circ = Circuit(2)
+        circ.append(Gate("H", (1,)))
+        with pytest.raises(ValueError):
+            circ.append(Gate("H", (2,)))
+
+    def test_constructor_validates_gates(self):
+        with pytest.raises(ValueError):
+            Circuit(1, [Gate("H", (3,))])
+
+    def test_compose(self):
+        a = Circuit(2, [Gate("H", (0,))])
+        b = Circuit(2, [Gate("X", (1,))])
+        c = a.compose(b)
+        assert [g.name for g in c] == ["H", "X"]
+        assert a.n_gates == 1  # originals untouched
+
+    def test_compose_wire_mismatch(self):
+        with pytest.raises(ValueError):
+            Circuit(2).compose(Circuit(3))
+
+    def test_repeated(self):
+        step = Circuit(1, [Gate("X", (0,))])
+        assert step.repeated(3).n_gates == 3
+        assert step.repeated(0).n_gates == 0
+        with pytest.raises(ValueError):
+            step.repeated(-1)
+
+    def test_oracle_queries(self):
+        circ = Circuit(2)
+        circ.append(Gate("MCZ", (0, 1), tag="oracle"))
+        circ.append(Gate("MCZ", (0, 1)))
+        circ.append(Gate("MCZ", (0, 1), tag="oracle"))
+        assert circ.oracle_queries == 2
+
+    def test_depth_by_name(self):
+        circ = Circuit(2, [Gate("H", (0,)), Gate("H", (1,)), Gate("CZ", (0, 1))])
+        assert circ.depth_by_name() == {"H": 2, "CZ": 1}
+
+    def test_len_iter(self):
+        circ = Circuit(1, [Gate("X", (0,)), Gate("Z", (0,))])
+        assert len(circ) == 2
+        assert [g.name for g in circ] == ["X", "Z"]
+
+    def test_positive_wires(self):
+        with pytest.raises(ValueError):
+            Circuit(0)

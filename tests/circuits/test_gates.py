@@ -1,0 +1,57 @@
+"""Unit tests for the gate vocabulary."""
+
+import pytest
+
+from repro.circuits import Gate
+
+
+class TestGateValidation:
+    def test_single_qubit_arity(self):
+        Gate("H", (0,))
+        with pytest.raises(ValueError):
+            Gate("H", (0, 1))
+        with pytest.raises(ValueError):
+            Gate("H", ())
+
+    def test_two_qubit_arity(self):
+        Gate("CX", (0, 1))
+        with pytest.raises(ValueError):
+            Gate("CX", (0,))
+
+    def test_multi_qubit(self):
+        Gate("MCZ", (0, 1, 2, 3))
+        Gate("MCZ", (0,))
+        with pytest.raises(ValueError):
+            Gate("MCZ", ())
+
+    def test_gphase_takes_no_qubits(self):
+        Gate("GPHASE", (), 1.5)
+        with pytest.raises(ValueError):
+            Gate("GPHASE", (0,), 1.5)
+
+    def test_unknown_gate(self):
+        with pytest.raises(ValueError):
+            Gate("T", (0,))
+
+    def test_duplicate_qubits(self):
+        with pytest.raises(ValueError):
+            Gate("CZ", (1, 1))
+
+    def test_negative_qubits(self):
+        with pytest.raises(ValueError):
+            Gate("H", (-1,))
+
+    def test_param_rules(self):
+        with pytest.raises(ValueError):
+            Gate("P", (0,))  # missing param
+        with pytest.raises(ValueError):
+            Gate("H", (0,), 0.5)  # unexpected param
+        Gate("P", (0,), 0.5)
+        Gate("MCP", (0, 1), 0.5)
+
+    def test_oracle_tag(self):
+        assert Gate("MCZ", (0, 1), tag="oracle").is_oracle
+        assert not Gate("MCZ", (0, 1)).is_oracle
+
+    def test_tag_not_in_equality(self):
+        assert Gate("MCZ", (0,), tag="oracle") == Gate("MCZ", (0,))

@@ -1,0 +1,108 @@
+"""Unit tests for the qubit-wise simulator against known matrices."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Gate, run_circuit
+from repro.circuits.simulator import apply_gate
+
+
+def _basis(n_qubits, index):
+    state = np.zeros(1 << n_qubits, dtype=complex)
+    state[index] = 1.0
+    return state
+
+
+class TestSingleQubitGates:
+    def test_h_on_zero(self):
+        state = apply_gate(_basis(1, 0), Gate("H", (0,)), 1)
+        np.testing.assert_allclose(state, [1 / np.sqrt(2), 1 / np.sqrt(2)])
+
+    def test_x(self):
+        state = apply_gate(_basis(2, 0), Gate("X", (1,)), 2)
+        np.testing.assert_allclose(state, _basis(2, 1))
+
+    def test_x_msb(self):
+        # Qubit 0 is the most significant bit.
+        state = apply_gate(_basis(2, 0), Gate("X", (0,)), 2)
+        np.testing.assert_allclose(state, _basis(2, 2))
+
+    def test_z(self):
+        state = apply_gate(_basis(1, 1), Gate("Z", (0,)), 1)
+        np.testing.assert_allclose(state, [0, -1])
+
+    def test_p(self):
+        state = apply_gate(_basis(1, 1), Gate("P", (0,), np.pi / 2), 1)
+        np.testing.assert_allclose(state, [0, 1j])
+
+    def test_h_squared_identity(self, rng):
+        state = rng.standard_normal(8) + 1j * rng.standard_normal(8)
+        state /= np.linalg.norm(state)
+        out = apply_gate(apply_gate(state.copy(), Gate("H", (1,)), 3), Gate("H", (1,)), 3)
+        np.testing.assert_allclose(out, state, atol=1e-12)
+
+
+class TestControlledGates:
+    def test_cx_truth_table(self):
+        # control qubit 0 (MSB), target qubit 1 (LSB) of 2 wires
+        for before, after in [(0b00, 0b00), (0b01, 0b01), (0b10, 0b11), (0b11, 0b10)]:
+            out = apply_gate(_basis(2, before), Gate("CX", (0, 1)), 2)
+            np.testing.assert_allclose(out, _basis(2, after), err_msg=f"{before:02b}")
+
+    def test_cz_phase(self):
+        out = apply_gate(_basis(2, 0b11), Gate("CZ", (0, 1)), 2)
+        np.testing.assert_allclose(out, -_basis(2, 0b11))
+        out = apply_gate(_basis(2, 0b01), Gate("CZ", (0, 1)), 2)
+        np.testing.assert_allclose(out, _basis(2, 0b01))
+
+    def test_mcz_only_all_ones(self):
+        n = 3
+        for idx in range(8):
+            out = apply_gate(_basis(n, idx), Gate("MCZ", (0, 1, 2)), n)
+            sign = -1 if idx == 7 else 1
+            np.testing.assert_allclose(out, sign * _basis(n, idx))
+
+    def test_mcz_subset(self):
+        out = apply_gate(_basis(3, 0b101), Gate("MCZ", (0, 2)), 3)
+        np.testing.assert_allclose(out, -_basis(3, 0b101))
+        out = apply_gate(_basis(3, 0b100), Gate("MCZ", (0, 2)), 3)
+        np.testing.assert_allclose(out, _basis(3, 0b100))
+
+    def test_mcx(self):
+        out = apply_gate(_basis(3, 0b110), Gate("MCX", (0, 1, 2)), 3)
+        np.testing.assert_allclose(out, _basis(3, 0b111))
+        out = apply_gate(_basis(3, 0b010), Gate("MCX", (0, 1, 2)), 3)
+        np.testing.assert_allclose(out, _basis(3, 0b010))
+
+    def test_mcp(self):
+        out = apply_gate(_basis(2, 0b11), Gate("MCP", (0, 1), np.pi / 3), 2)
+        assert out[3] == pytest.approx(np.exp(1j * np.pi / 3))
+
+    def test_gphase(self):
+        out = apply_gate(_basis(1, 0), Gate("GPHASE", (), np.pi), 1)
+        np.testing.assert_allclose(out, [-1, 0])
+
+
+class TestRunCircuit:
+    def test_default_initial_state(self):
+        out = run_circuit(Circuit(2))
+        np.testing.assert_allclose(out, _basis(2, 0))
+
+    def test_initial_state_used(self):
+        out = run_circuit(Circuit(1, [Gate("X", (0,))]), initial=[0, 1])
+        np.testing.assert_allclose(out, [1, 0])
+
+    def test_initial_shape_checked(self):
+        with pytest.raises(ValueError):
+            run_circuit(Circuit(2), initial=[1, 0])
+
+    def test_bell_state(self):
+        circ = Circuit(2, [Gate("H", (0,)), Gate("CX", (0, 1))])
+        out = run_circuit(circ)
+        np.testing.assert_allclose(out, [1 / np.sqrt(2), 0, 0, 1 / np.sqrt(2)])
+
+    def test_norm_preserved(self, rng):
+        gates = [Gate("H", (i % 4,)) for i in range(10)]
+        gates += [Gate("MCZ", (0, 2)), Gate("CX", (1, 3)), Gate("MCX", (0, 1, 2))]
+        out = run_circuit(Circuit(4, gates))
+        assert np.linalg.norm(out) == pytest.approx(1.0, abs=1e-12)

@@ -1,0 +1,66 @@
+"""Classical full search: zero error, exact accounting."""
+
+import pytest
+
+from repro.classical import (
+    deterministic_full_search,
+    expected_queries_randomized_full,
+    randomized_full_search,
+)
+from repro.oracle import Database, SingleTargetDatabase
+
+
+class TestDeterministic:
+    def test_always_correct(self):
+        for target in (0, 7, 15):
+            res = deterministic_full_search(SingleTargetDatabase(16, target))
+            assert res.correct and res.answer == target
+
+    def test_query_count_is_position(self):
+        res = deterministic_full_search(SingleTargetDatabase(16, 7))
+        assert res.queries == 8  # probes 0..7
+
+    def test_last_position_inferred(self):
+        res = deterministic_full_search(SingleTargetDatabase(16, 15))
+        assert res.queries == 15  # infers the last without probing it
+        assert res.correct
+
+    def test_multi_marked_rejected(self):
+        with pytest.raises(ValueError):
+            deterministic_full_search(Database(8, [1, 2]))
+
+
+class TestRandomized:
+    def test_always_correct(self):
+        for seed in range(5):
+            res = randomized_full_search(SingleTargetDatabase(32, 20), rng=seed)
+            assert res.correct and res.answer == 20
+
+    def test_never_exceeds_worst_case(self):
+        for seed in range(20):
+            res = randomized_full_search(SingleTargetDatabase(32, 5), rng=seed)
+            assert 1 <= res.queries <= 31
+
+    def test_mean_near_half_n(self):
+        n, trials = 64, 400
+        total = 0
+        for seed in range(trials):
+            db = SingleTargetDatabase(n, seed % n)
+            total += randomized_full_search(db, rng=seed).queries
+        mean = total / trials
+        assert mean == pytest.approx(expected_queries_randomized_full(n), rel=0.08)
+
+
+class TestExpectedFormula:
+    def test_small_cases(self):
+        # N=2: target position uniform on {1,2}; costs 1 either way.
+        assert expected_queries_randomized_full(2) == pytest.approx(1.0)
+
+    def test_leading_term(self):
+        assert expected_queries_randomized_full(10**6) == pytest.approx(
+            5e5, rel=1e-5
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_queries_randomized_full(0)

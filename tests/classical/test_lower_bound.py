@@ -1,0 +1,39 @@
+"""Appendix A's averaging argument."""
+
+import pytest
+
+from repro.classical import appendix_a_breakdown, appendix_a_lower_bound
+from repro.classical import expected_queries_randomized_partial
+
+
+class TestAppendixA:
+    def test_formula(self):
+        assert appendix_a_lower_bound(100, 5) == pytest.approx(50 * (1 - 1 / 25))
+
+    def test_breakdown_reassembles(self):
+        b = appendix_a_breakdown(60, 3)
+        assert b.total == pytest.approx(
+            b.p_probed * b.expectation_probed + (1 - b.p_probed) * b.queries_unprobed
+        )
+
+    def test_branch_values(self):
+        b = appendix_a_breakdown(60, 3)
+        assert b.p_probed == pytest.approx(2 / 3)
+        assert b.expectation_probed == pytest.approx(20.0)
+        assert b.queries_unprobed == pytest.approx(40.0)
+
+    def test_upper_bound_matches_lower_to_o1(self):
+        # Tightness: the randomized algorithm achieves the bound + O(1).
+        for n, k in [(100, 2), (100, 5), (1024, 4)]:
+            ub = expected_queries_randomized_partial(n, k)
+            lb = appendix_a_lower_bound(n, k)
+            assert lb <= ub <= lb + 1.0
+
+    def test_k_limit_recovers_full_search(self):
+        # K -> N: partial search becomes full search, bound -> N/2.
+        n = 1024
+        assert appendix_a_lower_bound(n, n) == pytest.approx(n / 2, rel=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            appendix_a_lower_bound(10, 3)

@@ -1,0 +1,113 @@
+"""Classical partial search: Section 1.1's counts, zero error."""
+
+import numpy as np
+import pytest
+
+from repro.classical import (
+    deterministic_partial_search,
+    expected_queries_deterministic_partial,
+    expected_queries_randomized_partial,
+    randomized_partial_search,
+    sample_partial_search_query_counts,
+)
+from repro.oracle import SingleTargetDatabase
+
+
+class TestDeterministic:
+    def test_always_correct_all_targets(self):
+        n, k = 24, 3
+        for t in range(n):
+            res = deterministic_partial_search(SingleTargetDatabase(n, t), k)
+            assert res.correct
+
+    def test_worst_case_bound(self):
+        n, k = 24, 3
+        worst = 0
+        for t in range(n):
+            res = deterministic_partial_search(SingleTargetDatabase(n, t), k)
+            worst = max(worst, res.queries)
+        assert worst == expected_queries_deterministic_partial(n, k) == n * (1 - 1 / k)
+
+    def test_left_out_target_costs_full(self):
+        # Target in the left-out block: all N(1-1/K) probes are spent.
+        res = deterministic_partial_search(
+            SingleTargetDatabase(24, 20), 3, left_out_block=2
+        )
+        assert res.queries == 16
+        assert res.answer == 2 and res.correct
+
+
+class TestRandomized:
+    def test_always_correct(self):
+        for seed in range(10):
+            res = randomized_partial_search(SingleTargetDatabase(24, 17), 3, rng=seed)
+            assert res.correct
+
+    def test_mean_matches_formula(self):
+        n, k, trials = 60, 3, 600
+        rng = np.random.default_rng(0)
+        total = 0
+        for _ in range(trials):
+            t = int(rng.integers(n))
+            total += randomized_partial_search(
+                SingleTargetDatabase(n, t), k, rng=rng
+            ).queries
+        mean = total / trials
+        assert mean == pytest.approx(
+            expected_queries_randomized_partial(n, k), rel=0.08
+        )
+
+    def test_beats_full_search_on_average(self):
+        n, k = 40, 2
+        assert expected_queries_randomized_partial(n, k) < (n + 1) / 2
+
+
+class TestFormulas:
+    def test_paper_leading_term(self):
+        n, k = 2**20, 4
+        assert expected_queries_randomized_partial(n, k, exact=False) == pytest.approx(
+            n / 2 * (1 - 1 / k**2)
+        )
+
+    def test_exact_adds_half_term(self):
+        n, k = 100, 4
+        exact = expected_queries_randomized_partial(n, k)
+        leading = expected_queries_randomized_partial(n, k, exact=False)
+        assert exact - leading == pytest.approx((1 - 1 / k) / 2)
+
+    def test_savings_shrink_with_k(self):
+        n = 10**6
+        savings = [
+            n / 2 - expected_queries_randomized_partial(n, k, exact=False)
+            for k in (2, 4, 8, 16)
+        ]
+        assert savings == sorted(savings, reverse=True)
+        # Saving is N/(2K^2) — quadratically small in K (the paper's point).
+        assert savings[0] == pytest.approx(n / 8)
+
+
+class TestVectorisedSampler:
+    def test_matches_honest_runs_statistically(self):
+        n, k, trials = 60, 3, 4000
+        fast = sample_partial_search_query_counts(n, k, trials, rng=1)
+        rng = np.random.default_rng(2)
+        slow = []
+        for _ in range(600):
+            t = int(rng.integers(n))
+            slow.append(
+                randomized_partial_search(SingleTargetDatabase(n, t), k, rng=rng).queries
+            )
+        assert np.mean(fast) == pytest.approx(np.mean(slow), rel=0.1)
+
+    def test_bounds(self):
+        n, k = 60, 3
+        counts = sample_partial_search_query_counts(n, k, 1000, rng=0)
+        m = n - n // k
+        assert counts.min() >= 1 and counts.max() <= m
+
+    def test_zero_trials(self):
+        assert sample_partial_search_query_counts(60, 3, 0, rng=0).size == 0
+
+    def test_negative_trials(self):
+        with pytest.raises(ValueError):
+            sample_partial_search_query_counts(60, 3, -1)

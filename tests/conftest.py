@@ -1,0 +1,32 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator; reseed per test for reproducibility."""
+    return np.random.default_rng(20050612)
+
+
+def random_state(n_items: int, rng: np.random.Generator, complex_: bool = False) -> np.ndarray:
+    """A Haar-ish random unit vector (real by default)."""
+    vec = rng.standard_normal(n_items)
+    if complex_:
+        vec = vec + 1j * rng.standard_normal(n_items)
+    return vec / np.linalg.norm(vec)
+
+
+def assert_states_close(a, b, atol: float = 1e-10, up_to_global_phase: bool = False):
+    """Elementwise state comparison, optionally modulo a global phase."""
+    a = np.asarray(a)
+    b = np.asarray(b)
+    assert a.shape == b.shape, f"shape mismatch {a.shape} vs {b.shape}"
+    if up_to_global_phase:
+        overlap = np.vdot(a, b)
+        if abs(overlap) > 1e-14:
+            b = b * (overlap / abs(overlap)).conjugate()
+    np.testing.assert_allclose(a, b, atol=atol, rtol=0.0)

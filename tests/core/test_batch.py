@@ -1,0 +1,60 @@
+"""Batched runner vs the counted single-run implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core import plan_schedule, run_partial_search
+from repro.core.batch import run_partial_search_batch
+from repro.oracle import SingleTargetDatabase
+
+
+class TestBatchMatchesSingle:
+    def test_success_probabilities_identical(self):
+        n, k = 256, 4
+        targets = [0, 17, 100, 255]
+        batch = run_partial_search_batch(n, k, targets)
+        for i, t in enumerate(targets):
+            single = run_partial_search(SingleTargetDatabase(n, t), k)
+            assert batch.success_probabilities[i] == pytest.approx(
+                single.success_probability, abs=1e-12
+            )
+            assert batch.block_guesses[i] == single.block_guess
+
+    def test_queries_per_run_matches_schedule(self):
+        n, k = 256, 4
+        batch = run_partial_search_batch(n, k, [1, 2, 3])
+        single = run_partial_search(SingleTargetDatabase(n, 1), k)
+        assert batch.queries_per_run == single.queries
+
+    def test_all_targets_of_instance(self):
+        n, k = 128, 4
+        batch = run_partial_search_batch(n, k, range(n))
+        assert batch.all_correct
+        assert batch.worst_success > 1 - 10.0 / n
+
+    def test_success_uniform_across_targets(self):
+        # Symmetric dynamics: every target gets the same success probability.
+        batch = run_partial_search_batch(256, 8, range(0, 256, 7))
+        assert np.ptp(batch.success_probabilities) < 1e-12
+
+
+class TestBatchValidation:
+    def test_empty_targets(self):
+        with pytest.raises(ValueError):
+            run_partial_search_batch(64, 4, [])
+
+    def test_out_of_range_targets(self):
+        with pytest.raises(ValueError):
+            run_partial_search_batch(64, 4, [64])
+        with pytest.raises(ValueError):
+            run_partial_search_batch(64, 4, [-1])
+
+    def test_schedule_mismatch(self):
+        sched = plan_schedule(64, 4)
+        with pytest.raises(ValueError):
+            run_partial_search_batch(128, 4, [0], schedule=sched)
+
+    def test_explicit_epsilon(self):
+        a = run_partial_search_batch(256, 4, [5], epsilon=0.3)
+        b = run_partial_search_batch(256, 4, [5], epsilon=0.6)
+        assert a.schedule.l1 > b.schedule.l1

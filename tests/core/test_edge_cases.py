@@ -1,0 +1,129 @@
+"""Edge-of-domain and failure-injection tests for the core algorithm.
+
+The paper assumes ``N >> K``; these tests pin down what the implementation
+does at and beyond the comfortable regime — degenerate epsilons, extreme
+block counts, tiny databases, and deliberately wrong usage.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BlockSpec,
+    plan_schedule,
+    run_partial_search,
+    run_sure_success_partial_search,
+)
+from repro.core.parameters import max_feasible_epsilon
+from repro.core.subspace import SubspaceGRK
+from repro.oracle import SingleTargetDatabase
+
+
+class TestDegenerateEpsilon:
+    def test_epsilon_zero_degrades_to_full_search(self):
+        # eps = 0: Step 1 runs to the target; Steps 2-3 are (nearly) no-ops.
+        n, k = 1024, 4
+        res = run_partial_search(SingleTargetDatabase(n, 77), k, epsilon=0.0)
+        assert res.schedule.l2 <= 1
+        assert res.success_probability > 1 - 5.0 / n
+        assert res.block_guess == 0
+
+    def test_epsilon_at_feasibility_boundary(self):
+        # K = 32: eps capped at arcsin(2/sqrt(K)) * 2/pi ~ 0.23.
+        n, k = 2048, 32
+        eps = max_feasible_epsilon(k)
+        res = run_partial_search(SingleTargetDatabase(n, 2000), k, epsilon=eps)
+        assert res.block_guess == 2000 // 64
+        assert res.success_probability > 0.99
+
+    def test_epsilon_one_for_small_k(self):
+        # eps = 1 skips Step 1 entirely (the K=2 optimum).
+        res = run_partial_search(SingleTargetDatabase(1024, 900), 2, epsilon=1.0)
+        assert res.schedule.l1 == 0
+        assert res.success_probability > 0.99
+
+
+class TestExtremeBlockCounts:
+    def test_block_size_two(self):
+        # K = N/2: blocks of two addresses; "first n-1 bits".
+        n = 256
+        res = run_partial_search(SingleTargetDatabase(n, 100), n // 2)
+        assert res.block_guess == 50
+        assert res.success_probability > 0.9
+
+    def test_many_blocks_approaches_full_search_cost(self):
+        n = 4096
+        q_few = run_partial_search(SingleTargetDatabase(n, 5), 4).queries
+        q_many = run_partial_search(SingleTargetDatabase(n, 5), 256).queries
+        full = math.pi / 4 * math.sqrt(n)
+        assert q_few < q_many <= full + 2
+
+    def test_tiny_database(self):
+        for n, k in [(4, 2), (6, 3), (8, 4)]:
+            res = run_partial_search(SingleTargetDatabase(n, n - 1), k)
+            assert res.block_guess == k - 1
+            # At these sizes only coarse guarantees hold; it must still be
+            # the most likely outcome by a clear margin.
+            assert res.success_probability > 0.5
+
+    def test_twelve_items_matches_figure1_budget(self):
+        # The paper's own example size: N=12, K=3 needs only 2 queries.
+        res = run_partial_search(SingleTargetDatabase(12, 5), 3, epsilon=1.0)
+        assert res.queries <= 3
+        assert res.block_guess == 1
+
+
+class TestSubspaceExtremes:
+    def test_block_size_one_step2_is_identity(self):
+        # K = N: every block is a single address; Step 2 cannot rotate.
+        spec = BlockSpec(16, 16)
+        model = SubspaceGRK(spec)
+        before = model.after_step1(2)
+        after = model.after_step2(2, 5)
+        assert after.target == pytest.approx(before.target)
+        assert after.outside == pytest.approx(before.outside)
+
+    def test_zero_iterations_everywhere(self):
+        model = SubspaceGRK(BlockSpec(64, 4))
+        final = model.final(0, 0)
+        total = final.success_probability(model.spec) + final.failure_probability(
+            model.spec
+        )
+        assert total == pytest.approx(1.0, abs=1e-12)
+
+    def test_enormous_l2_wraps_safely(self):
+        model = SubspaceGRK(BlockSpec(1024, 4))
+        p = model.success_probability(10, 10**6)
+        assert 0.0 <= p <= 1.0 + 1e-12
+
+
+class TestMisuse:
+    def test_schedule_from_other_instance_rejected(self):
+        sched = plan_schedule(256, 4)
+        with pytest.raises(ValueError):
+            run_partial_search(SingleTargetDatabase(256, 3), 8, schedule=sched)
+
+    def test_k_not_dividing_n_rejected(self):
+        with pytest.raises(ValueError):
+            run_partial_search(SingleTargetDatabase(100, 3), 3)
+
+    def test_sure_success_requires_blocks_smaller_than_n(self):
+        with pytest.raises(ValueError):
+            run_sure_success_partial_search(SingleTargetDatabase(16, 3), 16)
+
+    def test_counter_is_monotone_across_reuse(self):
+        # Re-running on the same database accumulates; callers who want
+        # per-run numbers read the result's .queries field.
+        db = SingleTargetDatabase(256, 9)
+        r1 = run_partial_search(db, 4)
+        r2 = run_partial_search(db, 4)
+        assert db.queries_used == r1.queries + r2.queries
+
+    def test_trace_snapshots_are_copies(self):
+        res = run_partial_search(SingleTargetDatabase(64, 9), 4, trace=True)
+        snap = res.traces[1].amplitudes
+        before = snap.copy()
+        res.branches[0][:] = 0.0  # vandalise the final state
+        np.testing.assert_array_equal(snap, before)  # snapshots unaffected

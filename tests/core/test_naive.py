@@ -1,0 +1,56 @@
+"""Section 1.2's naive baseline."""
+
+import math
+
+import pytest
+
+from repro.core import run_naive_partial_search
+from repro.oracle import Database, SingleTargetDatabase
+
+
+class TestNaivePartialSearch:
+    def test_target_in_searched_blocks(self):
+        db = SingleTargetDatabase(256, 10)  # block 0 of 4
+        res = run_naive_partial_search(db, 4, left_out_block=3, rng=1)
+        assert res.block_guess == 0
+        assert res.verified
+        assert res.success_probability > 0.98
+
+    def test_target_in_left_out_block(self):
+        db = SingleTargetDatabase(256, 10)
+        res = run_naive_partial_search(db, 4, left_out_block=0, rng=1)
+        assert res.block_guess == 0  # inferred, not measured
+        assert not res.verified
+        assert res.success_probability == 1.0
+
+    def test_queries_match_coefficient(self):
+        n, k = 2**14, 4
+        db = SingleTargetDatabase(n, 5)
+        res = run_naive_partial_search(db, k, left_out_block=3, rng=0)
+        expected = math.pi / 4 * math.sqrt((k - 1) * n / k)
+        assert res.queries == pytest.approx(expected, abs=3)
+        assert db.queries_used == res.queries
+
+    def test_worse_than_grk(self):
+        from repro.core import run_partial_search
+
+        n, k = 2**14, 4
+        naive = run_naive_partial_search(
+            SingleTargetDatabase(n, 5), k, left_out_block=3, rng=0
+        )
+        grk = run_partial_search(SingleTargetDatabase(n, 5), k)
+        assert grk.queries < naive.queries  # the whole point of the paper
+
+    def test_random_left_out_reproducible(self):
+        db1 = SingleTargetDatabase(64, 10)
+        db2 = SingleTargetDatabase(64, 10)
+        r1 = run_naive_partial_search(db1, 4, rng=42)
+        r2 = run_naive_partial_search(db2, 4, rng=42)
+        assert r1.left_out_block == r2.left_out_block
+        assert r1.measured_address == r2.measured_address
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_naive_partial_search(Database(64, [1, 2]), 4)
+        with pytest.raises(ValueError):
+            run_naive_partial_search(SingleTargetDatabase(64, 1), 4, left_out_block=4)

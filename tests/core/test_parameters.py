@@ -1,0 +1,146 @@
+"""GRK parameter formulas (Section 3 equations) and integer schedules."""
+
+import math
+
+import pytest
+
+from repro.core import BlockSpec, GRKParameters, plan_schedule
+from repro.core.parameters import max_feasible_epsilon
+from repro.core.subspace import SubspaceGRK
+
+
+class TestGRKParameters:
+    def test_epsilon_zero_reduces_to_full_search(self):
+        p = GRKParameters(4, 0.0)
+        assert p.theta == 0.0
+        assert p.theta1 == 0.0
+        assert p.theta2 == 0.0
+        assert p.query_coefficient == pytest.approx(math.pi / 4)
+
+    def test_theta_definition(self):
+        p = GRKParameters(4, 0.5)
+        assert p.theta == pytest.approx(math.pi / 4)
+
+    def test_alpha_eq2(self):
+        # alpha^2 + (K-1)/K sin^2 theta == 1
+        p = GRKParameters(8, 0.3)
+        assert p.alpha_target_block**2 + (7 / 8) * p.sin_theta**2 == pytest.approx(1.0)
+
+    def test_theta1_eq3(self):
+        p = GRKParameters(5, 0.4)
+        want = math.asin(p.sin_theta / (p.alpha_target_block * math.sqrt(5)))
+        assert p.theta1 == pytest.approx(want)
+
+    def test_theta2_vanishes_at_k2(self):
+        # (K-2) factor: for K = 2 no over-rotation is needed.
+        for eps in (0.1, 0.5, 0.9, 1.0):
+            assert GRKParameters(2, eps).theta2 == 0.0
+
+    def test_k2_full_local_search(self):
+        # eps = 1, K = 2: q = arcsin(1/sqrt(2)) / sqrt(2) = pi/(4 sqrt(2)).
+        p = GRKParameters(2, 1.0)
+        assert p.query_coefficient == pytest.approx(math.pi / (4 * math.sqrt(2)))
+
+    def test_savings_coefficient(self):
+        p = GRKParameters(4, 0.6)
+        assert p.query_coefficient == pytest.approx(
+            (math.pi / 4) * (1 - p.savings_coefficient)
+        )
+
+    def test_infeasible_epsilon_raises(self):
+        with pytest.raises(ValueError, match="infeasible"):
+            _ = GRKParameters(32, 0.9).theta2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GRKParameters(1, 0.5)
+        with pytest.raises(ValueError):
+            GRKParameters(4, -0.1)
+        with pytest.raises(ValueError):
+            GRKParameters(4, 1.1)
+
+
+class TestMaxFeasibleEpsilon:
+    def test_small_k_unbounded(self):
+        assert max_feasible_epsilon(2) == 1.0
+        assert max_feasible_epsilon(3) == 1.0
+        assert max_feasible_epsilon(4) == 1.0
+
+    def test_large_k_boundary(self):
+        for k in (5, 8, 32, 100):
+            eps = max_feasible_epsilon(k)
+            assert 0 < eps < 1
+            # sin(theta) at the boundary equals 2/sqrt(K)
+            assert math.sin(eps * math.pi / 2) == pytest.approx(2 / math.sqrt(k))
+            # theta2's arcsin argument is exactly 1 there (up to arcsin's
+            # domain-edge roundoff, ~1e-8 in the angle)
+            p = GRKParameters(k, eps)
+            assert p.theta2 == pytest.approx(math.pi / 2, abs=1e-6)
+
+    def test_beyond_boundary_infeasible(self):
+        k = 16
+        eps = max_feasible_epsilon(k)
+        with pytest.raises(ValueError):
+            _ = GRKParameters(k, min(1.0, eps + 0.05)).theta2
+
+
+class TestIntegerCounts:
+    def test_l1_matches_paper_scaling(self):
+        n = 2**16
+        for eps in (0.1, 0.3, 0.5):
+            l1 = GRKParameters(4, eps).l1(n)
+            assert l1 == pytest.approx((math.pi / 4) * (1 - eps) * math.sqrt(n), abs=2.0)
+
+    def test_l2_matches_paper_scaling(self):
+        n = 2**16
+        p = GRKParameters(4, 0.5)
+        want = math.sqrt(n / 4) / 2 * (p.theta1 + p.theta2)
+        assert p.l2(n) == pytest.approx(want, abs=1.0)
+
+    def test_epsilon_one_gives_zero_l1(self):
+        assert GRKParameters(4, 1.0).l1(4096) == 0
+
+
+class TestPlanSchedule:
+    def test_valid_schedule(self):
+        s = plan_schedule(1024, 4)
+        assert s.spec == BlockSpec(1024, 4)
+        assert s.l1 >= 0 and s.l2 >= 0
+        assert s.queries == s.l1 + s.l2 + 1
+        assert s.predicted_success > 0.99
+
+    def test_refinement_beats_analytic(self):
+        refined = plan_schedule(4096, 8, refine_l2=True)
+        raw = plan_schedule(4096, 8, refine_l2=False)
+        assert refined.predicted_success >= raw.predicted_success - 1e-15
+
+    def test_explicit_epsilon(self):
+        s = plan_schedule(1024, 4, epsilon=0.5)
+        assert s.epsilon == 0.5
+        # l1 shrinks as epsilon grows
+        s2 = plan_schedule(1024, 4, epsilon=0.8)
+        assert s2.l1 < s.l1
+
+    def test_schedule_success_matches_subspace(self):
+        s = plan_schedule(2048, 4)
+        model = SubspaceGRK(s.spec)
+        assert s.predicted_success == pytest.approx(
+            model.success_probability(s.l1, s.l2), abs=1e-15
+        )
+
+    def test_coefficient_near_table_value_large_n(self):
+        from repro.core.optimizer import optimal_epsilon
+
+        n = 2**22
+        s = plan_schedule(n, 4)
+        assert s.query_coefficient == pytest.approx(
+            optimal_epsilon(4).coefficient, abs=0.01
+        )
+
+    def test_non_dyadic_instances(self):
+        s = plan_schedule(729, 3)
+        assert s.predicted_success > 0.99
+
+    def test_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            plan_schedule(64, 4, epsilon=1.5)

@@ -1,0 +1,64 @@
+"""The sure-success (certainty) variant."""
+
+import pytest
+
+from repro.core import plan_schedule, run_sure_success_partial_search
+from repro.core.sure_success import plan_sure_success
+from repro.oracle import SingleTargetDatabase
+
+
+class TestPlan:
+    def test_plan_is_target_independent(self):
+        plan = plan_sure_success(256, 4)
+        assert plan.predicted_failure < 1e-20
+        assert len(plan.phases) % 2 == 0
+
+    def test_queries_constant_overhead(self):
+        # At most a constant more than the plain schedule (paper, Theorem 1).
+        for n, k in [(256, 2), (1024, 4), (4096, 8)]:
+            base = plan_schedule(n, k)
+            plan = plan_sure_success(n, k)
+            assert plan.queries <= base.queries + 2
+
+    def test_block_size_one_rejected(self):
+        with pytest.raises(ValueError):
+            plan_sure_success(16, 16)
+
+
+class TestRun:
+    @pytest.mark.parametrize(
+        "n,k,target",
+        [(256, 2, 100), (256, 4, 0), (1024, 4, 777), (729, 3, 400), (1000, 5, 999)],
+    )
+    def test_certainty(self, n, k, target):
+        db = SingleTargetDatabase(n, target)
+        res = run_sure_success_partial_search(db, k)
+        assert res.success_probability == pytest.approx(1.0, abs=1e-9)
+        assert res.block_guess == db.reveal_target_block(k)
+
+    def test_queries_counted(self):
+        db = SingleTargetDatabase(1024, 5)
+        res = run_sure_success_partial_search(db, 4)
+        assert db.queries_used == res.queries
+
+    def test_reused_plan(self):
+        n, k = 512, 4
+        plan = plan_sure_success(n, k)
+        for target in (0, 200, 511):
+            res = run_sure_success_partial_search(
+                SingleTargetDatabase(n, target), k, plan=plan
+            )
+            assert res.success_probability == pytest.approx(1.0, abs=1e-9)
+
+    def test_plan_mismatch_rejected(self):
+        plan = plan_sure_success(256, 4)
+        with pytest.raises(ValueError):
+            run_sure_success_partial_search(SingleTargetDatabase(512, 1), 4, plan=plan)
+
+    def test_beats_plain_failure(self):
+        n, k, t = 1024, 4, 99
+        plain = __import__("repro.core", fromlist=["run_partial_search"]).run_partial_search(
+            SingleTargetDatabase(n, t), k
+        )
+        sure = run_sure_success_partial_search(SingleTargetDatabase(n, t), k)
+        assert sure.failure_probability < plain.failure_probability

@@ -1,0 +1,112 @@
+"""Closed-form Grover kinematics."""
+
+import math
+
+import pytest
+
+from repro.grover.angles import (
+    amplitude_pair_after,
+    angle_after,
+    angle_to_target_after,
+    grover_angle,
+    iterations_for_angle,
+    optimal_iterations,
+    queries_for_full_search,
+    success_probability_after,
+)
+
+
+class TestGroverAngle:
+    def test_single_marked(self):
+        assert grover_angle(4) == pytest.approx(math.asin(0.5))
+
+    def test_multi_marked(self):
+        assert grover_angle(8, 2) == pytest.approx(math.asin(0.5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            grover_angle(0)
+        with pytest.raises(ValueError):
+            grover_angle(4, 0)
+        with pytest.raises(ValueError):
+            grover_angle(4, 5)
+
+
+class TestEvolution:
+    def test_initial_success(self):
+        assert success_probability_after(64, 0) == pytest.approx(1 / 64)
+
+    def test_angle_accumulates(self):
+        beta = grover_angle(100)
+        assert angle_after(100, 3) == pytest.approx(7 * beta)
+
+    def test_angle_to_target_complement(self):
+        assert angle_to_target_after(64, 0) == pytest.approx(
+            math.pi / 2 - angle_after(64, 0)
+        )
+
+    def test_amplitude_pair_norm(self):
+        a_t, a_r = amplitude_pair_after(50, 4)
+        assert a_t**2 + 49 * a_r**2 == pytest.approx(1.0)
+
+    def test_negative_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            angle_after(10, -1)
+
+
+class TestOptimalIterations:
+    def test_n4_is_one(self):
+        # beta = pi/6: one iteration lands exactly on the target.
+        assert optimal_iterations(4) == 1
+        assert success_probability_after(4, 1) == pytest.approx(1.0)
+
+    def test_matches_pi_over_4_root_n(self):
+        for n in (2**10, 2**14, 2**18):
+            j = optimal_iterations(n)
+            assert j == pytest.approx(math.pi / 4 * math.sqrt(n), abs=1.0)
+
+    def test_neighbours_never_better(self):
+        for n in range(2, 200):
+            j = optimal_iterations(n)
+            best = success_probability_after(n, j)
+            assert best >= success_probability_after(n, j + 1) - 1e-12
+            if j > 0:
+                assert best >= success_probability_after(n, j - 1) - 1e-12
+
+    def test_high_success(self):
+        for n in (16, 64, 256, 1024):
+            assert success_probability_after(n, optimal_iterations(n)) >= 1 - 1.0 / n
+
+
+class TestIterationsForAngle:
+    def test_zero_theta_nearly_optimal(self):
+        # Stop-short semantics: never past pi/2, hence within one iteration
+        # of the success-maximising (possibly overshooting) count.
+        for n in (64, 256, 1000):
+            j = iterations_for_angle(n, 0.0)
+            assert (2 * j + 1) * grover_angle(n) <= math.pi / 2 + 1e-12
+            assert optimal_iterations(n) - j in (0, 1)
+
+    def test_stops_short(self):
+        n, theta = 4096, 0.3
+        j = iterations_for_angle(n, theta)
+        assert angle_to_target_after(n, j) >= theta - 1e-12
+        assert angle_to_target_after(n, j + 1) < theta
+
+    def test_full_theta_gives_zero(self):
+        assert iterations_for_angle(1024, math.pi / 2) == 0
+
+    def test_domain(self):
+        with pytest.raises(ValueError):
+            iterations_for_angle(64, -0.1)
+        with pytest.raises(ValueError):
+            iterations_for_angle(64, 2.0)
+
+
+class TestQueriesForFullSearch:
+    def test_value(self):
+        assert queries_for_full_search(4096) == pytest.approx(math.pi / 4 * 64)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            queries_for_full_search(0)

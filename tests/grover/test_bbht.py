@@ -1,0 +1,66 @@
+"""BBHT search with unknown marked count."""
+
+import math
+
+import pytest
+
+from repro.grover.bbht import run_bbht
+from repro.oracle import Database, SingleTargetDatabase
+
+
+class TestBBHT:
+    def test_finds_unique_target(self):
+        for seed in range(5):
+            db = SingleTargetDatabase(256, 77)
+            res = run_bbht(db, rng=seed)
+            assert res.found == 77
+
+    def test_finds_one_of_many(self):
+        marked = {3, 99, 200}
+        db = Database(256, marked)
+        res = run_bbht(db, rng=1)
+        assert res.found in marked
+
+    def test_empty_database_reports_none(self):
+        db = Database(64, [])
+        res = run_bbht(db, rng=0)
+        assert res.found is None
+        assert res.rounds > 0
+
+    def test_queries_counted(self):
+        db = SingleTargetDatabase(128, 5)
+        res = run_bbht(db, rng=2)
+        assert db.queries_used == res.queries
+
+    def test_expected_cost_order_sqrt_n(self):
+        # Average over seeds: O(sqrt(N)) with a modest constant.
+        n = 1024
+        total = 0
+        trials = 20
+        for seed in range(trials):
+            db = SingleTargetDatabase(n, (seed * 37) % n)
+            total += run_bbht(db, rng=seed).queries
+        assert total / trials < 9 * math.sqrt(n)
+
+    def test_many_marked_faster_than_one(self):
+        n, trials = 1024, 15
+        one = sum(
+            run_bbht(SingleTargetDatabase(n, 5), rng=s).queries for s in range(trials)
+        )
+        many = sum(
+            run_bbht(Database(n, range(0, n, 16)), rng=s).queries
+            for s in range(trials)
+        )
+        assert many < one
+
+    def test_growth_validation(self):
+        db = SingleTargetDatabase(64, 5)
+        with pytest.raises(ValueError):
+            run_bbht(db, growth=1.0)
+        with pytest.raises(ValueError):
+            run_bbht(db, growth=1.5)
+
+    def test_max_rounds_cap(self):
+        db = Database(64, [])
+        res = run_bbht(db, rng=0, max_rounds=3)
+        assert res.found is None and res.rounds == 3

@@ -1,0 +1,60 @@
+"""Long's zero-failure search: exact success everywhere."""
+
+import pytest
+
+from repro.grover.exact import long_phase, minimum_iterations, run_exact_grover
+from repro.grover.angles import optimal_iterations
+from repro.oracle import SingleTargetDatabase
+
+
+class TestMinimumIterations:
+    def test_close_to_standard_optimum(self):
+        for n in (16, 64, 256, 1024, 4096):
+            j = minimum_iterations(n)
+            assert abs(j - optimal_iterations(n)) <= 1
+
+    def test_small_n(self):
+        assert minimum_iterations(4) == 1
+
+
+class TestLongPhase:
+    def test_phase_in_range(self):
+        for n in (8, 64, 512):
+            phi = long_phase(n, minimum_iterations(n) + 1)
+            assert 0.0 < phi <= 3.1416
+
+    def test_more_iterations_smaller_phase(self):
+        n = 256
+        base = minimum_iterations(n) + 1
+        assert long_phase(n, base + 5) < long_phase(n, base)
+
+    def test_too_few_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            long_phase(1 << 12, 3)
+        with pytest.raises(ValueError):
+            long_phase(64, 0)
+
+
+class TestRunExactGrover:
+    @pytest.mark.parametrize("n,target", [(16, 3), (64, 0), (256, 255), (100, 37), (1024, 500)])
+    def test_certainty(self, n, target):
+        db = SingleTargetDatabase(n, target)
+        res = run_exact_grover(db)
+        assert res.success_probability == pytest.approx(1.0, abs=1e-12)
+        assert res.best_guess == target
+
+    def test_queries_counted(self):
+        db = SingleTargetDatabase(256, 1)
+        res = run_exact_grover(db)
+        assert db.queries_used == res.queries == res.iterations
+
+    def test_constant_overhead(self):
+        # The paper: certainty costs at most a constant more than standard.
+        for n in (64, 256, 1024, 4096):
+            res = run_exact_grover(SingleTargetDatabase(n, 0))
+            assert res.iterations <= optimal_iterations(n) + 2
+
+    def test_extra_iterations_still_certain(self):
+        n = 128
+        res = run_exact_grover(SingleTargetDatabase(n, 5), minimum_iterations(n) + 4)
+        assert res.success_probability == pytest.approx(1.0, abs=1e-12)

@@ -1,0 +1,69 @@
+"""The standard search runner against closed forms and the oracle counter."""
+
+import numpy as np
+import pytest
+
+from repro.grover import run_grover
+from repro.grover.angles import optimal_iterations, success_probability_after
+from repro.oracle import SingleTargetDatabase
+
+
+class TestRunGrover:
+    def test_finds_target(self):
+        db = SingleTargetDatabase(256, 99)
+        res = run_grover(db)
+        assert res.best_guess == 99
+        assert res.success_probability > 0.99
+
+    def test_queries_equal_iterations(self):
+        db = SingleTargetDatabase(64, 1)
+        res = run_grover(db, 5)
+        assert res.queries == 5 == res.iterations
+        assert db.queries_used == 5
+
+    def test_matches_closed_form(self):
+        for n, its in [(64, 3), (128, 8), (100, 7)]:
+            db = SingleTargetDatabase(n, n // 2)
+            res = run_grover(db, its)
+            assert res.success_probability == pytest.approx(
+                success_probability_after(n, its), abs=1e-12
+            )
+
+    def test_default_iterations_optimal(self):
+        db = SingleTargetDatabase(1024, 7)
+        res = run_grover(db)
+        assert res.iterations == optimal_iterations(1024)
+
+    def test_overshoot_reduces_success(self):
+        n = 256
+        opt = optimal_iterations(n)
+        best = run_grover(SingleTargetDatabase(n, 0), opt).success_probability
+        over = run_grover(SingleTargetDatabase(n, 0), opt + 4).success_probability
+        assert over < best  # Section 2.1's drift past the target
+
+    def test_custom_initial_state(self):
+        n = 16
+        db = SingleTargetDatabase(n, 3)
+        initial = np.zeros(n)
+        initial[3] = 1.0
+        res = run_grover(db, 0, initial=initial)
+        assert res.success_probability == pytest.approx(1.0)
+
+    def test_initial_not_mutated(self):
+        n = 16
+        initial = np.full(n, 1 / 4.0)
+        run_grover(SingleTargetDatabase(n, 3), 2, initial=initial)
+        np.testing.assert_allclose(initial, 1 / 4.0)
+
+    def test_initial_shape_checked(self):
+        with pytest.raises(ValueError):
+            run_grover(SingleTargetDatabase(16, 3), 1, initial=np.ones(4) / 2)
+
+    def test_negative_iterations(self):
+        with pytest.raises(ValueError):
+            run_grover(SingleTargetDatabase(16, 3), -1)
+
+    def test_measurement_sampling(self):
+        res = run_grover(SingleTargetDatabase(64, 10))
+        samples = res.measure(rng=0, size=200)
+        assert np.mean(samples == 10) > 0.9

@@ -1,0 +1,74 @@
+"""The O(1) two-level model vs the full simulator and closed forms."""
+
+import math
+
+import pytest
+
+from repro.grover import TwoLevelGrover, run_grover
+from repro.grover.angles import (
+    angle_to_target_after,
+    optimal_iterations,
+    success_probability_after,
+)
+from repro.oracle import SingleTargetDatabase
+
+
+class TestTwoLevelGrover:
+    def test_initial_state(self):
+        m = TwoLevelGrover(64)
+        assert m.success_probability() == pytest.approx(1 / 64)
+        assert m.per_address_rest_amplitude() == pytest.approx(1 / 8)
+
+    def test_matches_closed_form(self):
+        m = TwoLevelGrover(256)
+        for j in range(1, 15):
+            m.step()
+            assert m.success_probability() == pytest.approx(
+                success_probability_after(256, j), abs=1e-12
+            )
+
+    def test_matches_full_simulator(self):
+        n, t, its = 128, 77, 8
+        m = TwoLevelGrover(n).step(its)
+        res = run_grover(SingleTargetDatabase(n, t), its)
+        assert m.success_probability() == pytest.approx(
+            res.success_probability, abs=1e-12
+        )
+        assert m.per_address_rest_amplitude() == pytest.approx(
+            float(res.amplitudes[0]), abs=1e-12
+        )
+
+    def test_bulk_step_equals_single_steps(self):
+        a = TwoLevelGrover(1000).step(17)
+        b = TwoLevelGrover(1000)
+        for _ in range(17):
+            b.step()
+        assert a.success_probability() == pytest.approx(b.success_probability(), abs=1e-12)
+
+    def test_huge_n(self):
+        n = 2**80
+        m = TwoLevelGrover(n)
+        its = round(math.pi / 4 * math.sqrt(n))
+        m.step(its)
+        assert m.success_probability() > 1 - 1e-10
+        assert m.iterations == its
+
+    def test_angle_to_target(self):
+        m = TwoLevelGrover(4096).step(10)
+        assert m.angle_to_target() == pytest.approx(
+            angle_to_target_after(4096, 10), abs=1e-12
+        )
+
+    def test_drift_past_target(self):
+        n = 256
+        opt = optimal_iterations(n)
+        m = TwoLevelGrover(n).step(opt)
+        peak = m.success_probability()
+        m.step(5)
+        assert m.success_probability() < peak
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoLevelGrover(1)
+        with pytest.raises(ValueError):
+            TwoLevelGrover(16).step(-1)

@@ -1,0 +1,74 @@
+"""Theorem 2 bound values and series accounting."""
+
+import math
+
+import pytest
+
+from repro.lowerbounds.partial import (
+    implied_alpha_lower_bound,
+    lower_bound_coefficient,
+    lower_bound_queries,
+    reduction_query_bound,
+    reduction_series,
+)
+
+
+class TestLowerBoundCoefficient:
+    @pytest.mark.parametrize(
+        "k,value",
+        [(2, 0.230), (3, 0.332), (4, 0.393), (5, 0.434), (8, 0.508), (32, 0.647)],
+    )
+    def test_paper_table(self, k, value):
+        assert lower_bound_coefficient(k) == pytest.approx(value, abs=5e-4)
+
+    def test_k_to_infinity_approaches_full_search(self):
+        assert lower_bound_coefficient(10**8) == pytest.approx(math.pi / 4, rel=1e-3)
+
+    def test_queries_scaling(self):
+        assert lower_bound_queries(4096, 4) == pytest.approx(
+            lower_bound_coefficient(4) * 64
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            lower_bound_coefficient(1)
+        with pytest.raises(ValueError):
+            lower_bound_queries(1, 4)
+
+
+class TestReductionSeries:
+    def test_levels(self):
+        series = reduction_series(4096, 4)
+        assert series[0] == 64.0
+        assert series[1] == 32.0
+        assert len(series) == 6  # 4096, 1024, 256, 64, 16, 4
+
+    def test_cutoff(self):
+        series = reduction_series(4096, 4, cutoff=64)
+        assert len(series) == 3  # stops once size <= 64
+
+    def test_sum_below_closed_form(self):
+        n, k = 4096, 4
+        total = sum(reduction_series(n, k))
+        assert total <= reduction_query_bound(1.0, n, k)
+
+    def test_closed_form_value(self):
+        assert reduction_query_bound(0.5, 1024, 4) == pytest.approx(0.5 * 2 * 32)
+
+    def test_implied_alpha(self):
+        assert implied_alpha_lower_bound(4) == pytest.approx(
+            (math.pi / 4) * 0.5
+        )
+        # Chaining: the implied bound equals the table's coefficient.
+        for k in (2, 3, 8, 32):
+            assert implied_alpha_lower_bound(k) == pytest.approx(
+                lower_bound_coefficient(k)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reduction_series(0, 4)
+        with pytest.raises(ValueError):
+            reduction_query_bound(1.0, 64, 1)
+        with pytest.raises(ValueError):
+            implied_alpha_lower_bound(1)

@@ -1,0 +1,136 @@
+"""Appendix B machinery: hybrids, the three lemmas, the certificate."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.grover.angles import optimal_iterations
+from repro.lowerbounds.zalka import (
+    GroverQueryAlgorithm,
+    RandomizedQueryAlgorithm,
+    analyze_grover_hybrids,
+    analyze_hybrids,
+    state_angle,
+    zalka_bound,
+)
+
+
+class TestStateAngle:
+    def test_identical(self):
+        v = np.array([1.0, 0.0])
+        assert state_angle(v, v) == 0.0
+
+    def test_orthogonal(self):
+        assert state_angle(np.array([1.0, 0.0]), np.array([0.0, 1.0])) == pytest.approx(
+            math.pi / 2
+        )
+
+    def test_phase_invariant(self):
+        # arccos near 1 amplifies float error to ~sqrt(eps) ~ 1e-8.
+        v = np.array([1.0, 1.0]) / math.sqrt(2)
+        assert state_angle(v, -v) == pytest.approx(0.0, abs=1e-7)
+
+    def test_triangle_inequality(self, rng):
+        for _ in range(20):
+            a, b, c = (x / np.linalg.norm(x) for x in rng.standard_normal((3, 6)))
+            assert state_angle(a, c) <= state_angle(a, b) + state_angle(b, c) + 1e-12
+
+
+class TestQueryAlgorithm:
+    def test_grover_full_suffix_equals_real_run(self):
+        from repro.grover import run_grover
+        from repro.oracle import SingleTargetDatabase
+
+        n, t, its = 32, 9, 4
+        alg = GroverQueryAlgorithm(n, its)
+        hybrid = alg.run_hybrid(t, its)
+        res = run_grover(SingleTargetDatabase(n, t), its)
+        np.testing.assert_allclose(hybrid, res.amplitudes, atol=1e-12)
+
+    def test_zero_suffix_is_identity_run(self):
+        alg = GroverQueryAlgorithm(16, 3)
+        np.testing.assert_allclose(
+            alg.run_hybrid(5, 0), alg.identity_run_states()[-1], atol=1e-12
+        )
+
+    def test_identity_run_on_grover_stays_uniform(self):
+        # Diffusion fixes the uniform state, so phi_t is uniform for all t.
+        alg = GroverQueryAlgorithm(16, 5)
+        for state in alg.identity_run_states():
+            np.testing.assert_allclose(state, 1 / 4.0, atol=1e-12)
+
+    def test_suffix_range_validated(self):
+        alg = GroverQueryAlgorithm(16, 3)
+        with pytest.raises(ValueError):
+            alg.run_hybrid(0, 4)
+
+
+class TestLemmas:
+    @pytest.fixture(scope="class")
+    def grover_analysis(self):
+        n = 64
+        return analyze_grover_hybrids(n, optimal_iterations(n))
+
+    def test_low_error(self, grover_analysis):
+        assert grover_analysis.error < 0.05
+
+    def test_lemma2_holds(self, grover_analysis):
+        assert grover_analysis.lemma2_max_violation() <= 1e-9
+
+    def test_lemma3_holds(self, grover_analysis):
+        assert grover_analysis.lemma3_max_violation() <= 1e-9
+
+    def test_lemma1_scale(self, grover_analysis):
+        n = grover_analysis.n_items
+        # sum_y theta(phi_T, phi_T^y) ~ (pi/2) N for a good algorithm.
+        assert grover_analysis.lemma1_lhs >= math.pi / 2 * n * 0.75
+
+    def test_lemmas_hold_for_random_algorithms(self):
+        # Lemmas 2 and 3 are algorithm-independent facts.
+        analysis = analyze_hybrids(RandomizedQueryAlgorithm(24, 4, seed=5))
+        assert analysis.lemma2_max_violation() <= 1e-9
+        assert analysis.lemma3_max_violation() <= 1e-9
+
+    def test_certificate_below_true_queries(self, grover_analysis):
+        assert grover_analysis.certified_lower_bound <= grover_analysis.n_queries
+
+    def test_certificate_is_tight_for_grover(self, grover_analysis):
+        # Grover is optimal, so the certificate lands close to T.
+        ratio = grover_analysis.certified_lower_bound / grover_analysis.n_queries
+        assert ratio > 0.8
+
+    def test_zero_query_algorithm(self):
+        analysis = analyze_hybrids(GroverQueryAlgorithm(16, 0))
+        assert analysis.certified_lower_bound == 0.0
+        assert analysis.lemma2_max_violation() == 0.0
+
+
+class TestZalkaBound:
+    def test_zero_error_large_n(self):
+        b = zalka_bound(2**20, 0.0)
+        assert b.value == pytest.approx(
+            math.pi / 4 * 2**10 * (1 - 2**-5), rel=1e-12
+        )
+
+    def test_monotone_in_error(self):
+        assert zalka_bound(1024, 0.0).value > zalka_bound(1024, 0.1).value
+
+    def test_clipped_at_zero(self):
+        assert zalka_bound(4, 1.0).value == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zalka_bound(1, 0.0)
+        with pytest.raises(ValueError):
+            zalka_bound(64, 1.5)
+
+    def test_truncated_grover_obeys_bound(self):
+        # Run Grover with too few iterations; its (T, error) pair must sit
+        # above the explicit bound curve.
+        n = 256
+        for frac in (0.5, 0.75, 1.0):
+            t = int(optimal_iterations(n) * frac)
+            analysis = analyze_grover_hybrids(n, t)
+            bound = zalka_bound(n, analysis.error)
+            assert t >= bound.value - 1e-9

@@ -1,0 +1,26 @@
+"""Unit tests for QueryCounter."""
+
+import pytest
+
+from repro.oracle import QueryCounter
+
+
+class TestQueryCounter:
+    def test_starts_at_zero(self):
+        assert QueryCounter().count == 0
+
+    def test_increment(self):
+        c = QueryCounter()
+        assert c.increment() == 1
+        assert c.increment(5) == 6
+        assert c.count == 6
+
+    def test_cannot_decrease(self):
+        c = QueryCounter()
+        with pytest.raises(ValueError):
+            c.increment(-1)
+
+    def test_checkpoint_alias(self):
+        c = QueryCounter()
+        c.increment(3)
+        assert c.checkpoint() == 3

@@ -1,0 +1,78 @@
+"""Unit tests for the classical database layer."""
+
+import pytest
+
+from repro.oracle import Database, QueryCounter, SingleTargetDatabase
+
+
+class TestDatabase:
+    def test_query_counts(self):
+        db = Database(10, [3])
+        assert db.queries_used == 0
+        assert db.query(3) == 1
+        assert db.query(4) == 0
+        assert db.queries_used == 2
+
+    def test_query_range(self):
+        db = Database(10, [3])
+        with pytest.raises(ValueError):
+            db.query(10)
+
+    def test_reveal_uncounted(self):
+        db = Database(10, [3, 7])
+        assert db.reveal_marked() == frozenset({3, 7})
+        assert db.queries_used == 0
+
+    def test_marked_validation(self):
+        with pytest.raises(ValueError):
+            Database(10, [10])
+        with pytest.raises(ValueError):
+            Database(0, [])
+
+    def test_shared_counter(self):
+        counter = QueryCounter()
+        a = Database(4, [0], counter=counter)
+        b = Database(4, [1], counter=counter)
+        a.query(0)
+        b.query(0)
+        assert counter.count == 2
+
+
+class TestRestricted:
+    def test_relabels_marked(self):
+        db = Database(16, [10])
+        sub = db.restricted(range(8, 16))
+        assert sub.n_items == 8
+        assert sub.reveal_marked() == frozenset({2})
+
+    def test_marked_outside_dropped(self):
+        db = Database(16, [2])
+        sub = db.restricted(range(8, 16))
+        assert sub.reveal_marked() == frozenset()
+
+    def test_counter_shared_with_parent(self):
+        db = Database(16, [10])
+        sub = db.restricted(range(8, 16))
+        sub.query(0)
+        assert db.queries_used == 1
+
+    def test_duplicate_addresses_rejected(self):
+        db = Database(8, [0])
+        with pytest.raises(ValueError):
+            db.restricted([1, 1, 2])
+
+
+class TestSingleTarget:
+    def test_reveal_target(self):
+        db = SingleTargetDatabase(64, 37)
+        assert db.reveal_target() == 37
+        assert db.reveal_marked() == frozenset({37})
+
+    def test_reveal_target_block(self):
+        db = SingleTargetDatabase(64, 37)
+        assert db.reveal_target_block(4) == 2  # 37 // 16
+
+    def test_query_semantics(self):
+        db = SingleTargetDatabase(8, 5)
+        assert db.query(5) == 1
+        assert db.query(0) == 0

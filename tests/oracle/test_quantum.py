@@ -1,0 +1,86 @@
+"""Unit tests for the quantum oracle layer."""
+
+import numpy as np
+import pytest
+
+from repro.oracle import BitFlipOracle, PhaseOracle, SingleTargetDatabase, Database
+
+
+class TestPhaseOracle:
+    def test_flips_target_and_counts(self):
+        db = SingleTargetDatabase(8, 5)
+        oracle = PhaseOracle(db)
+        amps = np.full(8, 1 / np.sqrt(8))
+        oracle.apply(amps)
+        assert amps[5] == pytest.approx(-1 / np.sqrt(8))
+        assert db.queries_used == 1
+
+    def test_multi_marked(self):
+        db = Database(8, [1, 6])
+        amps = np.full(8, 1 / np.sqrt(8))
+        PhaseOracle(db).apply(amps)
+        assert amps[1] < 0 and amps[6] < 0 and amps[0] > 0
+
+    def test_phase_parameter(self):
+        db = SingleTargetDatabase(4, 2)
+        amps = np.full(4, 0.5, dtype=complex)
+        PhaseOracle(db).apply(amps, phase=np.pi / 2)
+        assert amps[2] == pytest.approx(0.5j)
+
+    def test_shape_mismatch(self):
+        db = SingleTargetDatabase(8, 5)
+        with pytest.raises(ValueError):
+            PhaseOracle(db).apply(np.zeros(4))
+
+    def test_batched_counts_once(self):
+        db = SingleTargetDatabase(8, 5)
+        batch = np.full((3, 8), 1 / np.sqrt(8))
+        PhaseOracle(db).apply(batch)
+        assert db.queries_used == 1
+        assert np.all(batch[:, 5] < 0)
+
+
+class TestBitFlipOracle:
+    def test_moves_target_out(self):
+        db = SingleTargetDatabase(8, 5)
+        branches = np.zeros((2, 8))
+        branches[0] = np.full(8, 1 / np.sqrt(8))
+        BitFlipOracle(db).apply(branches)
+        assert branches[0, 5] == 0.0
+        assert branches[1, 5] == pytest.approx(1 / np.sqrt(8))
+        assert db.queries_used == 1
+
+    def test_involution(self):
+        db = SingleTargetDatabase(8, 5)
+        branches = np.zeros((2, 8))
+        branches[0] = np.full(8, 1 / np.sqrt(8))
+        oracle = BitFlipOracle(db)
+        oracle.apply(oracle.apply(branches))
+        assert branches[0, 5] == pytest.approx(1 / np.sqrt(8))
+        assert db.queries_used == 2
+
+    def test_non_target_untouched(self):
+        db = SingleTargetDatabase(8, 5)
+        branches = np.zeros((2, 8))
+        branches[0] = np.full(8, 1 / np.sqrt(8))
+        before = branches[0, [0, 1, 2, 3, 4, 6, 7]].copy()
+        BitFlipOracle(db).apply(branches)
+        np.testing.assert_allclose(branches[0, [0, 1, 2, 3, 4, 6, 7]], before)
+
+    def test_shape_validation(self):
+        db = SingleTargetDatabase(8, 5)
+        with pytest.raises(ValueError):
+            BitFlipOracle(db).apply(np.zeros(8))
+        with pytest.raises(ValueError):
+            BitFlipOracle(db).apply(np.zeros((2, 4)))
+
+    def test_matches_dense_move_out(self):
+        from repro.statevector.dense import move_out_matrix
+
+        db = SingleTargetDatabase(4, 1)
+        branches = np.zeros((2, 4))
+        branches[0] = [0.1, 0.2, 0.3, np.sqrt(1 - 0.14)]
+        flat_before = branches.reshape(-1).copy()
+        BitFlipOracle(db).apply(branches)
+        want = move_out_matrix(4, 1) @ flat_before
+        np.testing.assert_allclose(branches.reshape(-1), want, atol=1e-12)

@@ -1,0 +1,87 @@
+"""Property-based tests of the GRK algorithm across random instances."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import plan_schedule, run_partial_search
+from repro.core.blockspec import BlockSpec
+from repro.core.subspace import SubspaceGRK
+from repro.oracle import SingleTargetDatabase
+
+
+def instances():
+    """Strategy: valid (n_items, n_blocks, target) triples, simulator-sized."""
+
+    def build(params):
+        block_size, n_blocks, target_frac = params
+        n = block_size * n_blocks
+        target = min(n - 1, int(target_frac * n))
+        return n, n_blocks, target
+
+    return st.tuples(
+        st.integers(min_value=4, max_value=64),   # block size
+        st.integers(min_value=2, max_value=12),   # K
+        st.floats(0.0, 1.0, allow_nan=False),     # target position
+    ).map(build)
+
+
+@settings(max_examples=40, deadline=None)
+@given(inst=instances())
+def test_partial_search_high_success_everywhere(inst):
+    n, k, target = inst
+    res = run_partial_search(SingleTargetDatabase(n, target), k)
+    assert res.block_guess == target // (n // k)
+    # The paper promises 1 - O(1/sqrt(N)); integer-exact zeroing does better,
+    # but assert only the paper's budget with a generous constant.
+    assert res.success_probability >= 1 - 6.0 / math.sqrt(n)
+
+
+@settings(max_examples=40, deadline=None)
+@given(inst=instances())
+def test_queries_strictly_below_full_search_budget(inst):
+    n, k, target = inst
+    res = run_partial_search(SingleTargetDatabase(n, target), k)
+    # Full search needs ~ (pi/4) sqrt(N); partial must not exceed it (+1 for
+    # the Step 3 query at tiny N where the saving is sub-integer).
+    assert res.queries <= math.pi / 4 * math.sqrt(n) + 1
+
+
+@settings(max_examples=40, deadline=None)
+@given(inst=instances())
+def test_subspace_model_agrees_with_simulator(inst):
+    n, k, target = inst
+    schedule = plan_schedule(n, k)
+    res = run_partial_search(SingleTargetDatabase(n, target), k, schedule=schedule)
+    model = SubspaceGRK(BlockSpec(n, k))
+    assert abs(
+        model.success_probability(schedule.l1, schedule.l2) - res.success_probability
+    ) < 1e-10
+
+
+@settings(max_examples=40, deadline=None)
+@given(inst=instances())
+def test_success_independent_of_target(inst):
+    """The schedule's success probability is the same for every target —
+    the dynamics only see the symmetric coordinates."""
+    n, k, _ = inst
+    schedule = plan_schedule(n, k)
+    probs = set()
+    for target in (0, n // 2, n - 1):
+        res = run_partial_search(SingleTargetDatabase(n, target), k, schedule=schedule)
+        probs.add(round(res.success_probability, 10))
+    assert len(probs) == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(inst=instances(), eps=st.floats(0.0, 0.6))
+def test_trace_norms_all_one(inst, eps):
+    n, k, target = inst
+    res = run_partial_search(
+        SingleTargetDatabase(n, target), k, epsilon=eps, trace=True
+    )
+    for stage in res.traces:
+        total = float(np.sum(np.abs(stage.amplitudes) ** 2))
+        assert abs(total - 1.0) < 1e-9, stage.label

@@ -1,0 +1,74 @@
+"""Property-based tests of the circuit layer's algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit, Gate, run_circuit
+
+SELF_INVERSE = ("H", "X", "Z")
+
+
+def random_gates(n_qubits: int):
+    singles = st.sampled_from(SELF_INVERSE).flatmap(
+        lambda name: st.integers(0, n_qubits - 1).map(lambda q: Gate(name, (q,)))
+    )
+    multis = st.lists(
+        st.integers(0, n_qubits - 1), min_size=1, max_size=n_qubits, unique=True
+    ).map(lambda qs: Gate("MCZ", tuple(qs)))
+    return st.one_of(singles, multis)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_qubits=st.integers(2, 5),
+    data=st.data(),
+)
+def test_random_circuits_preserve_norm(n_qubits, data):
+    gates = data.draw(st.lists(random_gates(n_qubits), max_size=12))
+    state = run_circuit(Circuit(n_qubits, gates))
+    assert abs(np.linalg.norm(state) - 1.0) < 1e-10
+
+
+@settings(max_examples=40, deadline=None)
+@given(n_qubits=st.integers(1, 5), data=st.data())
+def test_self_inverse_gates(n_qubits, data):
+    gate = data.draw(
+        st.sampled_from(SELF_INVERSE).flatmap(
+            lambda name: st.integers(0, n_qubits - 1).map(lambda q: Gate(name, (q,)))
+        )
+    )
+    circ = Circuit(n_qubits, [gate, gate])
+    state = run_circuit(circ)
+    want = np.zeros(1 << n_qubits)
+    want[0] = 1.0
+    np.testing.assert_allclose(state, want, atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_qubits=st.integers(2, 5), data=st.data())
+def test_mcz_diagonal_and_involutive(n_qubits, data):
+    qs = tuple(
+        data.draw(
+            st.lists(
+                st.integers(0, n_qubits - 1), min_size=1, max_size=n_qubits, unique=True
+            )
+        )
+    )
+    start = np.random.default_rng(0).standard_normal(1 << n_qubits)
+    start /= np.linalg.norm(start)
+    once = run_circuit(Circuit(n_qubits, [Gate("MCZ", qs)]), initial=start)
+    # diagonal: magnitudes unchanged
+    np.testing.assert_allclose(np.abs(once), np.abs(start), atol=1e-12)
+    twice = run_circuit(Circuit(n_qubits, [Gate("MCZ", qs)]), initial=once)
+    np.testing.assert_allclose(twice, start.astype(complex), atol=1e-12)
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_qubits=st.integers(2, 4), data=st.data())
+def test_compose_equals_sequential_execution(n_qubits, data):
+    a = Circuit(n_qubits, data.draw(st.lists(random_gates(n_qubits), max_size=6)))
+    b = Circuit(n_qubits, data.draw(st.lists(random_gates(n_qubits), max_size=6)))
+    composed = run_circuit(a.compose(b))
+    sequential = run_circuit(b, initial=run_circuit(a))
+    np.testing.assert_allclose(composed, sequential, atol=1e-12)

@@ -1,0 +1,54 @@
+"""Property-based tests: classical searches are zero-error and bounded."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classical import (
+    deterministic_full_search,
+    deterministic_partial_search,
+    expected_queries_deterministic_partial,
+    randomized_full_search,
+    randomized_partial_search,
+)
+from repro.oracle import SingleTargetDatabase
+
+
+def partial_instances():
+    return st.tuples(
+        st.integers(min_value=2, max_value=20),   # block size
+        st.integers(min_value=2, max_value=10),   # K
+        st.floats(0.0, 1.0),
+    ).map(lambda p: (p[0] * p[1], p[1], min(p[0] * p[1] - 1, int(p[2] * p[0] * p[1]))))
+
+
+@settings(max_examples=50, deadline=None)
+@given(inst=partial_instances(), seed=st.integers(0, 2**31))
+def test_randomized_partial_zero_error_and_bounded(inst, seed):
+    n, k, target = inst
+    res = randomized_partial_search(SingleTargetDatabase(n, target), k, rng=seed)
+    assert res.correct
+    assert 1 <= res.queries <= expected_queries_deterministic_partial(n, k)
+
+
+@settings(max_examples=50, deadline=None)
+@given(inst=partial_instances())
+def test_deterministic_partial_zero_error_and_bounded(inst):
+    n, k, target = inst
+    res = deterministic_partial_search(SingleTargetDatabase(n, target), k)
+    assert res.correct
+    assert res.queries <= n * (1 - 1 / k)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=128),
+    frac=st.floats(0.0, 1.0),
+    seed=st.integers(0, 2**31),
+)
+def test_full_searches_zero_error(n, frac, seed):
+    target = min(n - 1, int(frac * n))
+    det = deterministic_full_search(SingleTargetDatabase(n, target))
+    rand = randomized_full_search(SingleTargetDatabase(n, target), rng=seed)
+    assert det.correct and rand.correct
+    assert det.queries <= n - 1
+    assert rand.queries <= n - 1

@@ -1,0 +1,66 @@
+"""Property-based tests: the 3D subspace model's invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blockspec import BlockSpec
+from repro.core.subspace import SubspaceGRK
+
+
+def specs():
+    return st.tuples(
+        st.integers(min_value=2, max_value=128),  # block size
+        st.integers(min_value=2, max_value=32),   # K
+    ).map(lambda p: BlockSpec(p[0] * p[1], p[1]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=specs(), l1=st.integers(0, 200), l2=st.integers(0, 200))
+def test_norm_conserved_through_all_stages(spec, l1, l2):
+    model = SubspaceGRK(spec)
+    assert abs(model.after_step1(l1).norm_squared(spec) - 1.0) < 1e-9
+    assert abs(model.after_step2(l1, l2).norm_squared(spec) - 1.0) < 1e-9
+    final = model.final(l1, l2)
+    total = final.success_probability(spec) + final.failure_probability(spec)
+    assert abs(total - 1.0) < 1e-9
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=specs(), l1=st.integers(0, 200), l2=st.integers(0, 200))
+def test_step2_conserves_block_masses(spec, l1, l2):
+    model = SubspaceGRK(spec)
+    before = model.after_step1(l1)
+    after = model.after_step2(l1, l2)
+    assert abs(
+        before.target_block_mass(spec) - after.target_block_mass(spec)
+    ) < 1e-9
+    assert abs(before.outside - after.outside) < 1e-12
+
+
+@settings(max_examples=60, deadline=None)
+@given(spec=specs(), l1=st.integers(0, 200))
+def test_step1_alpha_matches_eq2(spec, l1):
+    """Eq. (2): target-block mass after Step 1 is alpha_yt^2 with
+    sin(theta) read off the simulated state."""
+    import math
+
+    model = SubspaceGRK(spec)
+    c = model.after_step1(l1)
+    n, k = spec.n_items, spec.n_blocks
+    # The paper's sin(theta): per-address non-target amplitude * sqrt(N).
+    sin_theta = c.outside * math.sqrt(n)
+    alpha_sq = 1.0 - ((k - 1) / k) * sin_theta**2
+    # Exact finite-N correction: the paper drops O(1/N) terms, so compare
+    # with a 1/sqrt(N)-scaled tolerance.
+    assert abs(c.target_block_mass(spec) - alpha_sq) < 3.0 / math.sqrt(n) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(spec=specs())
+def test_planned_schedule_failure_small(spec):
+    from repro.core.parameters import plan_schedule
+
+    schedule = plan_schedule(spec.n_items, spec.n_blocks)
+    model = SubspaceGRK(spec)
+    failure = model.failure_probability(schedule.l1, schedule.l2)
+    assert failure <= 6.0 / spec.n_items**0.5

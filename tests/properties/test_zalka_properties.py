@@ -1,0 +1,62 @@
+"""Property-based tests: Lemmas 2 and 3 hold for *arbitrary* algorithms.
+
+The Appendix B lemmas are facts about any quantum query algorithm, not just
+Grover — so we fuzz over random-unitary algorithms and random instance
+sizes.  (Lemma 1 needs low error, so it is exercised on Grover only, in the
+unit tests.)
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lowerbounds.zalka import (
+    RandomizedQueryAlgorithm,
+    analyze_hybrids,
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=24),
+    t=st.integers(min_value=1, max_value=5),
+    seed=st.integers(0, 2**31),
+)
+def test_lemma2_universal(n, t, seed):
+    analysis = analyze_hybrids(RandomizedQueryAlgorithm(n, t, seed=seed))
+    assert analysis.lemma2_max_violation() <= 1e-8
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=24),
+    t=st.integers(min_value=1, max_value=5),
+    seed=st.integers(0, 2**31),
+)
+def test_lemma3_universal(n, t, seed):
+    analysis = analyze_hybrids(RandomizedQueryAlgorithm(n, t, seed=seed))
+    assert analysis.lemma3_max_violation() <= 1e-8
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=20),
+    t=st.integers(min_value=1, max_value=4),
+    seed=st.integers(0, 2**31),
+)
+def test_certificate_never_exceeds_true_queries(n, t, seed):
+    """The certified bound is sound: T_cert <= T for every algorithm."""
+    analysis = analyze_hybrids(RandomizedQueryAlgorithm(n, t, seed=seed))
+    assert analysis.certified_lower_bound <= analysis.n_queries + 1e-9
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=16),
+    t=st.integers(min_value=1, max_value=4),
+    seed=st.integers(0, 2**31),
+)
+def test_p_matrix_rows_are_distributions(n, t, seed):
+    analysis = analyze_hybrids(RandomizedQueryAlgorithm(n, t, seed=seed))
+    sums = analysis.p_matrix.sum(axis=1)
+    np.testing.assert_allclose(sums, 1.0, atol=1e-9)

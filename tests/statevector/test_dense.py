@@ -1,0 +1,76 @@
+"""Unitarity and structure of every dense mirror."""
+
+import numpy as np
+import pytest
+
+from repro.statevector import dense
+
+
+class TestUnitarity:
+    @pytest.mark.parametrize(
+        "mat",
+        [
+            dense.phase_flip_matrix(12, 5),
+            dense.phase_flip_matrix(12, [1, 2, 9]),
+            dense.phase_rotate_matrix(12, 5, 0.9),
+            dense.diffusion_matrix(12),
+            dense.diffusion_matrix(12, 1.3),
+            dense.block_diffusion_matrix(12, 3),
+            dense.block_diffusion_matrix(12, 3, 2.1),
+            dense.masked_diffusion_matrix(12, np.arange(12) < 7),
+            dense.masked_diffusion_matrix(12, np.zeros(12, dtype=bool)),
+            dense.controlled_diffusion_with_ancilla(8),
+            dense.move_out_matrix(8, 3),
+            dense.grover_matrix(12, 4),
+            dense.block_grover_matrix(12, 4, 4),
+        ],
+        ids=lambda m: f"shape{m.shape}",
+    )
+    def test_all_unitary(self, mat):
+        assert dense.is_unitary(mat)
+
+    def test_is_unitary_rejects_non_unitary(self):
+        assert not dense.is_unitary(np.ones((3, 3)))
+
+
+class TestStructure:
+    def test_diffusion_eigenvalues(self):
+        # 2|psi0><psi0| - I has eigenvalue +1 (once) and -1 (N-1 times).
+        vals = np.linalg.eigvalsh(dense.diffusion_matrix(10))
+        assert np.isclose(vals.max(), 1.0)
+        assert np.sum(np.isclose(vals, -1.0)) == 9
+
+    def test_block_diffusion_is_kron(self):
+        got = dense.block_diffusion_matrix(12, 3)
+        want = np.kron(np.eye(3), dense.diffusion_matrix(4))
+        np.testing.assert_allclose(got, want, atol=1e-14)
+
+    def test_move_out_swaps_target_rows(self):
+        mat = dense.move_out_matrix(4, 2)
+        state = np.zeros(8)
+        state[2] = 1.0  # (b=0, x=2)
+        out = mat @ state
+        assert out[4 + 2] == 1.0 and out[2] == 0.0
+
+    def test_controlled_diffusion_blocks(self):
+        n = 6
+        mat = dense.controlled_diffusion_with_ancilla(n)
+        np.testing.assert_allclose(mat[:n, :n], dense.diffusion_matrix(n), atol=1e-14)
+        np.testing.assert_allclose(mat[n:, n:], np.eye(n), atol=1e-14)
+        assert np.all(mat[:n, n:] == 0) and np.all(mat[n:, :n] == 0)
+
+    def test_reflection_phase_pi(self):
+        axis = np.zeros(5)
+        axis[1] = 1.0
+        mat = dense.reflection_matrix(axis)
+        want = np.eye(5)
+        want[1, 1] = -1.0
+        np.testing.assert_allclose(mat, want, atol=1e-14)
+
+    def test_masked_diffusion_rejects_bad_mask(self):
+        with pytest.raises(ValueError):
+            dense.masked_diffusion_matrix(5, np.ones(4, dtype=bool))
+
+    def test_block_diffusion_rejects_bad_blocks(self):
+        with pytest.raises(ValueError):
+            dense.block_diffusion_matrix(10, 3)

@@ -1,0 +1,79 @@
+"""Unit tests for measurement statistics."""
+
+import numpy as np
+import pytest
+
+from repro.statevector.measurement import (
+    address_probabilities,
+    block_probabilities,
+    sample_addresses,
+    sample_blocks,
+    success_probability,
+)
+
+
+class TestAddressProbabilities:
+    def test_simple(self):
+        amps = np.array([0.6, 0.8])
+        np.testing.assert_allclose(address_probabilities(amps), [0.36, 0.64])
+
+    def test_ancilla_traced_out(self):
+        branches = np.zeros((2, 4))
+        branches[0, 1] = 0.6
+        branches[1, 1] = 0.8
+        probs = address_probabilities(branches)
+        assert probs[1] == pytest.approx(1.0)
+
+    def test_complex(self):
+        amps = np.array([1j / np.sqrt(2), 1 / np.sqrt(2)])
+        np.testing.assert_allclose(address_probabilities(amps), [0.5, 0.5])
+
+
+class TestBlockProbabilities:
+    def test_uniform(self):
+        amps = np.full(12, 1 / np.sqrt(12))
+        np.testing.assert_allclose(block_probabilities(amps, 3), [1 / 3] * 3)
+
+    def test_concentrated(self):
+        amps = np.zeros(12)
+        amps[7] = 1.0
+        np.testing.assert_allclose(block_probabilities(amps, 3), [0, 1, 0])
+
+    def test_bad_blocks(self):
+        with pytest.raises(ValueError):
+            block_probabilities(np.ones(4) / 2, 3)
+
+
+class TestSampling:
+    def test_point_mass(self):
+        amps = np.zeros(8)
+        amps[5] = 1.0
+        assert sample_addresses(amps, rng=1) == 5
+        assert sample_blocks(amps, 4, rng=1) == 2
+
+    def test_size_parameter(self):
+        amps = np.full(4, 0.5)
+        out = sample_addresses(amps, rng=1, size=100)
+        assert out.shape == (100,)
+        assert set(np.unique(out)) <= {0, 1, 2, 3}
+
+    def test_unnormalised_rejected(self):
+        with pytest.raises(ValueError, match="normalis"):
+            sample_addresses(np.ones(4), rng=0)
+
+    def test_distribution_matches(self):
+        amps = np.array([np.sqrt(0.9), np.sqrt(0.1)])
+        out = sample_addresses(amps, rng=7, size=4000)
+        assert np.mean(out == 0) == pytest.approx(0.9, abs=0.03)
+
+
+class TestSuccessProbability:
+    def test_reads_block(self):
+        amps = np.zeros(8)
+        amps[6] = 1.0
+        assert success_probability(amps, 3, 4) == pytest.approx(1.0)
+        assert success_probability(amps, 0, 4) == pytest.approx(0.0)
+
+    def test_range_check(self):
+        with pytest.raises(ValueError):
+            success_probability(np.ones(4) / 2, 4, 4)

@@ -1,0 +1,98 @@
+"""Unit tests for the StateVector wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.statevector import StateVector
+
+
+class TestConstruction:
+    def test_uniform(self):
+        sv = StateVector.uniform(16)
+        assert sv.n_items == 16
+        np.testing.assert_allclose(sv.amplitudes, 0.25)
+
+    def test_basis(self):
+        sv = StateVector.basis(8, 3)
+        assert sv.probability_of(3) == 1.0
+        assert sv.probability_of(0) == 0.0
+
+    def test_rejects_unnormalised(self):
+        with pytest.raises(ValueError, match="norm"):
+            StateVector(np.ones(4))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            StateVector(np.eye(2) / np.sqrt(2))
+
+    def test_copies_by_default(self):
+        buf = np.zeros(4)
+        buf[0] = 1.0
+        sv = StateVector(buf)
+        buf[0] = 0.5
+        assert sv.probability_of(0) == 1.0
+
+    def test_basis_index_range(self):
+        with pytest.raises(ValueError):
+            StateVector.basis(8, 8)
+
+    def test_complex_supported(self):
+        sv = StateVector(np.array([1j, 0, 0, 0]))
+        assert sv.probability_of(0) == pytest.approx(1.0)
+
+
+class TestInspection:
+    def test_probabilities_sum(self):
+        sv = StateVector.uniform(10)
+        assert sv.probabilities().sum() == pytest.approx(1.0)
+
+    def test_block_probabilities(self):
+        sv = StateVector.basis(12, 5)
+        np.testing.assert_allclose(sv.block_probabilities(3), [0.0, 1.0, 0.0])
+
+    def test_fidelity_self(self):
+        sv = StateVector.uniform(8)
+        assert sv.fidelity(sv.copy()) == pytest.approx(1.0)
+
+    def test_fidelity_orthogonal(self):
+        assert StateVector.basis(4, 0).fidelity(StateVector.basis(4, 1)) == pytest.approx(0.0)
+
+    def test_fidelity_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            StateVector.uniform(4).fidelity(StateVector.uniform(8))
+
+    def test_len_and_eq(self):
+        assert len(StateVector.uniform(6)) == 6
+        assert StateVector.uniform(6) == StateVector.uniform(6)
+        assert StateVector.uniform(6) != StateVector.basis(6, 0)
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(StateVector.uniform(4))
+
+    def test_measure_deterministic_state(self):
+        assert StateVector.basis(16, 9).measure(rng=0) == 9
+
+
+class TestEvolution:
+    def test_grover_iteration_increases_target(self):
+        sv = StateVector.uniform(64)
+        before = sv.probability_of(7)
+        sv.grover_iteration(7)
+        assert sv.probability_of(7) > before
+
+    def test_chaining(self):
+        sv = StateVector.uniform(16).phase_flip(3).invert_about_mean()
+        assert isinstance(sv, StateVector)
+        assert sv.norm() == pytest.approx(1.0)
+
+    def test_block_iteration_preserves_other_blocks(self):
+        sv = StateVector.uniform(16)
+        before = sv.amplitudes[:4].copy()  # target 9 lives in block 2
+        sv.block_grover_iteration(9, 4)
+        np.testing.assert_allclose(sv.amplitudes[:4], before, atol=1e-12)
+
+    def test_norm_preserved_long_run(self):
+        sv = StateVector.uniform(32)
+        sv.grover_iteration(5, iterations=100)
+        assert sv.norm() == pytest.approx(1.0, abs=1e-10)

@@ -1,0 +1,61 @@
+"""The public API surface: imports, __all__, version, docstrings."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.util",
+    "repro.statevector",
+    "repro.oracle",
+    "repro.circuits",
+    "repro.grover",
+    "repro.core",
+    "repro.classical",
+    "repro.lowerbounds",
+    "repro.analysis",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_subpackage_imports(self, name):
+        mod = importlib.import_module(name)
+        assert mod.__doc__, f"{name} lacks a module docstring"
+
+    @pytest.mark.parametrize("name", SUBPACKAGES)
+    def test_all_entries_resolve(self, name):
+        mod = importlib.import_module(name)
+        for symbol in getattr(mod, "__all__", []):
+            assert hasattr(mod, symbol), f"{name}.__all__ lists missing {symbol}"
+
+    def test_top_level_all_resolves(self):
+        for symbol in repro.__all__:
+            assert hasattr(repro, symbol)
+
+    def test_version(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+class TestDocstrings:
+    def test_public_callables_documented(self):
+        undocumented = []
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not getattr(obj, "__doc__", None):
+                undocumented.append(name)
+        assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+class TestQuickstartSnippet:
+    def test_readme_snippet_runs(self):
+        from repro import SingleTargetDatabase, run_partial_search
+
+        db = SingleTargetDatabase(n_items=4096, target=2717)
+        result = run_partial_search(db, n_blocks=4)
+        assert result.block_guess == 2717 // 1024
+        assert result.queries < 3.1415 / 4 * 64
+        assert result.success_probability > 0.999

@@ -1,0 +1,64 @@
+"""Golden-value regression pins for the schedule planner.
+
+The integer schedules below were verified against the paper's formulas, the
+full simulator, and the subspace model at the time of writing.  Any change
+to the planner's arithmetic (angle conventions, rounding, refinement window,
+optimal-eps values) shows up here as an exact-integer diff — deliberately
+brittle, so a silent drift in the science cannot hide inside tolerances.
+
+If a change is *intended* (e.g. a better optimiser), update these values and
+record the effect on the T1/F2 benches in EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.core import plan_schedule
+
+#: (N, K) -> (l1, l2, queries, predicted_success to 12 decimals)
+GOLDEN = {
+    (1024, 2): (0, 17, 18, 0.999724552114),
+    (1024, 4): (9, 10, 20, 0.999844710213),
+    (4096, 4): (19, 20, 40, 0.999989114573),
+    (4096, 8): (29, 13, 43, 0.999998413086),
+    (16384, 4): (38, 40, 79, 0.999979996093),
+    (16384, 16): (71, 18, 90, 0.999997373167),
+    (65536, 2): (0, 142, 143, 0.999993414960),
+    (65536, 4): (78, 79, 158, 0.999999754261),
+    (1048576, 4): (314, 316, 631, 0.999999766087),
+    (1048576, 32): (645, 97, 743, 0.999999800622),
+    # Non-dyadic instances (the paper's own 12-item example among them).
+    (729, 3): (5, 10, 16, 0.998887381447),
+    (1000, 5): (11, 9, 21, 0.999183900605),
+    (12, 3): (0, 2, 3, 0.981481481481),
+}
+
+
+@pytest.mark.parametrize("instance", sorted(GOLDEN))
+def test_schedule_pinned(instance):
+    n, k = instance
+    l1, l2, queries, success = GOLDEN[instance]
+    s = plan_schedule(n, k)
+    assert (s.l1, s.l2, s.queries) == (l1, l2, queries)
+    assert s.predicted_success == pytest.approx(success, abs=1e-11)
+
+
+def test_twelve_item_general_algorithm_vs_figure1():
+    """Figure 1's 2-query circuit is *not* an instance of the general
+    three-step algorithm: its final step is ``I_t`` + a plain global
+    inversion (one more standard Grover iteration), which zeroes the
+    non-target blocks only because at N=12, K=3 the Step-2 rotation lands
+    the block-rest amplitude on exactly 0 and ``u = 2w`` holds.  The general
+    algorithm (move-out + controlled inversion) at the same ``(l1, l2) =
+    (0, 1)`` reaches 0.926; the planner correctly prefers ``l2 = 2``
+    (success 0.9815, 3 queries).  The exact Figure 1 sequence is covered in
+    ``tests/test_paper_values.py`` and ``benchmarks/bench_fig1_twelve_items``.
+    """
+    s = plan_schedule(12, 3, epsilon=1.0)
+    assert (s.l1, s.l2, s.queries) == (0, 2, 3)
+    assert s.predicted_success == pytest.approx(0.981481481481, abs=1e-11)
+
+    from repro.core.subspace import SubspaceGRK
+    from repro.core.blockspec import BlockSpec
+
+    general_2q = SubspaceGRK(BlockSpec(12, 3)).success_probability(0, 1)
+    assert general_2q == pytest.approx(0.925925925926, abs=1e-11)

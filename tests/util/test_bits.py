@@ -1,0 +1,119 @@
+"""Unit tests for repro.util.bits."""
+
+import pytest
+
+from repro.util.bits import (
+    bits_to_int,
+    block_index,
+    block_slice,
+    first_k_bits,
+    ilog2,
+    int_to_bits,
+    is_power_of_two,
+    join_address,
+    split_address,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for v in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100, 1023):
+            assert not is_power_of_two(v)
+
+
+class TestIlog2:
+    def test_exact(self):
+        for k in range(20):
+            assert ilog2(1 << k) == k
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 12])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+
+class TestBitConversions:
+    def test_round_trip(self):
+        for width in range(1, 10):
+            for value in range(1 << width):
+                assert bits_to_int(int_to_bits(value, width)) == value
+
+    def test_big_endian(self):
+        assert int_to_bits(5, 4) == (0, 1, 0, 1)
+        assert int_to_bits(8, 4) == (1, 0, 0, 0)
+
+    def test_zero_width(self):
+        assert int_to_bits(0, 0) == ()
+        assert bits_to_int(()) == 0
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            int_to_bits(16, 4)
+        with pytest.raises(ValueError):
+            int_to_bits(-1, 4)
+        with pytest.raises(ValueError):
+            int_to_bits(1, -1)
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            bits_to_int((0, 2, 1))
+
+
+class TestFirstKBits:
+    def test_matches_shift(self):
+        assert first_k_bits(0b101100, 6, 2) == 0b10
+        assert first_k_bits(0b101100, 6, 3) == 0b101
+        assert first_k_bits(0b101100, 6, 0) == 0
+        assert first_k_bits(0b101100, 6, 6) == 0b101100
+
+    def test_agrees_with_block_index_dyadic(self):
+        n, k = 6, 2
+        n_items, n_blocks = 1 << n, 1 << k
+        for addr in range(n_items):
+            assert first_k_bits(addr, n, k) == block_index(addr, n_items, n_blocks)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            first_k_bits(5, 4, 5)
+        with pytest.raises(ValueError):
+            first_k_bits(16, 4, 2)
+
+
+class TestSplitJoin:
+    @pytest.mark.parametrize("n_items,n_blocks", [(12, 3), (64, 4), (100, 5), (8, 8)])
+    def test_round_trip(self, n_items, n_blocks):
+        for addr in range(n_items):
+            y, z = split_address(addr, n_items, n_blocks)
+            assert 0 <= y < n_blocks
+            assert 0 <= z < n_items // n_blocks
+            assert join_address(y, z, n_items, n_blocks) == addr
+
+    def test_contiguity(self):
+        # Addresses of block y are exactly the slice's range.
+        n_items, n_blocks = 12, 3
+        for y in range(n_blocks):
+            s = block_slice(y, n_items, n_blocks)
+            for addr in range(s.start, s.stop):
+                assert split_address(addr, n_items, n_blocks)[0] == y
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(ValueError):
+            split_address(0, 10, 3)
+        with pytest.raises(ValueError):
+            join_address(0, 0, 10, 3)
+        with pytest.raises(ValueError):
+            block_slice(0, 10, 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            split_address(12, 12, 3)
+        with pytest.raises(ValueError):
+            join_address(3, 0, 12, 3)
+        with pytest.raises(ValueError):
+            join_address(0, 4, 12, 3)
+        with pytest.raises(ValueError):
+            block_slice(3, 12, 3)

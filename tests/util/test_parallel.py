@@ -1,0 +1,47 @@
+"""Unit tests for repro.util.parallel."""
+
+import numpy as np
+
+from repro.util.parallel import parallel_map
+
+
+def _draw(task, rng):
+    return (task, float(rng.random()))
+
+
+def _square(task, rng):
+    return task * task
+
+
+class TestParallelMap:
+    def test_order_preserved_serial(self):
+        out = parallel_map(_square, range(10), workers=1)
+        assert out == [i * i for i in range(10)]
+
+    def test_deterministic_across_worker_counts(self):
+        serial = parallel_map(_draw, range(6), seed=11, workers=1)
+        parallel = parallel_map(_draw, range(6), seed=11, workers=2)
+        assert serial == parallel
+
+    def test_use_processes_false(self):
+        out = parallel_map(_square, range(4), workers=4, use_processes=False)
+        assert out == [0, 1, 4, 9]
+
+    def test_empty(self):
+        assert parallel_map(_square, [], workers=2) == []
+
+    def test_closure_allowed_serially(self):
+        captured = []
+
+        def trial(task, rng):
+            captured.append(task)
+            return task
+
+        out = parallel_map(trial, range(3), workers=1)
+        assert out == [0, 1, 2]
+        assert captured == [0, 1, 2]
+
+    def test_rng_streams_independent(self):
+        out = parallel_map(_draw, range(16), seed=5, workers=1)
+        values = [v for _, v in out]
+        assert len(set(values)) == len(values)

@@ -1,0 +1,43 @@
+"""Unit tests for repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import as_rng, spawn_rngs
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = as_rng(7).integers(0, 1000, size=10)
+        b = as_rng(7).integers(0, 1000, size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(3)
+        assert as_rng(gen) is gen
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+        assert spawn_rngs(0, 0) == []
+
+    def test_deterministic(self):
+        a = [g.integers(0, 10**9) for g in spawn_rngs(42, 4)]
+        b = [g.integers(0, 10**9) for g in spawn_rngs(42, 4)]
+        assert a == b
+
+    def test_streams_differ(self):
+        vals = [g.integers(0, 10**9) for g in spawn_rngs(42, 8)]
+        assert len(set(vals)) == len(vals)
+
+    def test_from_generator(self):
+        gens = spawn_rngs(np.random.default_rng(1), 3)
+        assert len(gens) == 3
+
+    def test_negative_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)

@@ -1,0 +1,40 @@
+"""Unit tests for repro.util.tables."""
+
+import pytest
+
+from repro.util.tables import format_row, format_table
+
+
+class TestFormatRow:
+    def test_numeric_right_aligned(self):
+        row = format_row([1.5, "abc"], [8, 5])
+        assert row.startswith("   1.500")
+        assert "abc" in row
+
+    def test_float_format(self):
+        assert "2.7183" in format_row([2.71828], [6], float_fmt=".4f")
+
+
+class TestFormatTable:
+    def test_basic_shape(self):
+        out = format_table(["K", "upper"], [[2, 0.555], [3, 0.592]])
+        lines = out.split("\n")
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].split() == ["K", "upper"]
+
+    def test_title(self):
+        out = format_table(["a"], [[1]], title="Table 1")
+        assert out.split("\n")[0] == "Table 1"
+
+    def test_empty_rows(self):
+        out = format_table(["a", "b"], [])
+        assert "a" in out and "b" in out
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_alignment_consistent(self):
+        out = format_table(["name", "v"], [["x", 1.0], ["longer", 22.5]])
+        lines = out.split("\n")
+        assert len({len(line) for line in lines[2:]}) <= 2  # rows line up

@@ -1,0 +1,60 @@
+"""Unit tests for repro.util.validation."""
+
+import pytest
+
+from repro.util.validation import (
+    require,
+    require_divides,
+    require_in_range,
+    require_power_of_two,
+)
+
+
+class TestRequire:
+    def test_passes(self):
+        require(True, "never raised")
+
+    def test_raises_with_message(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+
+class TestRequireInRange:
+    def test_inclusive_bounds(self):
+        assert require_in_range("x", 0, 0, 10) == 0
+        assert require_in_range("x", 10, 0, 10) == 10
+
+    def test_exclusive_top(self):
+        assert require_in_range("x", 9, 0, 10, inclusive=False) == 9
+        with pytest.raises(ValueError):
+            require_in_range("x", 10, 0, 10, inclusive=False)
+
+    def test_below(self):
+        with pytest.raises(ValueError, match="x=-1"):
+            require_in_range("x", -1, 0, 10)
+
+
+class TestRequirePowerOfTwo:
+    def test_accepts(self):
+        assert require_power_of_two("n", 1024) == 1024
+
+    def test_rejects_value(self):
+        with pytest.raises(ValueError):
+            require_power_of_two("n", 12)
+
+    def test_rejects_type(self):
+        with pytest.raises(TypeError):
+            require_power_of_two("n", 4.0)
+        with pytest.raises(TypeError):
+            require_power_of_two("n", True)
+
+
+class TestRequireDivides:
+    def test_accepts(self):
+        require_divides("k", 3, "n", 12)
+
+    def test_rejects(self):
+        with pytest.raises(ValueError):
+            require_divides("k", 5, "n", 12)
+        with pytest.raises(ValueError):
+            require_divides("k", 0, "n", 12)
