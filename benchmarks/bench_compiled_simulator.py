@@ -1,0 +1,138 @@
+"""Wall-time trajectory for the circuit backends: naive vs compiled vs batched.
+
+Run as a script (``python benchmarks/bench_compiled_simulator.py``) from the
+repo root; it writes ``BENCH_simulator.json`` there so every PR carries a
+comparable perf snapshot.  Three measurements:
+
+- ``single``: the 12-address-qubit GRK partial-search circuit (13 wires,
+  the paper-planned schedule for ``N = 4096, K = 4``) executed once —
+  gate-by-gate naive simulator vs the compiled program (steady-state run
+  time; one-off compile time reported separately).
+- ``batched``: the all-targets sweep at 10 address qubits (``B = N =
+  1024``) — one parametric compiled program over the whole batch vs a
+  Python loop of single runs (naive loop extrapolated from a sample;
+  compiled loop measured in full).
+- ``acceptance``: the PR gate — compiled >= 5x naive on the single circuit,
+  batched >= 10x the single-run loop.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import statistics
+import time
+
+import numpy as np
+
+from repro.circuits import partial_search_circuit, run_circuit
+from repro.circuits.compiler import compile_circuit
+from repro.core.parameters import plan_schedule
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_simulator.json"
+
+SINGLE_ADDRESS_QUBITS = 12  # N = 4096, 13 wires with the ancilla
+BATCH_ADDRESS_QUBITS = 10   # B = N = 1024 rows of 2048 amplitudes
+N_BLOCK_BITS = 2            # K = 4
+NAIVE_LOOP_SAMPLE = 32      # targets actually run for the loop extrapolation
+
+
+def _time(fn, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` in seconds."""
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def bench_single() -> dict:
+    n = SINGLE_ADDRESS_QUBITS
+    sched = plan_schedule(1 << n, 1 << N_BLOCK_BITS)
+    circuit = partial_search_circuit(n, N_BLOCK_BITS, target=1234, l1=sched.l1, l2=sched.l2)
+
+    t_naive = _time(lambda: run_circuit(circuit))
+    t_compile = _time(lambda: compile_circuit(circuit), repeats=1)
+    program = compile_circuit(circuit)
+    t_compiled = _time(program.run)
+    err = float(np.abs(run_circuit(circuit) - program.run()).max())
+    assert err < 1e-10, f"backends diverge: {err}"
+    return {
+        "n_address_qubits": n,
+        "n_gates": circuit.n_gates,
+        "n_fused_ops": program.n_ops,
+        "schedule": {"l1": sched.l1, "l2": sched.l2},
+        "naive_s": t_naive,
+        "compile_once_s": t_compile,
+        "compiled_s": t_compiled,
+        "speedup_compiled_vs_naive": t_naive / t_compiled,
+        "max_amplitude_error": err,
+    }
+
+
+def bench_batched() -> dict:
+    n = BATCH_ADDRESS_QUBITS
+    n_items = 1 << n
+    sched = plan_schedule(n_items, 1 << N_BLOCK_BITS)
+
+    program = compile_circuit(
+        partial_search_circuit(n, N_BLOCK_BITS, 0, sched.l1, sched.l2),
+        parametric_targets=True,
+        n_address_qubits=n,
+    )
+    targets = np.arange(n_items)
+    t_batched = _time(lambda: program.run_multi_target(targets))
+
+    def naive_one(target: int):
+        run_circuit(partial_search_circuit(n, N_BLOCK_BITS, target, sched.l1, sched.l2))
+
+    sample = [_time(lambda t=t: naive_one(t), repeats=1) for t in range(NAIVE_LOOP_SAMPLE)]
+    t_naive_loop = statistics.mean(sample) * n_items
+
+    def compiled_loop():
+        for t in range(n_items):
+            compile_circuit(
+                partial_search_circuit(n, N_BLOCK_BITS, t, sched.l1, sched.l2)
+            ).run()
+
+    t_compiled_loop = _time(compiled_loop, repeats=1)
+    return {
+        "n_address_qubits": n,
+        "n_targets": int(n_items),
+        "schedule": {"l1": sched.l1, "l2": sched.l2},
+        "batched_s": t_batched,
+        "naive_loop_s_extrapolated": t_naive_loop,
+        "naive_loop_sample_size": NAIVE_LOOP_SAMPLE,
+        "compiled_loop_s": t_compiled_loop,
+        "speedup_batched_vs_naive_loop": t_naive_loop / t_batched,
+        "speedup_batched_vs_compiled_loop": t_compiled_loop / t_batched,
+    }
+
+
+def main() -> dict:
+    single = bench_single()
+    batched = bench_batched()
+    results = {
+        "bench": "compiled_simulator",
+        "description": (
+            "naive gate-by-gate vs compiled fused program vs batched "
+            "multi-target execution of the GRK partial-search circuit"
+        ),
+        "single": single,
+        "batched": batched,
+        "acceptance": {
+            "compiled_at_least_5x_naive": single["speedup_compiled_vs_naive"] >= 5.0,
+            "batched_at_least_10x_loop": batched["speedup_batched_vs_naive_loop"] >= 10.0,
+        },
+    }
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    print(json.dumps(results, indent=2))
+    print(f"[written to {OUTPUT}]")
+    assert all(results["acceptance"].values()), results["acceptance"]
+    return results
+
+
+if __name__ == "__main__":
+    main()

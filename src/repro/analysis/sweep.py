@@ -2,7 +2,9 @@
 
 Sweeps use the O(1) subspace model by default so grids with ``N = 2**40``
 cost microseconds per cell; pass ``simulate=True`` to cross-check cells on
-the full state-vector simulator (small ``N`` only).
+the full simulator — by default the compiled gate-level backend run over
+*every* target in one batched program (see :mod:`repro.circuits.compiler`),
+so even the all-targets check stays cheap at simulable sizes.
 """
 
 from __future__ import annotations
@@ -13,14 +15,21 @@ from typing import Iterable, Sequence
 from repro.core.blockspec import BlockSpec
 from repro.core.parameters import plan_schedule
 from repro.core.subspace import SubspaceGRK
+from repro.util.bits import is_power_of_two
 
 __all__ = ["sweep_partial_search", "sweep_coefficients"]
+
+#: Largest ``N`` a ``simulate=True`` sweep will run on the full simulator.
+SIMULATE_MAX_ITEMS = 4096
 
 
 def sweep_partial_search(
     n_items_values: Sequence[int],
     n_blocks_values: Sequence[int],
     epsilon: float | None = None,
+    *,
+    simulate: bool = False,
+    backend: str = "compiled",
 ) -> list[dict]:
     """Exact schedule/query/success grid via the subspace model.
 
@@ -28,7 +37,19 @@ def sweep_partial_search(
     ``epsilon``, ``l1``, ``l2``, ``queries``, ``coefficient``
     (``queries/sqrt(N)``), ``success``, ``failure``.  Pairs where ``K`` does
     not divide ``N`` are skipped.
+
+    With ``simulate=True`` each cell with ``N <= SIMULATE_MAX_ITEMS`` is
+    additionally executed for every target on the full simulator (the
+    batched runner with the given *backend*; cells whose geometry the
+    circuit backends cannot express fall back to the ``"kernels"`` batch),
+    adding keys ``sim_worst_success`` (min over targets) and
+    ``sim_all_correct``.  Cells too large to simulate get ``None`` there.
     """
+    from repro.core.backends import validate_backend
+    from repro.core.batch import run_partial_search_batch
+
+    if simulate:
+        validate_backend(backend)
     rows = []
     for n in n_items_values:
         for k in n_blocks_values:
@@ -37,19 +58,32 @@ def sweep_partial_search(
             schedule = plan_schedule(n, k, epsilon)
             model = SubspaceGRK(BlockSpec(n, k))
             failure = model.failure_probability(schedule.l1, schedule.l2)
-            rows.append(
-                {
-                    "n_items": n,
-                    "n_blocks": k,
-                    "epsilon": schedule.epsilon,
-                    "l1": schedule.l1,
-                    "l2": schedule.l2,
-                    "queries": schedule.queries,
-                    "coefficient": schedule.queries / math.sqrt(n),
-                    "success": schedule.predicted_success,
-                    "failure": failure,
-                }
-            )
+            row = {
+                "n_items": n,
+                "n_blocks": k,
+                "epsilon": schedule.epsilon,
+                "l1": schedule.l1,
+                "l2": schedule.l2,
+                "queries": schedule.queries,
+                "coefficient": schedule.queries / math.sqrt(n),
+                "success": schedule.predicted_success,
+                "failure": failure,
+            }
+            if simulate:
+                row["sim_worst_success"] = None
+                row["sim_all_correct"] = None
+                if n <= SIMULATE_MAX_ITEMS:
+                    cell_backend = backend
+                    if cell_backend != "kernels" and not (
+                        is_power_of_two(n) and is_power_of_two(k)
+                    ):
+                        cell_backend = "kernels"
+                    result = run_partial_search_batch(
+                        n, k, range(n), schedule=schedule, backend=cell_backend
+                    )
+                    row["sim_worst_success"] = result.worst_success
+                    row["sim_all_correct"] = result.all_correct
+            rows.append(row)
     return rows
 
 

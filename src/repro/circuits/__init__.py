@@ -15,11 +15,50 @@ them qubit-wise, so the test suite can verify gate-for-gate that
 
 Qubit convention: qubit 0 is the **most significant** address bit, matching
 the paper's "first k bits" semantics; the optional ancilla is the last wire.
+
+Execution backends
+------------------
+Two registered simulator backends execute circuits (:data:`BACKENDS`,
+selected by name through :func:`execute` or the ``backend=`` parameters on
+the :mod:`repro.core` runners):
+
+- ``"naive"`` — :func:`~repro.circuits.simulator.run_circuit`: gate-by-gate
+  interpretation.  Simple, obviously correct; kept as the oracle against
+  which the compiled backend is property-tested.
+- ``"compiled"`` — :func:`~repro.circuits.compiler.run_circuit_compiled`:
+  lowers the circuit once (memoised on the gate sequence) into a fused
+  program, then executes it.  The fusion rules, in order:
+
+  1. *oracle/move-out recognition* — an ``X``-layer-conjugated ``MCZ`` /
+     ``MCP`` / ``MCX`` becomes one masked phase flip or index swap on the
+     conjugated bit pattern;
+  2. *diffusion recognition* — the ``H* X* MCZ X* H*`` motif becomes a
+     single O(N) inversion-about-the-mean kernel (the
+     :mod:`repro.statevector.ops` operator), with a following
+     ``GPHASE(pi)`` folded into its sign;
+  3. *single-qubit fusion* — adjacent 2x2 gates on one wire (gates on other
+     wires commute through) multiply together; identity products vanish;
+  4. *diagonal coalescing* — runs of diagonal gates merge into one phase
+     vector, re-sparsified to a scalar or masked multiply when possible;
+  5. *mask caching* — every pattern index array is precomputed once per
+     ``(n_qubits, ones_mask, zeros_mask)`` signature and shared
+     process-wide.
+
+  Compiled programs also run ``(B, N)`` batches
+  (:meth:`~repro.circuits.compiler.CompiledCircuit.run_batch`) and, when
+  compiled with ``parametric_targets=True``, per-row-target sweeps
+  (:meth:`~repro.circuits.compiler.CompiledCircuit.run_multi_target`) —
+  one program, one set of masks, every target at once.
 """
 
 from repro.circuits.gates import Gate
 from repro.circuits.circuit import Circuit
 from repro.circuits.simulator import apply_gate, run_circuit
+from repro.circuits.compiler import (
+    CompiledCircuit,
+    compile_circuit,
+    run_circuit_compiled,
+)
 from repro.circuits.builders import (
     block_diffusion_circuit,
     diffusion_circuit,
@@ -34,6 +73,12 @@ __all__ = [
     "Circuit",
     "apply_gate",
     "run_circuit",
+    "CompiledCircuit",
+    "compile_circuit",
+    "run_circuit_compiled",
+    "BACKENDS",
+    "get_backend",
+    "execute",
     "block_diffusion_circuit",
     "diffusion_circuit",
     "grover_circuit",
@@ -41,3 +86,27 @@ __all__ = [
     "partial_search_circuit",
     "uniform_superposition_circuit",
 ]
+
+#: Registered simulator backends: name -> ``f(circuit, initial=None) -> state``.
+BACKENDS = {
+    "naive": run_circuit,
+    "compiled": run_circuit_compiled,
+}
+
+
+def get_backend(name: str):
+    """Look up a simulator backend by registry name.
+
+    Raises:
+        ValueError: for unknown names (listing the known ones).
+    """
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown backend {name!r} (known: {known})") from None
+
+
+def execute(circuit: Circuit, initial=None, *, backend: str = "naive"):
+    """Run *circuit* on the selected backend; returns the final state."""
+    return get_backend(backend)(circuit, initial)

@@ -81,7 +81,9 @@ def apply_gate(state: np.ndarray, gate: Gate, n_qubits: int) -> np.ndarray:
         lo = indices[sel]
         hi = lo | tbit
         state = state.copy()
-        state[lo], state[hi] = state[hi].copy(), state[lo].copy()
+        # Fancy indexing on the right-hand side already yields fresh arrays,
+        # so the pairs swap with a single temporary and no extra full copies.
+        state[lo], state[hi] = state[hi], state[lo]
         return state
     raise ValueError(f"simulator does not know gate {name!r}")  # pragma: no cover
 

@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.backends import circuit_geometry, validate_backend
 from repro.core.blockspec import BlockSpec
 from repro.core.parameters import GRKSchedule, plan_schedule
 from repro.core.tracing import StageTrace
@@ -89,6 +90,7 @@ def run_partial_search(
     *,
     schedule: GRKSchedule | None = None,
     trace: bool = False,
+    backend: str = "kernels",
 ) -> PartialSearchResult:
     """Execute the three-step GRK algorithm against a counted oracle.
 
@@ -101,12 +103,22 @@ def run_partial_search(
             for this ``K``.
         schedule: pre-planned schedule (overrides ``epsilon``); useful for
             ablations with explicit ``(l1, l2)``.
-        trace: record stage snapshots (copies the state ~5 times).
+        trace: record stage snapshots (copies the state ~5 times; only the
+            ``"kernels"`` backend supports tracing).
+        backend: execution engine.  ``"kernels"`` (default) evolves the
+            state with the structured :mod:`repro.statevector.ops`
+            reflections; ``"naive"`` / ``"compiled"`` build the full
+            :func:`~repro.circuits.builders.partial_search_circuit` and run
+            it on the registered circuit simulator of that name (which
+            requires ``N`` and ``K`` to be powers of two).  All backends
+            produce the same result to float precision and charge the same
+            ``l1 + l2 + 1`` queries to the database counter.
 
     Returns:
         :class:`PartialSearchResult`.  ``success_probability`` is exact (it
         reads the final distribution, it does not sample).
     """
+    validate_backend(backend)
     n = database.n_items
     if schedule is None:
         schedule = plan_schedule(n, n_blocks, epsilon)
@@ -118,6 +130,13 @@ def run_partial_search(
         )
     target = _single_target_of(database)
     target_block = spec.block_of(target)
+
+    if backend != "kernels":
+        if trace:
+            raise ValueError("stage tracing requires the 'kernels' backend")
+        return _run_on_circuit_backend(
+            database, schedule, target, target_block, backend
+        )
 
     oracle = PhaseOracle(database)
     start_count = database.counter.count
@@ -170,4 +189,42 @@ def run_partial_search(
         success_probability=float(dist[target_block]),
         queries=queries,
         traces=tuple(traces) if traces is not None else None,
+    )
+
+
+def _run_on_circuit_backend(
+    database: Database,
+    schedule: GRKSchedule,
+    target: int,
+    target_block: int,
+    backend: str,
+) -> PartialSearchResult:
+    """Execute the GRK run as a full gate-level circuit on a named backend.
+
+    The circuit path needs power-of-two geometry (wires are qubits); the
+    tagged oracle gates are charged to the database counter so query
+    accounting matches the kernel path exactly.
+    """
+    from repro.circuits import execute, partial_search_circuit
+
+    spec = schedule.spec
+    n_address_qubits, n_block_bits = circuit_geometry(spec, backend)
+    circuit = partial_search_circuit(
+        n_address_qubits, n_block_bits, target, schedule.l1, schedule.l2
+    )
+    final = execute(circuit, backend=backend)
+    database.counter.increment(circuit.oracle_queries)
+    # The ancilla is the last wire, so index = address * 2 + ancilla; the
+    # GRK gate set is real, so the imaginary residue is float noise only.
+    branches = np.ascontiguousarray(final.reshape(spec.n_items, 2).T.real)
+    dist = block_probabilities(branches, spec.n_blocks)
+    return PartialSearchResult(
+        spec=spec,
+        schedule=schedule,
+        branches=branches,
+        block_distribution=dist,
+        block_guess=int(np.argmax(dist)),
+        success_probability=float(dist[target_block]),
+        queries=circuit.oracle_queries,
+        traces=None,
     )

@@ -11,14 +11,21 @@ Query accounting note: a batch models ``B`` separate executions of the same
 circuit, so the per-run query count is the schedule's ``l1 + l2 + 1``; the
 returned :class:`BatchResult` reports that per-run figure (matching what a
 single :func:`repro.core.algorithm.run_partial_search` would count).
+
+Besides the default structured-kernel sweep, ``backend="compiled"`` runs the
+batch through one compiled gate-level program with per-row targets (see
+:mod:`repro.circuits.compiler`), and ``backend="naive"`` loops the
+interpreting simulator — the slow oracle the fast paths are tested against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
+from repro.core.backends import circuit_geometry, validate_backend
 from repro.core.blockspec import BlockSpec
 from repro.core.parameters import GRKSchedule, plan_schedule
 from repro.statevector import ops
@@ -71,6 +78,7 @@ def run_partial_search_batch(
     epsilon: float | None = None,
     *,
     schedule: GRKSchedule | None = None,
+    backend: str = "kernels",
 ) -> BatchResult:
     """Run the GRK algorithm for many targets in one vectorised sweep.
 
@@ -80,6 +88,14 @@ def run_partial_search_batch(
         targets: iterable of target addresses (one independent run each).
         epsilon: Step 1 parameter (``None`` = optimal for this ``K``).
         schedule: pre-planned schedule overriding ``epsilon``.
+        backend: ``"kernels"`` (default) advances the whole batch with the
+            structured reflections below; ``"compiled"`` compiles the full
+            gate-level GRK circuit **once** with parametric targets and runs
+            every row through the shared fused program
+            (:meth:`~repro.circuits.compiler.CompiledCircuit.run_multi_target`);
+            ``"naive"`` loops the gate-by-gate simulator over the targets —
+            the slow correctness oracle the others are tested against.
+            Circuit backends need ``N`` and ``K`` to be powers of two.
 
     Returns:
         :class:`BatchResult` with exact per-target success probabilities.
@@ -88,6 +104,7 @@ def run_partial_search_batch(
     tool, not an adversarial execution); its numbers are validated against
     the counted runner in the test suite.
     """
+    validate_backend(backend)
     if schedule is None:
         schedule = plan_schedule(n_items, n_blocks, epsilon)
     spec = schedule.spec
@@ -98,6 +115,9 @@ def run_partial_search_batch(
         raise ValueError("targets must be a non-empty 1-D collection")
     if targets.min() < 0 or targets.max() >= n_items:
         raise ValueError("targets out of address range")
+
+    if backend != "kernels":
+        return _run_batch_on_circuit_backend(schedule, targets, backend)
 
     b = targets.size
     amps = np.full((b, n_items), 1.0 / np.sqrt(n_items))
@@ -121,6 +141,59 @@ def run_partial_search_batch(
     block_probs = probs.sum(axis=2)
     block_probs[rows, targets // spec.block_size] += parked**2
 
+    true_blocks = targets // spec.block_size
+    return BatchResult(
+        spec=spec,
+        schedule=schedule,
+        targets=targets,
+        success_probabilities=block_probs[rows, true_blocks].astype(float),
+        block_guesses=np.argmax(block_probs, axis=1),
+        queries_per_run=schedule.queries,
+    )
+
+
+@lru_cache(maxsize=32)
+def _multi_target_program(
+    n_address_qubits: int, n_block_bits: int, l1: int, l2: int
+):
+    """Compile the parametric-target GRK circuit once per schedule shape."""
+    from repro.circuits import partial_search_circuit
+    from repro.circuits.compiler import compile_circuit
+
+    circuit = partial_search_circuit(n_address_qubits, n_block_bits, 0, l1, l2)
+    return compile_circuit(
+        circuit, parametric_targets=True, n_address_qubits=n_address_qubits
+    )
+
+
+def _run_batch_on_circuit_backend(
+    schedule: GRKSchedule, targets: np.ndarray, backend: str
+) -> BatchResult:
+    """Gate-level batched execution: one compiled program for all rows, or
+    (``"naive"``) the interpreting simulator looped per target."""
+    from repro.circuits import partial_search_circuit, run_circuit
+
+    spec = schedule.spec
+    n_address_qubits, n_block_bits = circuit_geometry(spec, backend)
+    b = targets.size
+    if backend == "compiled":
+        program = _multi_target_program(
+            n_address_qubits, n_block_bits, schedule.l1, schedule.l2
+        )
+        final = program.run_multi_target(targets)
+    else:  # "naive" — validate_backend already rejected everything else
+        final = np.empty((b, 2 * spec.n_items), dtype=np.complex128)
+        for i, t in enumerate(targets):
+            circuit = partial_search_circuit(
+                n_address_qubits, n_block_bits, int(t), schedule.l1, schedule.l2
+            )
+            final[i] = run_circuit(circuit)
+
+    # Ancilla is the last wire: row layout is (address, ancilla); measuring
+    # the block register traces the ancilla out incoherently.
+    probs = np.abs(final.reshape(b, spec.n_items, 2)) ** 2
+    block_probs = probs.reshape(b, spec.n_blocks, spec.block_size, 2).sum(axis=(2, 3))
+    rows = np.arange(b)
     true_blocks = targets // spec.block_size
     return BatchResult(
         spec=spec,

@@ -43,3 +43,27 @@ class TestSweepCoefficients:
         for v in tail:
             assert v >= 0.42  # Theorem 1
             assert v < 0.50
+
+
+class TestSimulateCrossCheck:
+    def test_simulated_cells_match_subspace_prediction(self):
+        rows = sweep_partial_search([64], [4, 8], simulate=True)
+        for row in rows:
+            assert row["sim_all_correct"] is True
+            assert row["sim_worst_success"] == pytest.approx(
+                row["success"], abs=1e-9
+            )
+
+    def test_non_power_of_two_cells_fall_back_to_kernels(self):
+        (row,) = sweep_partial_search([12], [3], simulate=True)
+        assert row["sim_all_correct"] is True
+        assert row["sim_worst_success"] == pytest.approx(row["success"], abs=1e-9)
+
+    def test_oversized_cells_are_skipped(self):
+        (row,) = sweep_partial_search([1 << 20], [4], simulate=True)
+        assert row["sim_worst_success"] is None
+        assert row["sim_all_correct"] is None
+
+    def test_simulate_off_adds_no_keys(self):
+        (row,) = sweep_partial_search([64], [4])
+        assert "sim_worst_success" not in row

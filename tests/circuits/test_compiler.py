@@ -1,0 +1,212 @@
+"""Compiled backend vs the naive simulator: amplitude-for-amplitude equality.
+
+The naive gate-by-gate simulator is the correctness oracle; every fusion
+rule in :mod:`repro.circuits.compiler` must be invisible at 1e-12.
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    BACKENDS,
+    Circuit,
+    Gate,
+    block_diffusion_circuit,
+    compile_circuit,
+    diffusion_circuit,
+    execute,
+    get_backend,
+    grover_circuit,
+    oracle_circuit,
+    partial_search_circuit,
+    run_circuit,
+    run_circuit_compiled,
+)
+from repro.circuits.compiler import (
+    DiffusionOp,
+    ParametricMoveOutOp,
+    ParametricPhaseFlipOp,
+    PhaseMaskOp,
+    _pattern_indices,
+)
+
+ATOL = 1e-12
+
+_GATE_POOL = ["H", "X", "Z", "P", "CZ", "CX", "MCZ", "MCP", "MCX", "GPHASE"]
+_FIXED_ARITY = {"H": 1, "X": 1, "Z": 1, "P": 1, "CZ": 2, "CX": 2}
+
+
+def _random_circuit(rng: np.random.Generator, n_qubits: int, n_gates: int) -> Circuit:
+    """A random circuit over the full supported gate set (oracle tags too)."""
+    gates = []
+    while len(gates) < n_gates:
+        name = _GATE_POOL[rng.integers(len(_GATE_POOL))]
+        if name == "GPHASE":
+            gates.append(Gate(name, (), float(rng.uniform(0, 2 * np.pi))))
+            continue
+        arity = _FIXED_ARITY.get(name, int(rng.integers(1, n_qubits + 1)))
+        if arity > n_qubits:
+            continue
+        qubits = tuple(int(q) for q in rng.choice(n_qubits, size=arity, replace=False))
+        param = float(rng.uniform(0, 2 * np.pi)) if name in ("P", "MCP") else None
+        tag = "oracle" if name in ("MCZ", "MCX") and rng.random() < 0.2 else None
+        gates.append(Gate(name, qubits, param, tag=tag))
+    return Circuit(n_qubits, gates)
+
+
+def _random_state(rng: np.random.Generator, dim: int) -> np.ndarray:
+    state = rng.standard_normal(dim) + 1j * rng.standard_normal(dim)
+    return state / np.linalg.norm(state)
+
+
+class TestCompiledMatchesNaive:
+    @pytest.mark.parametrize("n_qubits", range(2, 11))
+    def test_random_circuits_from_zero_state(self, rng, n_qubits):
+        for _ in range(6):
+            circ = _random_circuit(rng, n_qubits, 30)
+            np.testing.assert_allclose(
+                compile_circuit(circ).run(), run_circuit(circ), atol=ATOL
+            )
+
+    @pytest.mark.parametrize("n_qubits", range(2, 11))
+    def test_random_circuits_from_random_initial(self, rng, n_qubits):
+        for _ in range(4):
+            circ = _random_circuit(rng, n_qubits, 30)
+            init = _random_state(rng, 1 << n_qubits)
+            np.testing.assert_allclose(
+                compile_circuit(circ).run(init), run_circuit(circ, init), atol=ATOL
+            )
+
+    def test_unoptimised_compile_matches_too(self, rng):
+        circ = _random_circuit(rng, 5, 40)
+        init = _random_state(rng, 32)
+        np.testing.assert_allclose(
+            compile_circuit(circ, optimize=False).run(init),
+            run_circuit(circ, init),
+            atol=ATOL,
+        )
+
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda: oracle_circuit(5, 19),
+            lambda: diffusion_circuit(5),
+            lambda: block_diffusion_circuit(6, 2, 5),
+            lambda: grover_circuit(6, 45, 6),
+            lambda: partial_search_circuit(6, 2, 37, 4, 2),
+            lambda: partial_search_circuit(6, 2, 0, 4, 2),  # all-zero X-conj
+            lambda: partial_search_circuit(6, 2, 63, 4, 2),  # no X-conj
+        ],
+    )
+    def test_paper_circuits(self, builder):
+        circ = builder()
+        np.testing.assert_allclose(
+            compile_circuit(circ).run(), run_circuit(circ), atol=ATOL
+        )
+
+    def test_norm_preserved(self, rng):
+        circ = _random_circuit(rng, 7, 60)
+        out = compile_circuit(circ).run()
+        assert np.linalg.norm(out) == pytest.approx(1.0, abs=1e-10)
+
+
+class TestFusion:
+    def test_grk_program_is_much_shorter(self):
+        circ = partial_search_circuit(8, 2, 101, 6, 3)
+        prog = compile_circuit(circ)
+        assert prog.n_ops < circ.n_gates / 5
+
+    def test_diffusion_motif_becomes_one_op(self):
+        prog = compile_circuit(diffusion_circuit(6))
+        assert prog.n_ops == 1
+        (op,) = prog.ops
+        assert isinstance(op, DiffusionOp) and op.negate
+
+    def test_oracle_motif_becomes_one_masked_flip(self):
+        prog = compile_circuit(oracle_circuit(6, 13))
+        assert prog.n_ops == 1
+        (op,) = prog.ops
+        assert isinstance(op, PhaseMaskOp)
+        np.testing.assert_array_equal(op.indices, [13])
+
+    def test_hh_cancels_to_empty_program(self):
+        circ = Circuit(3, [Gate("H", (1,)), Gate("X", (0,)), Gate("H", (1,)), Gate("X", (0,))])
+        assert compile_circuit(circ).n_ops == 0
+
+    def test_mask_cache_shares_arrays(self):
+        a = _pattern_indices(7, 0b1010000, 0b0000100)
+        b = _pattern_indices(7, 0b1010000, 0b0000100)
+        assert a is b
+        assert not a.flags.writeable
+
+
+class TestBatchedExecution:
+    def test_run_batch_matches_loop(self, rng):
+        circ = _random_circuit(rng, 5, 25)
+        prog = compile_circuit(circ)
+        inits = np.array([_random_state(rng, 32) for _ in range(7)])
+        batch = prog.run_batch(inits)
+        for i in range(7):
+            np.testing.assert_allclose(batch[i], run_circuit(circ, inits[i]), atol=ATOL)
+
+    def test_run_batch_rejects_wrong_shape(self, rng):
+        prog = compile_circuit(_random_circuit(rng, 3, 5))
+        with pytest.raises(ValueError):
+            prog.run_batch(np.zeros(8, dtype=complex))
+
+    def test_multi_target_matches_per_target_naive(self):
+        prog = compile_circuit(
+            partial_search_circuit(5, 2, 0, 3, 1),
+            parametric_targets=True,
+            n_address_qubits=5,
+        )
+        assert any(isinstance(op, ParametricPhaseFlipOp) for op in prog.ops)
+        assert any(isinstance(op, ParametricMoveOutOp) for op in prog.ops)
+        batch = prog.run_multi_target(np.arange(32))
+        for t in range(32):
+            expected = run_circuit(partial_search_circuit(5, 2, t, 3, 1))
+            np.testing.assert_allclose(batch[t], expected, atol=ATOL)
+
+    def test_multi_target_grover_without_ancilla(self):
+        prog = compile_circuit(grover_circuit(5, 0, 4), parametric_targets=True)
+        batch = prog.run_multi_target(np.arange(32))
+        for t in (0, 7, 31):
+            np.testing.assert_allclose(
+                batch[t], run_circuit(grover_circuit(5, t, 4)), atol=ATOL
+            )
+
+    def test_parametric_program_rejects_plain_run(self):
+        prog = compile_circuit(grover_circuit(3, 1, 1), parametric_targets=True)
+        with pytest.raises(ValueError):
+            prog.run()
+
+    def test_plain_program_rejects_multi_target(self):
+        prog = compile_circuit(grover_circuit(3, 1, 1))
+        with pytest.raises(ValueError):
+            prog.run_multi_target([0, 1])
+
+
+class TestRegistry:
+    def test_backends_registered(self):
+        assert set(BACKENDS) >= {"naive", "compiled"}
+        assert get_backend("naive") is run_circuit
+        assert get_backend("compiled") is run_circuit_compiled
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            get_backend("quantum-hardware")
+
+    def test_execute_dispatches_identically(self, rng):
+        circ = _random_circuit(rng, 4, 20)
+        init = _random_state(rng, 16)
+        np.testing.assert_allclose(
+            execute(circ, init, backend="compiled"),
+            execute(circ, init, backend="naive"),
+            atol=ATOL,
+        )
+
+    def test_run_circuit_compiled_memoises(self):
+        circ = grover_circuit(4, 5, 2)
+        out1 = run_circuit_compiled(circ)
+        out2 = run_circuit_compiled(grover_circuit(4, 5, 2))
+        np.testing.assert_allclose(out1, out2, atol=0)

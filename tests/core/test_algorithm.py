@@ -114,3 +114,38 @@ class TestValidation:
         res = run_partial_search(SingleTargetDatabase(256, 200), 4)
         samples = res.measure_block(rng=0, size=100)
         assert np.mean(samples == 3) > 0.95
+
+
+class TestCircuitBackends:
+    @pytest.mark.parametrize("backend", ["naive", "compiled"])
+    def test_matches_kernel_run_exactly(self, backend):
+        kern = run_partial_search(SingleTargetDatabase(64, 37), 4)
+        db = SingleTargetDatabase(64, 37)
+        res = run_partial_search(db, 4, backend=backend)
+        np.testing.assert_allclose(res.branches, kern.branches, atol=1e-12)
+        np.testing.assert_allclose(
+            res.block_distribution, kern.block_distribution, atol=1e-12
+        )
+        assert res.block_guess == kern.block_guess
+        assert res.queries == kern.queries == db.queries_used
+
+    def test_compiled_backend_every_target(self):
+        n, k = 32, 4
+        for target in range(n):
+            db = SingleTargetDatabase(n, target)
+            res = run_partial_search(db, k, backend="compiled")
+            assert res.block_guess == db.reveal_target_block(k)
+
+    def test_circuit_backend_needs_power_of_two(self):
+        with pytest.raises(ValueError, match="powers of two"):
+            run_partial_search(SingleTargetDatabase(12, 5), 3, backend="compiled")
+
+    def test_tracing_requires_kernels(self):
+        with pytest.raises(ValueError, match="tracing"):
+            run_partial_search(
+                SingleTargetDatabase(64, 1), 4, backend="compiled", trace=True
+            )
+
+    def test_backend_typo_names_known_backends(self):
+        with pytest.raises(ValueError, match="unknown backend 'kernel'"):
+            run_partial_search(SingleTargetDatabase(64, 1), 4, backend="kernel")

@@ -58,3 +58,38 @@ class TestBatchValidation:
         a = run_partial_search_batch(256, 4, [5], epsilon=0.3)
         b = run_partial_search_batch(256, 4, [5], epsilon=0.6)
         assert a.schedule.l1 > b.schedule.l1
+
+
+class TestBatchBackends:
+    def test_circuit_backends_match_kernels(self):
+        kernels = run_partial_search_batch(64, 4, range(64))
+        for backend in ("naive", "compiled"):
+            got = run_partial_search_batch(64, 4, range(64), backend=backend)
+            np.testing.assert_allclose(
+                got.success_probabilities, kernels.success_probabilities, atol=1e-12
+            )
+            np.testing.assert_array_equal(got.block_guesses, kernels.block_guesses)
+            assert got.queries_per_run == kernels.queries_per_run
+
+    def test_compiled_backend_subset_of_targets(self):
+        targets = [3, 17, 40, 63]
+        kernels = run_partial_search_batch(64, 8, targets)
+        compiled = run_partial_search_batch(64, 8, targets, backend="compiled")
+        np.testing.assert_allclose(
+            compiled.success_probabilities, kernels.success_probabilities, atol=1e-12
+        )
+        assert compiled.all_correct
+
+    def test_circuit_backends_need_power_of_two(self):
+        with pytest.raises(ValueError, match="powers of two"):
+            run_partial_search_batch(12, 3, range(12), backend="compiled")
+        with pytest.raises(ValueError, match="powers of two"):
+            run_partial_search_batch(12, 3, range(12), backend="naive")
+
+    def test_unknown_backend_rejected(self):
+        # Validated up front: the error names the options even when the
+        # geometry would have been rejected too.
+        with pytest.raises(ValueError, match="unknown backend 'dense'"):
+            run_partial_search_batch(16, 4, [1], backend="dense")
+        with pytest.raises(ValueError, match="unknown backend 'dense'"):
+            run_partial_search_batch(12, 3, [1], backend="dense")

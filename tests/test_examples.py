@@ -1,5 +1,6 @@
 """Every example script must run clean and print its headline facts."""
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -7,6 +8,7 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 CASES = {
     "quickstart.py": ["algorithm's answer:    block 2", "saving vs full search"],
@@ -21,11 +23,18 @@ CASES = {
 
 @pytest.mark.parametrize("script", sorted(CASES))
 def test_example_runs(script):
+    env = dict(os.environ)
+    # The examples import repro from the source tree; the child process does
+    # not inherit pytest's `pythonpath` ini patching, so pass it explicitly.
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / script)],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert proc.returncode == 0, proc.stderr
     for needle in CASES[script]:
