@@ -16,11 +16,11 @@ the full simulator (one vectorised sweep per schedule).
 
 import numpy as np
 
-from repro.core.batch import run_partial_search_batch
 from repro.core.optimizer import optimal_epsilon
 from repro.core.parameters import GRKParameters, max_feasible_epsilon, plan_schedule
 from repro.core.subspace import SubspaceGRK
 from repro.core.sure_success import plan_sure_success
+from repro.engine import SearchEngine, SearchRequest
 from repro.util.tables import format_table
 
 N, K = 4096, 4
@@ -53,7 +53,10 @@ def _ablate():
 
     plain = plan_schedule(N, K)
     sure = plan_sure_success(N, K)
-    batch = run_partial_search_batch(N, K, range(0, N, 61), schedule=plain)
+    batch = SearchEngine().search_batch(
+        SearchRequest(n_items=N, n_blocks=K, options={"schedule": plain}),
+        targets=range(0, N, 61),
+    )
     sure_rows = [
         ("plain", plain.queries, 1 - batch.worst_success),
         ("sure-success", sure.queries, sure.predicted_failure),

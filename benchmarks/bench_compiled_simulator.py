@@ -1,8 +1,8 @@
-"""Wall-time trajectory for the circuit backends: naive vs compiled vs batched.
+"""Wall-time + memory trajectory for the circuit backends.
 
 Run as a script (``python benchmarks/bench_compiled_simulator.py``) from the
 repo root; it writes ``BENCH_simulator.json`` there so every PR carries a
-comparable perf snapshot.  Three measurements:
+comparable perf snapshot.  Four measurements:
 
 - ``single``: the 12-address-qubit GRK partial-search circuit (13 wires,
   the paper-planned schedule for ``N = 4096, K = 4``) executed once —
@@ -12,30 +12,62 @@ comparable perf snapshot.  Three measurements:
   1024``) — one parametric compiled program over the whole batch vs a
   Python loop of single runs (naive loop extrapolated from a sample;
   compiled loop measured in full).
-- ``acceptance``: the PR gate — compiled >= 5x naive on the single circuit,
-  batched >= 10x the single-run loop.
+- ``sharded``: the engine's memory-bounded all-targets batch at 12 address
+  qubits — a ``(4096, 8192)`` complex state (~0.5 GB) unsharded — executed
+  under the default 128 MiB shard budget, with the tracemalloc peak of the
+  sharded vs unsharded runs and a bit-identity check between them.
+- ``acceptance``: the PR gate — compiled >= 5x naive on the single
+  circuit, batched >= 10x the single-run loop, and the sharded batch
+  bit-identical under its budget.
+
+``--quick`` runs a reduced configuration (fewer qubits, smaller budgets,
+relaxed speedup floors) for the CI smoke job; the JSON records which mode
+produced it.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import pathlib
 import statistics
 import time
+import tracemalloc
 
 import numpy as np
 
 from repro.circuits import partial_search_circuit, run_circuit
 from repro.circuits.compiler import compile_circuit
 from repro.core.parameters import plan_schedule
+from repro.engine import SearchEngine, SearchRequest, ShardPolicy
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_simulator.json"
 
-SINGLE_ADDRESS_QUBITS = 12  # N = 4096, 13 wires with the ancilla
-BATCH_ADDRESS_QUBITS = 10   # B = N = 1024 rows of 2048 amplitudes
-N_BLOCK_BITS = 2            # K = 4
-NAIVE_LOOP_SAMPLE = 32      # targets actually run for the loop extrapolation
+N_BLOCK_BITS = 2  # K = 4
+
+#: Full vs --quick configurations: (single qubits, batch qubits, naive-loop
+#: sample size, sharded qubits, shard budget bytes, speedup floors).
+CONFIGS = {
+    "full": {
+        "single_address_qubits": 12,  # N = 4096, 13 wires with the ancilla
+        "batch_address_qubits": 10,   # B = N = 1024 rows of 2048 amplitudes
+        "naive_loop_sample": 32,
+        "sharded_address_qubits": 12,  # (4096, 8192) complex unsharded
+        "shard_budget_bytes": 128 * 1024 * 1024,
+        "floor_compiled_vs_naive": 5.0,
+        "floor_batched_vs_loop": 10.0,
+    },
+    "quick": {
+        "single_address_qubits": 10,
+        "batch_address_qubits": 8,
+        "naive_loop_sample": 16,
+        "sharded_address_qubits": 10,  # (1024, 2048) complex unsharded
+        "shard_budget_bytes": 8 * 1024 * 1024,
+        "floor_compiled_vs_naive": 3.0,
+        "floor_batched_vs_loop": 5.0,
+    },
+}
 
 
 def _time(fn, repeats: int = 3) -> float:
@@ -48,10 +80,22 @@ def _time(fn, repeats: int = 3) -> float:
     return min(times)
 
 
-def bench_single() -> dict:
-    n = SINGLE_ADDRESS_QUBITS
+def _traced(fn):
+    """``(result, wall_s, tracemalloc_peak_bytes)`` for one call of ``fn``."""
+    tracemalloc.start()
+    t0 = time.perf_counter()
+    result = fn()
+    wall = time.perf_counter() - t0
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, wall, peak
+
+
+def bench_single(cfg: dict) -> dict:
+    n = cfg["single_address_qubits"]
     sched = plan_schedule(1 << n, 1 << N_BLOCK_BITS)
-    circuit = partial_search_circuit(n, N_BLOCK_BITS, target=1234, l1=sched.l1, l2=sched.l2)
+    target = 1234 % (1 << n)
+    circuit = partial_search_circuit(n, N_BLOCK_BITS, target=target, l1=sched.l1, l2=sched.l2)
 
     t_naive = _time(lambda: run_circuit(circuit))
     t_compile = _time(lambda: compile_circuit(circuit), repeats=1)
@@ -72,8 +116,8 @@ def bench_single() -> dict:
     }
 
 
-def bench_batched() -> dict:
-    n = BATCH_ADDRESS_QUBITS
+def bench_batched(cfg: dict) -> dict:
+    n = cfg["batch_address_qubits"]
     n_items = 1 << n
     sched = plan_schedule(n_items, 1 << N_BLOCK_BITS)
 
@@ -88,7 +132,10 @@ def bench_batched() -> dict:
     def naive_one(target: int):
         run_circuit(partial_search_circuit(n, N_BLOCK_BITS, target, sched.l1, sched.l2))
 
-    sample = [_time(lambda t=t: naive_one(t), repeats=1) for t in range(NAIVE_LOOP_SAMPLE)]
+    sample = [
+        _time(lambda t=t: naive_one(t), repeats=1)
+        for t in range(cfg["naive_loop_sample"])
+    ]
     t_naive_loop = statistics.mean(sample) * n_items
 
     def compiled_loop():
@@ -104,27 +151,88 @@ def bench_batched() -> dict:
         "schedule": {"l1": sched.l1, "l2": sched.l2},
         "batched_s": t_batched,
         "naive_loop_s_extrapolated": t_naive_loop,
-        "naive_loop_sample_size": NAIVE_LOOP_SAMPLE,
+        "naive_loop_sample_size": cfg["naive_loop_sample"],
         "compiled_loop_s": t_compiled_loop,
         "speedup_batched_vs_naive_loop": t_naive_loop / t_batched,
         "speedup_batched_vs_compiled_loop": t_compiled_loop / t_batched,
     }
 
 
-def main() -> dict:
-    single = bench_single()
-    batched = bench_batched()
+def bench_sharded(cfg: dict) -> dict:
+    """The ROADMAP sharding item, measured: all-targets batch under a byte
+    budget vs the unsharded single-shard execution (peak RSS + identity)."""
+    n = cfg["sharded_address_qubits"]
+    n_items = 1 << n
+    budget = cfg["shard_budget_bytes"]
+    engine = SearchEngine()
+
+    def run(policy: ShardPolicy, targets=None):
+        return engine.search_batch(
+            SearchRequest(
+                n_items=n_items,
+                n_blocks=1 << N_BLOCK_BITS,
+                backend="compiled",
+                shards=policy,
+            ),
+            targets=targets,
+        )
+
+    # Warm the compile cache (one tiny batch) so the shard comparison
+    # measures execution only, not the one-off program compile.
+    run(ShardPolicy(max_bytes=budget), targets=[0])
+
+    sharded, t_sharded, peak_sharded = _traced(lambda: run(ShardPolicy(max_bytes=budget)))
+    # The unsharded reference needs an effectively unlimited byte budget
+    # (max_rows alone cannot raise the planner's byte-derived row count).
+    unsharded, t_unsharded, peak_unsharded = _traced(
+        lambda: run(ShardPolicy(max_bytes=1 << 62))
+    )
+    identical = bool(
+        np.array_equal(sharded.success_probabilities, unsharded.success_probabilities)
+        and np.array_equal(sharded.block_guesses, unsharded.block_guesses)
+    )
+    assert identical, "sharded batch diverged from the unsharded execution"
+    return {
+        "n_address_qubits": n,
+        "n_targets": int(n_items),
+        "budget_bytes": budget,
+        "n_shards": sharded.execution["n_shards"],
+        "shard_rows": sharded.execution["shard_rows"],
+        "sharded_s": t_sharded,
+        "unsharded_s": t_unsharded,
+        "peak_sharded_bytes": peak_sharded,
+        "peak_unsharded_bytes": peak_unsharded,
+        "peak_ratio": peak_sharded / peak_unsharded,
+        "bit_identical": identical,
+        "sharded_under_budget": bool(peak_sharded <= budget),
+    }
+
+
+def main(mode: str = "full") -> dict:
+    cfg = CONFIGS[mode]
+    single = bench_single(cfg)
+    batched = bench_batched(cfg)
+    sharded = bench_sharded(cfg)
     results = {
         "bench": "compiled_simulator",
+        "mode": mode,
         "description": (
             "naive gate-by-gate vs compiled fused program vs batched "
-            "multi-target execution of the GRK partial-search circuit"
+            "multi-target execution of the GRK partial-search circuit, plus "
+            "the engine's memory-bounded sharded all-targets batch"
         ),
         "single": single,
         "batched": batched,
+        "sharded": sharded,
         "acceptance": {
-            "compiled_at_least_5x_naive": single["speedup_compiled_vs_naive"] >= 5.0,
-            "batched_at_least_10x_loop": batched["speedup_batched_vs_naive_loop"] >= 10.0,
+            f"compiled_at_least_{cfg['floor_compiled_vs_naive']:g}x_naive":
+                single["speedup_compiled_vs_naive"] >= cfg["floor_compiled_vs_naive"],
+            f"batched_at_least_{cfg['floor_batched_vs_loop']:g}x_loop":
+                batched["speedup_batched_vs_naive_loop"] >= cfg["floor_batched_vs_loop"],
+            "sharded_bit_identical": sharded["bit_identical"],
+            "sharded_peak_under_budget": sharded["sharded_under_budget"],
+            "sharded_peak_below_unsharded": sharded["n_shards"] <= 1
+                or sharded["peak_sharded_bytes"] < sharded["peak_unsharded_bytes"],
         },
     }
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
@@ -135,4 +243,10 @@ def main() -> dict:
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced configuration for the CI smoke job",
+    )
+    main("quick" if parser.parse_args().quick else "full")

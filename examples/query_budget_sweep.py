@@ -17,8 +17,9 @@ Run:  python examples/query_budget_sweep.py
 
 import math
 
-from repro.analysis.sweep import sweep_coefficients, sweep_partial_search
+from repro.analysis.sweep import sweep_coefficients
 from repro.analysis.theory import LARGE_K_CONSTANT
+from repro.engine import SearchEngine
 from repro.util.tables import format_table
 
 
@@ -46,7 +47,7 @@ def main() -> None:
     print(f"\nTheorem 1's constant: c_K*sqrt(K) >= {LARGE_K_CONSTANT:.4f} ~ 0.42\n")
 
     # Exact integer schedules at a size no state vector could hold.
-    big = sweep_partial_search([2**40], [4, 16, 256])
+    big = SearchEngine().sweep([2**40], [4, 16, 256])
     rows = [
         [r["n_blocks"], r["l1"], r["l2"], r["queries"], r["coefficient"],
          f"{r['failure']:.2e}"]

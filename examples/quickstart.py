@@ -6,28 +6,35 @@ We want only the *first two bits* of that address — which quarter of the
 database it lives in — and we want to beat the (pi/4) sqrt(N) ~ 50 queries
 full Grover search would spend.
 
+The supported surface is the :class:`repro.engine.SearchEngine` facade: a
+typed :class:`~repro.engine.SearchRequest` in, a normalized
+:class:`~repro.engine.SearchReport` (answer + query accounting + schedule
+provenance) out.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import SingleTargetDatabase, run_partial_search
+from repro.engine import SearchEngine, SearchRequest
 from repro.grover.angles import queries_for_full_search
 
 
 def main() -> None:
     n_items, n_blocks, target = 4096, 4, 2717
 
-    db = SingleTargetDatabase(n_items=n_items, target=target)
-    result = run_partial_search(db, n_blocks=n_blocks)
+    engine = SearchEngine()
+    report = engine.search(
+        SearchRequest(n_items=n_items, n_blocks=n_blocks, target=target, method="grk")
+    )
 
     print(f"database size N = {n_items},  blocks K = {n_blocks}")
     print(f"secret target address: {target} (block {target // (n_items // n_blocks)})")
     print()
-    print(f"algorithm's answer:    block {result.block_guess}")
-    print(f"success probability:   {result.success_probability:.6f}")
-    print(f"oracle queries spent:  {result.queries}"
-          f"  (l1={result.schedule.l1} global + l2={result.schedule.l2} local + 1)")
+    print(f"algorithm's answer:    block {report.block_guess}")
+    print(f"success probability:   {report.success_probability:.6f}")
+    print(f"oracle queries spent:  {report.queries}"
+          f"  (l1={report.schedule['l1']} global + l2={report.schedule['l2']} local + 1)")
     print(f"full-search budget:    {queries_for_full_search(n_items):.1f} queries")
-    saving = 1 - result.queries / queries_for_full_search(n_items)
+    saving = 1 - report.queries / queries_for_full_search(n_items)
     print(f"saving vs full search: {100 * saving:.1f}%")
 
 

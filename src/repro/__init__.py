@@ -15,16 +15,35 @@ The library implements, from scratch on a numpy state-vector substrate:
 - analytic **subspace models** evaluating everything in O(1) per schedule
   for arbitrarily large ``N``.
 
+The supported execution surface is the :mod:`repro.engine` facade: a typed
+:class:`SearchRequest` selects the method (``grk``, ``grk-sure-success``,
+``naive-blocks``, ``grover-full``, ``classical``, ``subspace``) and backend
+from the registries, and every run returns a normalized
+:class:`SearchReport` with full schedule provenance.
+
 Quickstart::
 
-    from repro import SingleTargetDatabase, run_partial_search
+    from repro import SearchEngine, SearchRequest
 
-    db = SingleTargetDatabase(n_items=4096, target=2717)
-    result = run_partial_search(db, n_blocks=4)
-    print(result.block_guess, result.queries, result.success_probability)
+    engine = SearchEngine()
+    report = engine.search(
+        SearchRequest(n_items=4096, n_blocks=4, target=2717, method="grk")
+    )
+    print(report.block_guess, report.queries, report.success_probability)
 
-See README.md for the architecture overview, DESIGN.md for the
-paper-to-module map, and EXPERIMENTS.md for paper-vs-measured numbers.
+Batches shard automatically under a memory budget (default ≲128 MiB)::
+
+    report = engine.search_batch(
+        SearchRequest(n_items=4096, n_blocks=4, backend="compiled")
+    )  # every target, sharded (B_chunk, N) execution
+    print(report.worst_success, report.execution["n_shards"])
+
+The original ``run_*`` entry points (``run_partial_search``,
+``run_grover``, ...) remain importable — the engine dispatches *to* them —
+but new code should go through :class:`SearchEngine`;
+``run_partial_search_batch`` and ``sweep_partial_search`` are deprecated
+wrappers over the engine.  See README.md for the architecture overview
+and the full deprecation path.
 """
 
 from repro.core import (
@@ -41,6 +60,15 @@ from repro.core import (
     run_partial_search,
     run_sure_success_partial_search,
 )
+from repro.engine import (
+    BatchReport,
+    SearchEngine,
+    SearchReport,
+    SearchRequest,
+    ShardPolicy,
+    available_methods,
+    register_method,
+)
 from repro.grover import TwoLevelGrover, run_exact_grover, run_grover
 from repro.lowerbounds import (
     analyze_grover_hybrids,
@@ -50,7 +78,7 @@ from repro.lowerbounds import (
 from repro.oracle import Database, QueryCounter, SingleTargetDatabase
 from repro.statevector import StateVector
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BlockSpec",
@@ -65,6 +93,13 @@ __all__ = [
     "run_naive_partial_search",
     "run_partial_search",
     "run_sure_success_partial_search",
+    "SearchEngine",
+    "SearchRequest",
+    "SearchReport",
+    "BatchReport",
+    "ShardPolicy",
+    "available_methods",
+    "register_method",
     "TwoLevelGrover",
     "run_exact_grover",
     "run_grover",

@@ -5,22 +5,25 @@ cost microseconds per cell; pass ``simulate=True`` to cross-check cells on
 the full simulator — by default the compiled gate-level backend run over
 *every* target in one batched program (see :mod:`repro.circuits.compiler`),
 so even the all-targets check stays cheap at simulable sizes.
+
+The implementation lives in :meth:`repro.engine.SearchEngine.sweep` (which
+adds the memory-bounded shard policy for the simulated cells);
+:func:`sweep_partial_search` remains as a thin deprecated wrapper.
 """
 
 from __future__ import annotations
 
 import math
+import warnings
 from typing import Iterable, Sequence
 
-from repro.core.blockspec import BlockSpec
-from repro.core.parameters import plan_schedule
-from repro.core.subspace import SubspaceGRK
-from repro.util.bits import is_power_of_two
+from repro.engine.engine import SWEEP_SIMULATE_MAX_ITEMS
 
 __all__ = ["sweep_partial_search", "sweep_coefficients"]
 
-#: Largest ``N`` a ``simulate=True`` sweep will run on the full simulator.
-SIMULATE_MAX_ITEMS = 4096
+#: Largest ``N`` a ``simulate=True`` sweep will run on the full simulator
+#: (alias of the engine's constant — the engine owns the implementation).
+SIMULATE_MAX_ITEMS = SWEEP_SIMULATE_MAX_ITEMS
 
 
 def sweep_partial_search(
@@ -32,6 +35,11 @@ def sweep_partial_search(
     backend: str = "compiled",
 ) -> list[dict]:
     """Exact schedule/query/success grid via the subspace model.
+
+    .. deprecated::
+        Thin wrapper over :meth:`repro.engine.SearchEngine.sweep`, kept for
+        source compatibility; new code should call the engine, which also
+        exposes the shard policy for the simulated cells.
 
     Returns one row per ``(N, K)`` with keys ``n_items``, ``n_blocks``,
     ``epsilon``, ``l1``, ``l2``, ``queries``, ``coefficient``
@@ -45,46 +53,21 @@ def sweep_partial_search(
     adding keys ``sim_worst_success`` (min over targets) and
     ``sim_all_correct``.  Cells too large to simulate get ``None`` there.
     """
-    from repro.core.backends import validate_backend
-    from repro.core.batch import run_partial_search_batch
+    warnings.warn(
+        "sweep_partial_search is deprecated; use repro.engine.SearchEngine.sweep",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.engine import SearchEngine
 
-    if simulate:
-        validate_backend(backend)
-    rows = []
-    for n in n_items_values:
-        for k in n_blocks_values:
-            if k < 2 or n % k != 0 or n // k < 2:
-                continue
-            schedule = plan_schedule(n, k, epsilon)
-            model = SubspaceGRK(BlockSpec(n, k))
-            failure = model.failure_probability(schedule.l1, schedule.l2)
-            row = {
-                "n_items": n,
-                "n_blocks": k,
-                "epsilon": schedule.epsilon,
-                "l1": schedule.l1,
-                "l2": schedule.l2,
-                "queries": schedule.queries,
-                "coefficient": schedule.queries / math.sqrt(n),
-                "success": schedule.predicted_success,
-                "failure": failure,
-            }
-            if simulate:
-                row["sim_worst_success"] = None
-                row["sim_all_correct"] = None
-                if n <= SIMULATE_MAX_ITEMS:
-                    cell_backend = backend
-                    if cell_backend != "kernels" and not (
-                        is_power_of_two(n) and is_power_of_two(k)
-                    ):
-                        cell_backend = "kernels"
-                    result = run_partial_search_batch(
-                        n, k, range(n), schedule=schedule, backend=cell_backend
-                    )
-                    row["sim_worst_success"] = result.worst_success
-                    row["sim_all_correct"] = result.all_correct
-            rows.append(row)
-    return rows
+    return SearchEngine().sweep(
+        n_items_values,
+        n_blocks_values,
+        epsilon,
+        simulate=simulate,
+        backend=backend,
+        simulate_max_items=SIMULATE_MAX_ITEMS,
+    )
 
 
 def sweep_coefficients(n_blocks_values: Iterable[int]) -> list[dict]:

@@ -1,13 +1,91 @@
-"""The circuit container: an ordered gate list on a fixed wire count."""
+"""The circuit container: an ordered gate list on a fixed wire count.
+
+Circuits also maintain a **structural fingerprint** — a 128-bit digest of
+the wire count and gate sequence, folded incrementally at :meth:`append`
+time.  The compiled backend memoises programs on it, so looking up a
+~2.5k-gate circuit in the compile cache costs O(1) instead of re-hashing
+the full gate tuple on every run.
+"""
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
 from repro.circuits.gates import Gate
 
 __all__ = ["Circuit"]
+
+
+class _GateList(list):
+    """Gate storage that versions every non-append mutation.
+
+    ``append``/``extend`` stay on the fast path (length changes are caught
+    by the fingerprint's own counter); every other mutator — item/slice
+    assignment, deletion, ``insert``, ``pop``, ``remove``, ``sort``,
+    ``reverse``, in-place operators — bumps ``version``, which the owning
+    circuit compares against the version it last absorbed.  That makes
+    out-of-contract in-place edits O(1)-detectable instead of silently
+    serving a stale compiled program.
+    """
+
+    def __init__(self, iterable=()):
+        super().__init__(iterable)
+        self.version = 0
+
+    def _bump(self):
+        self.version += 1
+
+    def __setitem__(self, index, value):
+        self._bump()
+        return super().__setitem__(index, value)
+
+    def __delitem__(self, index):
+        self._bump()
+        return super().__delitem__(index)
+
+    def __iadd__(self, other):
+        self._bump()
+        return super().__iadd__(other)
+
+    def __imul__(self, other):
+        self._bump()
+        return super().__imul__(other)
+
+    def insert(self, index, value):
+        self._bump()
+        return super().insert(index, value)
+
+    def pop(self, index=-1):
+        self._bump()
+        return super().pop(index)
+
+    def remove(self, value):
+        self._bump()
+        return super().remove(value)
+
+    def clear(self):
+        self._bump()
+        return super().clear()
+
+    def sort(self, **kwargs):
+        self._bump()
+        return super().sort(**kwargs)
+
+    def reverse(self):
+        self._bump()
+        return super().reverse()
+
+    def __reduce__(self):
+        # list subclass pickling: rebuild from contents, restore version.
+        return (_rebuild_gate_list, (list(self), self.version))
+
+
+def _rebuild_gate_list(items, version):
+    out = _GateList(items)
+    out.version = version
+    return out
 
 
 @dataclass
@@ -31,8 +109,12 @@ class Circuit:
     def __post_init__(self):
         if self.n_qubits < 1:
             raise ValueError("n_qubits must be positive")
+        if not isinstance(self.gates, _GateList):
+            self.gates = _GateList(self.gates)
+        self._reset_fingerprint()
         for gate in self.gates:
             self._check(gate)
+            self._absorb(gate)
 
     def _check(self, gate: Gate) -> None:
         if gate.qubits and max(gate.qubits) >= self.n_qubits:
@@ -41,11 +123,57 @@ class Circuit:
                 f"{self.n_qubits} wires"
             )
 
+    # The fingerprint is a 128-bit polynomial fold of per-gate blake2b
+    # digests — plain ints, so circuits stay picklable/copyable value
+    # objects and each append costs O(1).
+    _FP_MOD = 1 << 128
+    _FP_PRIME = 0x1000000000000000000000000000018D  # odd, > 2**120
+
+    def _reset_fingerprint(self) -> None:
+        self._fp = self.n_qubits
+        self._n_hashed = 0
+        self._seen_version = getattr(self.gates, "version", -1)
+
+    def _absorb(self, gate: Gate) -> None:
+        """Fold one gate into the running fingerprint (O(1)).
+
+        The encoding covers every semantic field, including ``tag``: tags do
+        not change the unitary, but the compiler's fusion decisions key off
+        oracle tags, so tagged and untagged twins must not share a program.
+        """
+        enc = f"{gate.name}|{gate.qubits}|{gate.param!r}|{gate.tag}".encode()
+        g = int.from_bytes(hashlib.blake2b(enc, digest_size=16).digest(), "big")
+        self._fp = (self._fp * self._FP_PRIME + g) % self._FP_MOD
+        self._n_hashed += 1
+
+    @property
+    def structural_fingerprint(self) -> tuple[int, int, int]:
+        """O(1) identity key ``(n_qubits, n_gates, digest)`` of this circuit.
+
+        Two circuits with equal fingerprints have the same wire count and
+        gate-for-gate identical sequences (up to 128-bit hash collisions).
+        ``gates`` is contractually mutated only via :meth:`append` /
+        :meth:`extend`; as a safety net, direct list edits are still
+        detected in O(1) — length changes through the absorbed-gate
+        counter, everything else (item/slice assignment, deletion,
+        reordering) through the :class:`_GateList` mutation version — and
+        trigger a full rebuild instead of serving a stale key.
+        """
+        stale = self._n_hashed != len(self.gates) or self._seen_version != getattr(
+            self.gates, "version", -1
+        )
+        if stale:
+            self._reset_fingerprint()
+            for gate in self.gates:
+                self._absorb(gate)
+        return (self.n_qubits, len(self.gates), self._fp)
+
     # ------------------------------------------------------------- building
     def append(self, gate: Gate) -> "Circuit":
         """Add one gate (validated against the wire count); returns self."""
         self._check(gate)
         self.gates.append(gate)
+        self._absorb(gate)
         return self
 
     def extend(self, gates: Iterable[Gate]) -> "Circuit":

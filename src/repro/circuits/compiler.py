@@ -49,6 +49,7 @@ circuits over the full gate set.
 from __future__ import annotations
 
 import cmath
+import threading
 from functools import lru_cache
 
 import numpy as np
@@ -60,6 +61,8 @@ __all__ = [
     "CompiledCircuit",
     "compile_circuit",
     "run_circuit_compiled",
+    "compile_cache_info",
+    "clear_compile_cache",
 ]
 
 _SQRT2 = 1.0 / np.sqrt(2.0)
@@ -223,6 +226,13 @@ class DiffusionOp(_Op):
     control-matched part of the trailing axis.  ``negate=True`` absorbs a
     following ``GPHASE(pi)``, turning the natural ``I - 2|u><u|`` into the
     paper's ``+I_0``.
+
+    When the controls match exactly **one** trailing column — true whenever
+    the only control is the ancilla, i.e. Step 3's controlled inversion,
+    the only controlled diffusion the builders emit today — the update runs
+    on a copy-free strided view of that column instead of a fancy-indexed
+    gather/scatter (``strided=False`` forces the general path; the
+    equivalence is pinned by a test).
     """
 
     def __init__(
@@ -232,6 +242,7 @@ class DiffusionOp(_Op):
         width: int,
         ctrl_sel: np.ndarray | None = None,
         negate: bool = False,
+        strided: bool = True,
     ):
         self.n_qubits = n_qubits
         self.first = first
@@ -241,10 +252,20 @@ class DiffusionOp(_Op):
         self.right = 1 << (n_qubits - first - width)
         self.ctrl_sel = ctrl_sel
         self.negate = negate
+        self.ctrl_col = (
+            int(ctrl_sel[0])
+            if strided and ctrl_sel is not None and ctrl_sel.size == 1
+            else None
+        )
 
     def negated(self) -> "DiffusionOp":
         return DiffusionOp(
-            self.n_qubits, self.first, self.width, self.ctrl_sel, not self.negate
+            self.n_qubits,
+            self.first,
+            self.width,
+            self.ctrl_sel,
+            not self.negate,
+            strided=self.ctrl_col is not None or self.ctrl_sel is None,
         )
 
     def apply(self, state: np.ndarray) -> np.ndarray:
@@ -255,6 +276,16 @@ class DiffusionOp(_Op):
                 np.subtract(2.0 * mean, view, out=view)
             else:
                 view -= 2.0 * mean
+            return state
+        if self.ctrl_col is not None:
+            # Single matched column: basic indexing yields a strided view
+            # into the state, so the kernel updates it with zero copies.
+            sub = view[..., self.ctrl_col]
+            mean = sub.mean(axis=-1, keepdims=True)
+            if self.negate:
+                np.subtract(2.0 * mean, sub, out=sub)
+            else:
+                sub -= 2.0 * mean
             return state
         sub = view[..., self.ctrl_sel]  # copy of the control-matched columns
         mean = sub.mean(axis=-2, keepdims=True)
@@ -722,14 +753,49 @@ def compile_circuit(
     return CompiledCircuit(circuit.n_qubits, ops, parametric=parametric_targets)
 
 
-@lru_cache(maxsize=64)
-def _compile_cached(n_qubits: int, gates: tuple[Gate, ...]) -> CompiledCircuit:
-    return compile_circuit(Circuit(n_qubits, list(gates)))
+#: Memoised programs keyed on :attr:`Circuit.structural_fingerprint` — the
+#: O(1) running digest folded at ``Circuit.append`` time, so a cache hit
+#: never re-hashes the ~2.5k-gate tuple.  Insertion-ordered dict used as an
+#: LRU: hits are re-inserted at the end, eviction pops the front.
+_COMPILE_CACHE: dict[tuple, CompiledCircuit] = {}
+_COMPILE_CACHE_MAX = 64
+_COMPILE_CACHE_LOCK = threading.Lock()
+_compile_cache_stats = {"hits": 0, "misses": 0}
+
+
+def compile_cache_info() -> dict:
+    """Hit/miss/size counters of the fingerprint-keyed compile cache."""
+    with _COMPILE_CACHE_LOCK:
+        return {**_compile_cache_stats, "size": len(_COMPILE_CACHE)}
+
+
+def clear_compile_cache() -> None:
+    """Drop every memoised program (and reset the counters)."""
+    with _COMPILE_CACHE_LOCK:
+        _COMPILE_CACHE.clear()
+        _compile_cache_stats["hits"] = 0
+        _compile_cache_stats["misses"] = 0
 
 
 def run_circuit_compiled(
     circuit: Circuit, initial: np.ndarray | None = None
 ) -> np.ndarray:
     """Drop-in replacement for :func:`repro.circuits.simulator.run_circuit`
-    that compiles (with memoisation on the gate sequence) and executes."""
-    return _compile_cached(circuit.n_qubits, tuple(circuit.gates)).run(initial)
+    that compiles (memoised on the circuit's structural fingerprint) and
+    executes."""
+    key = circuit.structural_fingerprint
+    with _COMPILE_CACHE_LOCK:
+        program = _COMPILE_CACHE.pop(key, None)
+        if program is not None:
+            _compile_cache_stats["hits"] += 1
+            _COMPILE_CACHE[key] = program  # refresh LRU recency
+    if program is None:
+        # Compile outside the lock (it is the expensive part); a racing
+        # duplicate compile is harmless — last writer wins.
+        program = compile_circuit(circuit)
+        with _COMPILE_CACHE_LOCK:
+            _compile_cache_stats["misses"] += 1
+            while len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
+                _COMPILE_CACHE.pop(next(iter(_COMPILE_CACHE)), None)
+            _COMPILE_CACHE[key] = program
+    return program.run(initial)

@@ -7,6 +7,13 @@ loops.  This is the guide-recommended way to compute success statistics over
 *every* target of an instance (e.g. the worst-case-over-targets numbers in
 the ablation bench) at 10-50x the throughput of per-target runs.
 
+This module owns the *chunk primitive* :func:`execute_batch_rows` — one
+memory-resident ``(B_chunk, N)`` sweep on a named backend.  Memory-bounded
+sharding, process fan-out, and the supported public surface live in
+:mod:`repro.engine` (:meth:`repro.engine.SearchEngine.search_batch`);
+:func:`run_partial_search_batch` remains as a thin deprecated wrapper over
+the engine's sharded executor so existing callers keep working unchanged.
+
 Query accounting note: a batch models ``B`` separate executions of the same
 circuit, so the per-run query count is the schedule's ``l1 + l2 + 1``; the
 returned :class:`BatchResult` reports that per-run figure (matching what a
@@ -20,6 +27,7 @@ interpreting simulator — the slow oracle the fast paths are tested against.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from functools import lru_cache
 
@@ -30,7 +38,7 @@ from repro.core.blockspec import BlockSpec
 from repro.core.parameters import GRKSchedule, plan_schedule
 from repro.statevector import ops
 
-__all__ = ["BatchResult", "run_partial_search_batch"]
+__all__ = ["BatchResult", "execute_batch_rows", "run_partial_search_batch"]
 
 
 @dataclass(frozen=True)
@@ -71,54 +79,30 @@ def _phase_flip_batch(amps: np.ndarray, targets: np.ndarray) -> None:
     amps[rows, targets] *= -1.0
 
 
-def run_partial_search_batch(
-    n_items: int,
-    n_blocks: int,
-    targets,
-    epsilon: float | None = None,
-    *,
-    schedule: GRKSchedule | None = None,
-    backend: str = "kernels",
-) -> BatchResult:
-    """Run the GRK algorithm for many targets in one vectorised sweep.
+def execute_batch_rows(
+    schedule: GRKSchedule, targets: np.ndarray, backend: str
+) -> tuple[np.ndarray, np.ndarray]:
+    """Run one memory-resident ``(B_chunk, N)`` GRK sweep.
+
+    This is the shard primitive the engine's execution planner dispatches:
+    rows evolve independently, so concatenating the outputs of consecutive
+    chunks is bit-identical to one unsharded call.
 
     Args:
-        n_items: database size ``N``.
-        n_blocks: block count ``K``.
-        targets: iterable of target addresses (one independent run each).
-        epsilon: Step 1 parameter (``None`` = optimal for this ``K``).
-        schedule: pre-planned schedule overriding ``epsilon``.
-        backend: ``"kernels"`` (default) advances the whole batch with the
-            structured reflections below; ``"compiled"`` compiles the full
-            gate-level GRK circuit **once** with parametric targets and runs
-            every row through the shared fused program
-            (:meth:`~repro.circuits.compiler.CompiledCircuit.run_multi_target`);
-            ``"naive"`` loops the gate-by-gate simulator over the targets —
-            the slow correctness oracle the others are tested against.
-            Circuit backends need ``N`` and ``K`` to be powers of two.
+        schedule: the shared integer schedule (fixes ``N`` and ``K``).
+        targets: shape ``(B_chunk,)`` target addresses, one row each.
+        backend: ``"kernels"``, ``"compiled"``, or ``"naive"`` (see
+            :func:`run_partial_search_batch`).
 
     Returns:
-        :class:`BatchResult` with exact per-target success probabilities.
-
-    This bypasses the counted-oracle interface (batching is an analysis
-    tool, not an adversarial execution); its numbers are validated against
-    the counted runner in the test suite.
+        ``(success_probabilities, block_guesses)`` arrays of shape
+        ``(B_chunk,)``.
     """
-    validate_backend(backend)
-    if schedule is None:
-        schedule = plan_schedule(n_items, n_blocks, epsilon)
-    spec = schedule.spec
-    if spec.n_items != n_items or spec.n_blocks != n_blocks:
-        raise ValueError("schedule does not match this instance's (N, K)")
-    targets = np.asarray(list(targets), dtype=np.intp)
-    if targets.ndim != 1 or targets.size == 0:
-        raise ValueError("targets must be a non-empty 1-D collection")
-    if targets.min() < 0 or targets.max() >= n_items:
-        raise ValueError("targets out of address range")
-
     if backend != "kernels":
-        return _run_batch_on_circuit_backend(schedule, targets, backend)
+        return _execute_rows_on_circuit_backend(schedule, targets, backend)
 
+    spec = schedule.spec
+    n_items, n_blocks = spec.n_items, spec.n_blocks
     b = targets.size
     amps = np.full((b, n_items), 1.0 / np.sqrt(n_items))
 
@@ -142,12 +126,81 @@ def run_partial_search_batch(
     block_probs[rows, targets // spec.block_size] += parked**2
 
     true_blocks = targets // spec.block_size
+    return (
+        block_probs[rows, true_blocks].astype(float),
+        np.argmax(block_probs, axis=1),
+    )
+
+
+def run_partial_search_batch(
+    n_items: int,
+    n_blocks: int,
+    targets,
+    epsilon: float | None = None,
+    *,
+    schedule: GRKSchedule | None = None,
+    backend: str = "kernels",
+) -> BatchResult:
+    """Run the GRK algorithm for many targets in one vectorised sweep.
+
+    .. deprecated::
+        This wrapper is kept for source compatibility; new code should use
+        :meth:`repro.engine.SearchEngine.search_batch`, which adds the
+        memory-bounded shard policy and process fan-out.  The wrapper
+        executes through the engine's sharded executor with the default
+        128 MiB budget, so large all-targets batches no longer allocate the
+        full state matrix at once.
+
+    Args:
+        n_items: database size ``N``.
+        n_blocks: block count ``K``.
+        targets: iterable of target addresses (one independent run each).
+        epsilon: Step 1 parameter (``None`` = optimal for this ``K``).
+        schedule: pre-planned schedule overriding ``epsilon``.
+        backend: ``"kernels"`` (default) advances the whole batch with the
+            structured reflections of :func:`execute_batch_rows`;
+            ``"compiled"`` compiles the full gate-level GRK circuit **once**
+            with parametric targets and runs every row through the shared
+            fused program
+            (:meth:`~repro.circuits.compiler.CompiledCircuit.run_multi_target`);
+            ``"naive"`` loops the gate-by-gate simulator over the targets —
+            the slow correctness oracle the others are tested against.
+            Circuit backends need ``N`` and ``K`` to be powers of two.
+
+    Returns:
+        :class:`BatchResult` with exact per-target success probabilities.
+
+    This bypasses the counted-oracle interface (batching is an analysis
+    tool, not an adversarial execution); its numbers are validated against
+    the counted runner in the test suite.
+    """
+    warnings.warn(
+        "run_partial_search_batch is deprecated; use "
+        "repro.engine.SearchEngine.search_batch",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    validate_backend(backend)
+    if schedule is None:
+        schedule = plan_schedule(n_items, n_blocks, epsilon)
+    spec = schedule.spec
+    if spec.n_items != n_items or spec.n_blocks != n_blocks:
+        raise ValueError("schedule does not match this instance's (N, K)")
+    targets = np.asarray(list(targets), dtype=np.intp)
+    if targets.ndim != 1 or targets.size == 0:
+        raise ValueError("targets must be a non-empty 1-D collection")
+    if targets.min() < 0 or targets.max() >= n_items:
+        raise ValueError("targets out of address range")
+
+    from repro.engine.plan import run_grk_batch_sharded
+
+    success, guesses, _ = run_grk_batch_sharded(schedule, targets, backend)
     return BatchResult(
         spec=spec,
         schedule=schedule,
         targets=targets,
-        success_probabilities=block_probs[rows, true_blocks].astype(float),
-        block_guesses=np.argmax(block_probs, axis=1),
+        success_probabilities=success,
+        block_guesses=guesses,
         queries_per_run=schedule.queries,
     )
 
@@ -166,9 +219,9 @@ def _multi_target_program(
     )
 
 
-def _run_batch_on_circuit_backend(
+def _execute_rows_on_circuit_backend(
     schedule: GRKSchedule, targets: np.ndarray, backend: str
-) -> BatchResult:
+) -> tuple[np.ndarray, np.ndarray]:
     """Gate-level batched execution: one compiled program for all rows, or
     (``"naive"``) the interpreting simulator looped per target."""
     from repro.circuits import partial_search_circuit, run_circuit
@@ -195,11 +248,7 @@ def _run_batch_on_circuit_backend(
     block_probs = probs.reshape(b, spec.n_blocks, spec.block_size, 2).sum(axis=(2, 3))
     rows = np.arange(b)
     true_blocks = targets // spec.block_size
-    return BatchResult(
-        spec=spec,
-        schedule=schedule,
-        targets=targets,
-        success_probabilities=block_probs[rows, true_blocks].astype(float),
-        block_guesses=np.argmax(block_probs, axis=1),
-        queries_per_run=schedule.queries,
+    return (
+        block_probs[rows, true_blocks].astype(float),
+        np.argmax(block_probs, axis=1),
     )

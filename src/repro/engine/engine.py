@@ -1,0 +1,326 @@
+"""The :class:`SearchEngine` facade — the single supported execution surface.
+
+One object, three verbs:
+
+- :meth:`SearchEngine.search` — one instance, one report;
+- :meth:`SearchEngine.search_batch` — many targets, memory-bounded shards,
+  optional process fan-out;
+- :meth:`SearchEngine.sweep` — an ``(N, K, eps)`` grid via the analytic
+  model, optionally cross-checked on the simulator.
+
+The engine owns no physics: it validates the request against the method
+registry (:mod:`repro.engine.registry`), resolves the backend, synthesises
+the counted database when the caller did not supply one, and dispatches to
+the registered adapter.  A new algorithm or backend is a registration, not
+a new entry point.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.engine.registry import MethodSpec, get_method
+from repro.engine.report import BatchReport, SearchReport
+from repro.engine.request import SearchRequest, ShardPolicy
+from repro.oracle.database import Database, SingleTargetDatabase
+
+__all__ = ["SearchEngine"]
+
+#: Largest ``N`` a ``simulate=True`` sweep will run on the full simulator.
+SWEEP_SIMULATE_MAX_ITEMS = 4096
+
+
+def _require_blocks(spec: MethodSpec, request: SearchRequest) -> None:
+    if spec.needs_blocks and request.n_blocks < 2:
+        raise ValueError(
+            f"method {spec.name!r} needs a block structure (n_blocks >= 2), "
+            f"got n_blocks={request.n_blocks}"
+        )
+
+
+class SearchEngine:
+    """Facade dispatching :class:`SearchRequest` objects onto the registry.
+
+    Args:
+        shards: default :class:`ShardPolicy` applied when a request carries
+            the stock policy (engine-level override for deployments that
+            want a different budget everywhere).
+
+    The engine is stateless apart from that default — it is cheap to
+    construct and safe to share.
+    """
+
+    def __init__(self, shards: ShardPolicy | None = None):
+        self._default_shards = shards
+
+    # ----------------------------------------------------------- plumbing
+    def _resolve(self, request: SearchRequest) -> tuple[MethodSpec, str]:
+        spec = get_method(request.method)
+        backend = spec.resolve_backend(request.backend)
+        _require_blocks(spec, request)
+        if request.trace and not spec.supports_trace:
+            raise ValueError(f"method {request.method!r} does not support tracing")
+        return spec, backend
+
+    def _effective_request(self, request: SearchRequest) -> SearchRequest:
+        if self._default_shards is not None and request.shards == ShardPolicy():
+            return request.replace(shards=self._default_shards)
+        return request
+
+    def _database_for(
+        self, spec: MethodSpec, request: SearchRequest, database: Database | None
+    ) -> Database | None:
+        if database is not None:
+            if database.n_items != request.n_items:
+                raise ValueError(
+                    f"database has {database.n_items} items but the request "
+                    f"says n_items={request.n_items}"
+                )
+            return database
+        if not spec.needs_database:
+            return None
+        if request.target is None:
+            raise ValueError(
+                f"method {request.method!r} needs request.target or an "
+                "explicit database= argument"
+            )
+        return SingleTargetDatabase(request.n_items, request.target)
+
+    # ------------------------------------------------------------- search
+    def search(
+        self, request: SearchRequest, database: Database | None = None
+    ) -> SearchReport:
+        """Execute one search described by *request*.
+
+        Args:
+            request: the typed problem description.
+            database: optional counted database to run against (its counter
+                accumulates this run's queries, enabling shared-budget
+                experiments).  When omitted, a fresh
+                :class:`~repro.oracle.database.SingleTargetDatabase` is
+                built from ``request.target``.
+
+        Returns:
+            :class:`SearchReport` — normalized answer plus provenance.
+        """
+        request = self._effective_request(request)
+        spec, backend = self._resolve(request)
+        db = self._database_for(spec, request, database)
+        return spec.run(request, backend, db)
+
+    # ------------------------------------------------------- search_batch
+    def search_batch(
+        self, request: SearchRequest, targets=None
+    ) -> BatchReport:
+        """Execute one independent search per target, sharded by memory.
+
+        Args:
+            request: shared problem description (``request.target`` is
+                ignored; per-row targets come from *targets*).
+            targets: 1-D collection of target addresses; ``None`` means
+                *every* address of the instance (the all-targets sweep).
+
+        The batch splits into ``(B_chunk, N)`` shards sized by
+        ``request.shards`` (default budget ≲128 MiB) so all-targets sweeps
+        at 12 address qubits no longer allocate a 0.5 GB state matrix;
+        results are bit-identical to the unsharded execution.  With
+        ``request.shards.workers > 1`` shards fan out across a process
+        pool.  Methods without a vectorised path run a per-target loop
+        inside the same shard structure; their per-target RNG streams are
+        spawned from ``request.rng`` *before* sharding, so stochastic
+        results are likewise invariant to shard boundaries and worker
+        count.
+
+        Returns:
+            :class:`BatchReport` with per-row success/guess/query arrays.
+        """
+        request = self._effective_request(request)
+        spec, backend = self._resolve(request)
+        if request.trace:
+            raise ValueError("batched execution does not support tracing")
+        if targets is None:
+            targets = np.arange(request.n_items, dtype=np.intp)
+        else:
+            targets = np.asarray(list(targets), dtype=np.intp)
+        if targets.ndim != 1 or targets.size == 0:
+            raise ValueError("targets must be a non-empty 1-D collection")
+        if targets.min() < 0 or targets.max() >= request.n_items:
+            raise ValueError("targets out of address range")
+        if spec.native_batch is not None:
+            return spec.native_batch(request, backend, targets)
+        return self._generic_batch(spec, request, backend, targets)
+
+    def _generic_batch(
+        self,
+        spec: MethodSpec,
+        request: SearchRequest,
+        backend: str,
+        targets: np.ndarray,
+    ) -> BatchReport:
+        """Per-target fallback for methods without a vectorised batch.
+
+        Single-target methods hold one state row at a time, so the shard
+        plan degenerates to work chunking — but it still drives the process
+        fan-out and keeps the report's execution provenance uniform.
+        """
+        from repro.engine.plan import plan_shards
+        from repro.util.parallel import parallel_map
+        from repro.util.rng import spawn_rngs
+
+        plan = plan_shards(targets.size, request.n_items, backend, request.shards)
+        # Plain-field task payloads: requests carry a read-only options proxy
+        # that process pools cannot pickle, so shards rebuild the request.
+        base_fields = {
+            "n_items": request.n_items,
+            "n_blocks": request.n_blocks,
+            "method": request.method,
+            "epsilon": request.epsilon,
+            "options": dict(request.options),
+        }
+        # One independent stream per *target*, spawned before sharding, so
+        # stochastic methods give the same per-row results whatever the
+        # shard policy or worker count (numpy Generators pickle fine).
+        # The resolved MethodSpec ships in the payload: worker processes
+        # import a fresh registry, so re-resolving by name there would
+        # silently drop custom/replaced registrations.
+        rngs = spawn_rngs(request.rng, targets.size)
+        tasks = [
+            (spec, base_fields, backend, targets[sl], rngs[sl])
+            for sl in plan.slices()
+        ]
+        results = parallel_map(
+            _run_single_target_shard,
+            tasks,
+            workers=plan.workers,
+            use_processes=plan.workers > 1,
+        )
+        success = np.concatenate([r[0] for r in results])
+        guesses = np.concatenate([r[1] for r in results])
+        queries = np.concatenate([r[2] for r in results])
+        schedule: dict = {}
+        return BatchReport(
+            method=request.method,
+            backend=backend,
+            n_items=request.n_items,
+            n_blocks=request.n_blocks,
+            targets=targets,
+            success_probabilities=success,
+            block_guesses=guesses,
+            queries=queries,
+            schedule=schedule,
+            execution=plan.describe(),
+        )
+
+    # -------------------------------------------------------------- sweep
+    def sweep(
+        self,
+        n_items_values,
+        n_blocks_values,
+        epsilon: float | None = None,
+        *,
+        simulate: bool = False,
+        backend: str = "compiled",
+        shards: ShardPolicy | None = None,
+        simulate_max_items: int = SWEEP_SIMULATE_MAX_ITEMS,
+    ) -> list[dict]:
+        """Exact schedule/query/success grid via the subspace model.
+
+        Returns one row per ``(N, K)`` with keys ``n_items``, ``n_blocks``,
+        ``epsilon``, ``l1``, ``l2``, ``queries``, ``coefficient``
+        (``queries/sqrt(N)``), ``success``, ``failure``.  Pairs where ``K``
+        does not divide ``N`` are skipped.
+
+        With ``simulate=True`` each cell with ``N <= simulate_max_items``
+        is additionally executed for *every* target through
+        :meth:`search_batch` on the given *backend* (cells whose geometry
+        the circuit backends cannot express fall back to ``"kernels"``),
+        adding keys ``sim_worst_success`` (min over targets) and
+        ``sim_all_correct``; the all-targets batches run under the shard
+        policy, so big cells stay memory-bounded.  Cells too large to
+        simulate get ``None`` there.
+        """
+        from repro.core.backends import validate_backend
+        from repro.core.blockspec import BlockSpec
+        from repro.core.parameters import plan_schedule
+        from repro.core.subspace import SubspaceGRK
+        from repro.util.bits import is_power_of_two
+
+        if simulate:
+            validate_backend(backend)
+        if shards is None:
+            shards = self._default_shards or ShardPolicy()
+        rows = []
+        for n in n_items_values:
+            for k in n_blocks_values:
+                if k < 2 or n % k != 0 or n // k < 2:
+                    continue
+                schedule = plan_schedule(n, k, epsilon)
+                model = SubspaceGRK(BlockSpec(n, k))
+                failure = model.failure_probability(schedule.l1, schedule.l2)
+                row = {
+                    "n_items": n,
+                    "n_blocks": k,
+                    "epsilon": schedule.epsilon,
+                    "l1": schedule.l1,
+                    "l2": schedule.l2,
+                    "queries": schedule.queries,
+                    "coefficient": schedule.queries / math.sqrt(n),
+                    "success": schedule.predicted_success,
+                    "failure": failure,
+                }
+                if simulate:
+                    row["sim_worst_success"] = None
+                    row["sim_all_correct"] = None
+                    if n <= simulate_max_items:
+                        cell_backend = backend
+                        if cell_backend != "kernels" and not (
+                            is_power_of_two(n) and is_power_of_two(k)
+                        ):
+                            cell_backend = "kernels"
+                        report = self.search_batch(
+                            SearchRequest(
+                                n_items=n,
+                                n_blocks=k,
+                                method="grk",
+                                backend=cell_backend,
+                                shards=shards,
+                                options={"schedule": schedule},
+                            )
+                        )
+                        row["sim_worst_success"] = report.worst_success
+                        row["sim_all_correct"] = report.all_correct
+                rows.append(row)
+        return rows
+
+
+def _run_single_target_shard(task, rng):
+    """One generic-fallback shard: loop the single-run adapter per target.
+
+    Module-level so process pools can pickle it.  The shard carries one
+    pre-spawned generator per target (derived from the request's seed
+    *before* sharding), so per-row randomness — and therefore results — do
+    not depend on shard boundaries or worker count; the per-shard *rng*
+    argument from :func:`parallel_map` goes unused.  The parent already
+    validated the request and resolved the method, so the shard calls the
+    shipped adapter directly instead of consulting the worker's registry.
+    """
+    spec, base_fields, backend, targets, target_rngs = task
+    success = np.empty(targets.size)
+    guesses = np.empty(targets.size, dtype=np.intp)
+    queries = np.empty(targets.size, dtype=np.intp)
+    for i, t in enumerate(targets):
+        request = SearchRequest(
+            backend=backend, target=int(t), rng=target_rngs[i], **base_fields
+        )
+        database = (
+            SingleTargetDatabase(request.n_items, int(t))
+            if spec.needs_database
+            else None
+        )
+        report = spec.run(request, backend, database)
+        success[i] = report.success_probability
+        guesses[i] = -1 if report.block_guess is None else report.block_guess
+        queries[i] = report.queries
+    return success, guesses, queries

@@ -1,0 +1,367 @@
+"""Built-in method adapters: every existing runner behind one report shape.
+
+Each adapter translates a :class:`~repro.engine.request.SearchRequest` into
+the underlying runner's native signature and normalizes the outcome into a
+:class:`~repro.engine.report.SearchReport`.  The runners themselves stay
+where they always lived (:mod:`repro.core`, :mod:`repro.grover`,
+:mod:`repro.classical`) — the registry makes them *addressable*, it does
+not re-implement them, so the existing property tests keep guarding the
+physics.
+
+Registered on import (importing :mod:`repro.engine` is enough):
+
+==================  ====================================================
+``grk``             the three-step GRK partial search (Figure 2);
+                    backends ``kernels`` / ``compiled`` / ``naive``
+``grk-sure-success``  the phased sure-success variant (Theorem 1 remark)
+``naive-blocks``    Section 1.2's K−1-block quantum baseline
+``grover-full``     standard full search (+ Long's exact variant)
+``classical``       Section 1.1's deterministic/randomized scans
+``subspace``        the analytic O(1) subspace model (no simulation)
+==================  ====================================================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.backends import CIRCUIT_BACKENDS, KERNEL_BACKEND
+from repro.core.parameters import GRKSchedule, plan_schedule
+from repro.engine.registry import MethodSpec, register_method
+from repro.engine.report import BatchReport, SearchReport
+from repro.engine.request import SearchRequest
+
+__all__ = ["register_builtin_methods"]
+
+#: Backend name for the classical scans (they run on the counted database
+#: directly — no state vector is involved).
+CLASSICAL_BACKEND = "classical"
+
+#: Backend name for the closed-form subspace evaluation.
+ANALYTIC_BACKEND = "analytic"
+
+
+def _schedule_provenance(schedule: GRKSchedule) -> dict:
+    return {
+        "epsilon": schedule.epsilon,
+        "l1": schedule.l1,
+        "l2": schedule.l2,
+        "queries": schedule.queries,
+        "predicted_success": schedule.predicted_success,
+    }
+
+
+def _resolve_schedule(request: SearchRequest) -> GRKSchedule:
+    """The request's explicit schedule, or the planned one for ``(N, K, eps)``."""
+    schedule = request.option("schedule")
+    if schedule is None:
+        return plan_schedule(request.n_items, request.n_blocks, request.epsilon)
+    spec = schedule.spec
+    if spec.n_items != request.n_items or spec.n_blocks != request.n_blocks:
+        raise ValueError(
+            f"schedule is for (N={spec.n_items}, K={spec.n_blocks}), but the "
+            f"request has (N={request.n_items}, K={request.n_blocks})"
+        )
+    return schedule
+
+
+# --------------------------------------------------------------------------
+# grk
+# --------------------------------------------------------------------------
+
+def _run_grk(request: SearchRequest, backend: str, database) -> SearchReport:
+    from repro.core.algorithm import run_partial_search
+
+    result = run_partial_search(
+        database,
+        request.n_blocks,
+        request.epsilon,
+        schedule=request.option("schedule"),
+        trace=request.trace,
+        backend=backend,
+    )
+    return SearchReport(
+        method="grk",
+        backend=backend,
+        n_items=request.n_items,
+        n_blocks=request.n_blocks,
+        block_guess=result.block_guess,
+        success_probability=result.success_probability,
+        queries=result.queries,
+        schedule=_schedule_provenance(result.schedule),
+        answer=result.block_guess,
+        raw=result,
+    )
+
+
+def _batch_grk(request: SearchRequest, backend: str, targets: np.ndarray) -> BatchReport:
+    from repro.engine.plan import run_grk_batch_sharded
+
+    schedule = _resolve_schedule(request)
+    success, guesses, plan = run_grk_batch_sharded(
+        schedule, targets, backend, request.shards
+    )
+    return BatchReport(
+        method="grk",
+        backend=backend,
+        n_items=request.n_items,
+        n_blocks=request.n_blocks,
+        targets=targets,
+        success_probabilities=success,
+        block_guesses=guesses,
+        queries=np.full(targets.size, schedule.queries, dtype=np.intp),
+        schedule=_schedule_provenance(schedule),
+        execution=plan.describe(),
+    )
+
+
+# --------------------------------------------------------------------------
+# grk-sure-success
+# --------------------------------------------------------------------------
+
+def _run_sure_success(request: SearchRequest, backend: str, database) -> SearchReport:
+    from repro.core.sure_success import plan_sure_success, run_sure_success_partial_search
+
+    plan = request.option("plan")
+    if plan is None:
+        plan = plan_sure_success(request.n_items, request.n_blocks, request.epsilon)
+    result = run_sure_success_partial_search(
+        database, request.n_blocks, request.epsilon, plan=plan
+    )
+    return SearchReport(
+        method="grk-sure-success",
+        backend=backend,
+        n_items=request.n_items,
+        n_blocks=request.n_blocks,
+        block_guess=result.block_guess,
+        success_probability=result.success_probability,
+        queries=result.queries,
+        schedule={
+            "l1": plan.l1,
+            "l2_base": plan.l2_base,
+            "phases": list(plan.phases),
+            "queries": plan.queries,
+            "predicted_failure": plan.predicted_failure,
+        },
+        answer=result.block_guess,
+        raw=result,
+    )
+
+
+# --------------------------------------------------------------------------
+# naive-blocks
+# --------------------------------------------------------------------------
+
+def _run_naive_blocks(request: SearchRequest, backend: str, database) -> SearchReport:
+    from repro.core.naive import run_naive_partial_search
+
+    result = run_naive_partial_search(
+        database,
+        request.n_blocks,
+        left_out_block=request.option("left_out_block"),
+        iterations=request.option("iterations"),
+        rng=request.rng,
+    )
+    return SearchReport(
+        method="naive-blocks",
+        backend=backend,
+        n_items=request.n_items,
+        n_blocks=request.n_blocks,
+        block_guess=result.block_guess,
+        success_probability=result.success_probability,
+        queries=result.queries,
+        schedule={
+            "left_out_block": result.left_out_block,
+            "iterations": result.queries - 1,  # quantum iterations + 1 probe
+        },
+        answer=result.block_guess,
+        raw=result,
+    )
+
+
+# --------------------------------------------------------------------------
+# grover-full
+# --------------------------------------------------------------------------
+
+def _run_grover_full(request: SearchRequest, backend: str, database) -> SearchReport:
+    from repro.grover.exact import run_exact_grover
+    from repro.grover.standard import run_grover
+
+    exact = bool(request.option("exact", False))
+    iterations = request.option("iterations")
+    if exact:
+        result = run_exact_grover(database, total_iterations=iterations)
+    else:
+        result = run_grover(database, iterations=iterations)
+    return SearchReport(
+        method="grover-full",
+        backend=backend,
+        n_items=request.n_items,
+        n_blocks=request.n_blocks,
+        block_guess=result.best_guess // request.block_size,
+        success_probability=result.success_probability,
+        queries=result.queries,
+        schedule={"iterations": result.iterations, "exact": exact},
+        answer=result.best_guess,
+        raw=result,
+    )
+
+
+# --------------------------------------------------------------------------
+# classical
+# --------------------------------------------------------------------------
+
+def _run_classical(request: SearchRequest, backend: str, database) -> SearchReport:
+    from repro.classical.partial import (
+        deterministic_partial_search,
+        randomized_partial_search,
+    )
+
+    strategy = request.option("strategy", "deterministic")
+    if strategy == "deterministic":
+        result = deterministic_partial_search(
+            database, request.n_blocks,
+            left_out_block=request.option("left_out_block"),
+        )
+    elif strategy == "randomized":
+        result = randomized_partial_search(database, request.n_blocks, rng=request.rng)
+    else:
+        raise ValueError(
+            f"unknown classical strategy {strategy!r} "
+            "(known: deterministic, randomized)"
+        )
+    return SearchReport(
+        method="classical",
+        backend=backend,
+        n_items=request.n_items,
+        n_blocks=request.n_blocks,
+        block_guess=result.answer,
+        success_probability=1.0 if result.correct else 0.0,  # zero-error scans
+        queries=result.queries,
+        schedule={"strategy": strategy},
+        answer=result.answer,
+        raw=result,
+    )
+
+
+# --------------------------------------------------------------------------
+# subspace (analytic — no database, no state vector)
+# --------------------------------------------------------------------------
+
+def _run_subspace(request: SearchRequest, backend: str, database) -> SearchReport:
+    from repro.core.blockspec import BlockSpec
+    from repro.core.subspace import SubspaceGRK
+
+    schedule = _resolve_schedule(request)
+    model = SubspaceGRK(BlockSpec(request.n_items, request.n_blocks))
+    final = model.final(schedule.l1, schedule.l2)
+    failure = final.failure_probability(model.spec)
+    target = request.target
+    if target is None and database is not None:
+        marked = database.reveal_marked()
+        target = next(iter(marked)) if len(marked) == 1 else None
+    return SearchReport(
+        method="subspace",
+        backend=backend,
+        n_items=request.n_items,
+        n_blocks=request.n_blocks,
+        block_guess=None if target is None else target // request.block_size,
+        success_probability=1.0 - failure,
+        queries=schedule.queries,
+        schedule=_schedule_provenance(schedule),
+        answer=None if target is None else target // request.block_size,
+        raw=final,
+    )
+
+
+def _batch_subspace(
+    request: SearchRequest, backend: str, targets: np.ndarray
+) -> BatchReport:
+    from repro.core.blockspec import BlockSpec
+    from repro.core.subspace import SubspaceGRK
+
+    schedule = _resolve_schedule(request)
+    model = SubspaceGRK(BlockSpec(request.n_items, request.n_blocks))
+    failure = model.failure_probability(schedule.l1, schedule.l2)
+    # The dynamics are symmetric in the target, so one O(1) evaluation
+    # serves every row.
+    success = np.full(targets.size, 1.0 - failure)
+    return BatchReport(
+        method="subspace",
+        backend=backend,
+        n_items=request.n_items,
+        n_blocks=request.n_blocks,
+        targets=targets,
+        success_probabilities=success,
+        block_guesses=targets // request.block_size,
+        queries=np.full(targets.size, schedule.queries, dtype=np.intp),
+        schedule=_schedule_provenance(schedule),
+        execution={"n_shards": 1, "analytic": True},
+    )
+
+
+# --------------------------------------------------------------------------
+# registration
+# --------------------------------------------------------------------------
+
+def register_builtin_methods(*, replace: bool = False) -> None:
+    """Register the six built-in methods (idempotent with ``replace=True``)."""
+    register_method(
+        MethodSpec(
+            name="grk",
+            description="three-step GRK partial search (Figure 2)",
+            backends=(KERNEL_BACKEND, *CIRCUIT_BACKENDS),
+            run=_run_grk,
+            native_batch=_batch_grk,
+            supports_trace=True,
+        ),
+        replace=replace,
+    )
+    register_method(
+        MethodSpec(
+            name="grk-sure-success",
+            description="phased GRK variant answering with certainty",
+            backends=(KERNEL_BACKEND,),
+            run=_run_sure_success,
+        ),
+        replace=replace,
+    )
+    register_method(
+        MethodSpec(
+            name="naive-blocks",
+            description="Section 1.2 baseline: Grover over K-1 blocks",
+            backends=(KERNEL_BACKEND,),
+            run=_run_naive_blocks,
+        ),
+        replace=replace,
+    )
+    register_method(
+        MethodSpec(
+            name="grover-full",
+            description="standard full search (options: exact, iterations)",
+            backends=(KERNEL_BACKEND,),
+            run=_run_grover_full,
+            needs_blocks=False,
+        ),
+        replace=replace,
+    )
+    register_method(
+        MethodSpec(
+            name="classical",
+            description="Section 1.1 classical scans (deterministic/randomized)",
+            backends=(CLASSICAL_BACKEND,),
+            run=_run_classical,
+        ),
+        replace=replace,
+    )
+    register_method(
+        MethodSpec(
+            name="subspace",
+            description="exact O(1) analytic model of the GRK schedule",
+            backends=(ANALYTIC_BACKEND,),
+            run=_run_subspace,
+            native_batch=_batch_subspace,
+            needs_database=False,
+        ),
+        replace=replace,
+    )

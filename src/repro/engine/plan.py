@@ -1,0 +1,167 @@
+"""Memory-bounded execution planning for batched searches.
+
+An all-targets GRK batch at 12 address qubits is a ``(4096, 8192)`` complex
+state matrix — ~0.5 GB before kernel temporaries.  The planner converts a
+:class:`~repro.engine.request.ShardPolicy` byte budget into a per-shard row
+count from a per-backend row-size model, splits the target batch into
+``(B_chunk, N)`` shards, executes them independently (rows never interact,
+so shard boundaries are bit-invisible in the results), and optionally fans
+shards across a process pool via :func:`repro.util.parallel.parallel_map`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.backends import CIRCUIT_BACKENDS, KERNEL_BACKEND
+from repro.engine.request import ShardPolicy
+
+__all__ = ["ExecutionPlan", "plan_shards", "state_row_bytes", "run_grk_batch_sharded"]
+
+#: Working-set multiplier over the bare state row: the kernels allocate
+#: mean-broadcast temporaries and the final block-probability reshape, and
+#: the circuit path materialises ``abs(state)**2``; 4x the resident row is a
+#: conservative envelope validated by the sharded-batch bench.
+ROW_OVERHEAD = 4
+
+#: Nominal per-row bookkeeping bytes for backends that hold no state vector
+#: (the classical scans and the analytic model) — one row costs a report's
+#: worth of scalars, so the byte budget effectively never shards them.
+STATELESS_ROW_BYTES = 4096
+
+
+def state_row_bytes(backend: str, n_items: int) -> int:
+    """Estimated working-set bytes one batch row costs on *backend*.
+
+    The kernels path holds a float64 row of ``N`` amplitudes; the circuit
+    backends hold a complex128 row of ``2N`` (ancilla doubles the space);
+    both are scaled by :data:`ROW_OVERHEAD` for kernel temporaries.
+    Stateless backends (``classical``, ``analytic``) cost
+    :data:`STATELESS_ROW_BYTES` regardless of ``N``.
+    """
+    if backend in CIRCUIT_BACKENDS:
+        return 2 * n_items * 16 * ROW_OVERHEAD
+    if backend == KERNEL_BACKEND:
+        return n_items * 8 * ROW_OVERHEAD
+    return STATELESS_ROW_BYTES
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """A resolved sharding decision for one batched execution.
+
+    Attributes:
+        n_rows: total batch rows ``B``.
+        shard_rows: rows per shard ``B_chunk`` (last shard may be smaller).
+        row_bytes: modelled working-set bytes per row.
+        max_bytes: the policy budget the plan was fitted to.
+        workers: process-pool width (1 = serial in-process).
+    """
+
+    n_rows: int
+    shard_rows: int
+    row_bytes: int
+    max_bytes: int
+    workers: int
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards the batch splits into."""
+        return -(-self.n_rows // self.shard_rows)
+
+    @property
+    def shard_bytes(self) -> int:
+        """Modelled peak working set of one full shard."""
+        return self.shard_rows * self.row_bytes
+
+    def slices(self):
+        """Yield one ``slice`` per shard, covering ``range(n_rows)`` in order."""
+        for start in range(0, self.n_rows, self.shard_rows):
+            yield slice(start, min(start + self.shard_rows, self.n_rows))
+
+    def describe(self) -> dict:
+        """Provenance record embedded in :class:`BatchReport.execution`."""
+        return {
+            "n_rows": self.n_rows,
+            "n_shards": self.n_shards,
+            "shard_rows": self.shard_rows,
+            "row_bytes": self.row_bytes,
+            "shard_bytes": self.shard_bytes,
+            "max_bytes": self.max_bytes,
+            "workers": self.workers,
+        }
+
+
+def plan_shards(
+    n_rows: int, n_items: int, backend: str, policy: ShardPolicy | None = None
+) -> ExecutionPlan:
+    """Fit a shard plan for ``n_rows`` batch rows of an ``N``-item instance.
+
+    The row count per shard is the largest that keeps the modelled working
+    set under ``policy.max_bytes`` (clamped to ``[1, n_rows]`` — a single
+    row always runs even if it alone exceeds the budget), further capped by
+    ``policy.max_rows`` when set.  With ``policy.workers > 1`` the rows are
+    additionally capped at an even split across the pool, so a batch whose
+    byte budget would fit in one shard still fans out.
+    """
+    if n_rows < 1:
+        raise ValueError("n_rows must be >= 1")
+    if policy is None:
+        policy = ShardPolicy()
+    row_bytes = state_row_bytes(backend, n_items)
+    rows = max(1, policy.max_bytes // row_bytes)
+    if policy.max_rows is not None:
+        rows = min(rows, policy.max_rows)
+    if policy.workers > 1:
+        rows = min(rows, -(-n_rows // policy.workers))
+    rows = int(min(rows, n_rows))
+    return ExecutionPlan(
+        n_rows=n_rows,
+        shard_rows=rows,
+        row_bytes=row_bytes,
+        max_bytes=policy.max_bytes,
+        workers=policy.workers,
+    )
+
+
+def _grk_shard(task, rng):
+    """Execute one GRK shard (module-level so process pools can pickle it).
+
+    ``rng`` is the :func:`parallel_map` per-task generator; the GRK batch is
+    deterministic so it goes unused — shard results are bit-identical
+    regardless of worker count or scheduling order.
+    """
+    schedule, targets, backend = task
+    from repro.core.batch import execute_batch_rows
+
+    return execute_batch_rows(schedule, targets, backend)
+
+
+def run_grk_batch_sharded(
+    schedule,
+    targets: np.ndarray,
+    backend: str,
+    policy: ShardPolicy | None = None,
+) -> tuple[np.ndarray, np.ndarray, ExecutionPlan]:
+    """Run the GRK batch over *targets* in memory-bounded shards.
+
+    Returns ``(success_probabilities, block_guesses, plan)`` with the arrays
+    concatenated in target order — bit-identical to the unsharded execution,
+    because every batch row evolves independently under the same kernels.
+    """
+    from repro.util.parallel import parallel_map
+
+    targets = np.asarray(targets, dtype=np.intp)
+    plan = plan_shards(targets.size, schedule.spec.n_items, backend, policy)
+    tasks = [(schedule, targets[sl], backend) for sl in plan.slices()]
+    results = parallel_map(
+        _grk_shard,
+        tasks,
+        workers=plan.workers,
+        use_processes=plan.workers > 1,
+    )
+    success = np.concatenate([r[0] for r in results])
+    guesses = np.concatenate([r[1] for r in results])
+    return success, guesses, plan

@@ -1,0 +1,144 @@
+"""Typed request objects: everything a search needs, in one validated value.
+
+A :class:`SearchRequest` pins down the instance geometry ``(N, K)``, the
+method and backend names (resolved against the registries at execution
+time, not here), the Step 1 parameter, tracing, randomness, and the
+batch/shard policy.  A :class:`ShardPolicy` bounds how much state a batched
+execution may hold in memory at once and whether shards fan out across a
+process pool.
+
+Validation philosophy: structural facts that cannot depend on the registry
+(geometry, ranges, types) are checked eagerly in ``__post_init__`` so a bad
+request fails at construction; method/backend compatibility is checked by
+:class:`~repro.engine.engine.SearchEngine` at dispatch time, so requests can
+be built before custom methods are registered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Mapping
+
+from repro.core.blockspec import BlockSpec
+
+__all__ = ["DEFAULT_SHARD_BYTES", "ShardPolicy", "SearchRequest"]
+
+#: Default per-shard memory budget for batched execution (128 MiB).  An
+#: all-targets batch at 12 address qubits needs a ``(4096, 8192)`` complex
+#: state (~0.5 GB) unsharded; this budget splits it into independent chunks.
+DEFAULT_SHARD_BYTES = 128 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class ShardPolicy:
+    """Memory/parallelism policy for :meth:`SearchEngine.search_batch`.
+
+    Attributes:
+        max_bytes: soft ceiling on the working-set bytes of one shard
+            (state matrix plus kernel temporaries).  The planner converts it
+            into a row count per shard; at least one row always runs.
+        max_rows: optional hard cap on rows per shard (useful in tests to
+            force specific shard boundaries regardless of the byte budget).
+        workers: ``1`` (default) executes shards serially in-process;
+            ``> 1`` fans them across a process pool via
+            :func:`repro.util.parallel.parallel_map`.
+    """
+
+    max_bytes: int = DEFAULT_SHARD_BYTES
+    max_rows: int | None = None
+    workers: int = 1
+
+    def __post_init__(self):
+        if self.max_bytes <= 0:
+            raise ValueError(f"max_bytes={self.max_bytes} must be positive")
+        if self.max_rows is not None and self.max_rows <= 0:
+            raise ValueError(f"max_rows={self.max_rows} must be positive")
+        if self.workers < 1:
+            raise ValueError(f"workers={self.workers} must be >= 1")
+
+
+@dataclass(frozen=True)
+class SearchRequest:
+    """One fully-specified partial-search problem instance.
+
+    Attributes:
+        n_items: database size ``N`` (>= 2).
+        n_blocks: block count ``K``.  Must divide ``N``.  ``K >= 2`` for the
+            partial-search methods; ``K = 1`` is allowed and means "no block
+            structure" (only the ``grover-full`` method accepts it).
+        method: registry name of the algorithm (see
+            :data:`repro.engine.registry.available_methods`).
+        backend: execution backend name, or ``None`` for the method's
+            default.  Compatibility is validated at dispatch.
+        epsilon: Step 1 stopping parameter in ``(0, 1)``; ``None`` uses the
+            optimal value for this ``K`` (methods that have no epsilon
+            ignore it).
+        target: the marked address, for engines that synthesise the database
+            themselves.  ``None`` is allowed when the caller passes an
+            explicit database to :meth:`SearchEngine.search` (or for
+            target-independent methods like ``subspace``).
+        trace: request stage snapshots (methods that cannot trace raise).
+        rng: seed or ``numpy.random.Generator`` for stochastic methods.
+        shards: the batch/shard policy (see :class:`ShardPolicy`).
+        options: method-specific extras (e.g. ``schedule=`` for ``grk``,
+            ``plan=`` for ``grk-sure-success``, ``strategy=`` for
+            ``classical``).  Stored read-only.
+    """
+
+    n_items: int
+    n_blocks: int
+    method: str = "grk"
+    backend: str | None = None
+    epsilon: float | None = None
+    target: int | None = None
+    trace: bool = False
+    rng: Any = None
+    shards: ShardPolicy = field(default_factory=ShardPolicy)
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not isinstance(self.method, str) or not self.method:
+            raise ValueError("method must be a non-empty string")
+        if self.n_items < 2:
+            raise ValueError(f"n_items={self.n_items} must be >= 2")
+        if self.n_blocks < 1:
+            raise ValueError(f"n_blocks={self.n_blocks} must be >= 1")
+        if self.n_items % self.n_blocks != 0:
+            raise ValueError(
+                f"n_blocks={self.n_blocks} must divide n_items={self.n_items}"
+            )
+        if self.epsilon is not None and not 0.0 < self.epsilon < 1.0:
+            raise ValueError(f"epsilon={self.epsilon} must lie in (0, 1)")
+        if self.target is not None and not 0 <= self.target < self.n_items:
+            raise ValueError(
+                f"target={self.target} out of range for n_items={self.n_items}"
+            )
+        if not isinstance(self.shards, ShardPolicy):
+            raise ValueError("shards must be a ShardPolicy")
+        # Freeze the options mapping so a shared request cannot drift.
+        object.__setattr__(self, "options", MappingProxyType(dict(self.options)))
+
+    @property
+    def spec(self) -> BlockSpec | None:
+        """The ``(N, K)`` geometry, or ``None`` when ``K = 1`` (no blocks)."""
+        if self.n_blocks < 2:
+            return None
+        return BlockSpec(self.n_items, self.n_blocks)
+
+    @property
+    def block_size(self) -> int:
+        """Addresses per block ``N/K`` (``N`` itself when ``K = 1``)."""
+        return self.n_items // self.n_blocks
+
+    def option(self, key: str, default: Any = None) -> Any:
+        """Read one method-specific option with a default."""
+        return self.options.get(key, default)
+
+    def replace(self, **changes: Any) -> "SearchRequest":
+        """A copy of this request with the given fields replaced."""
+        from dataclasses import replace as _dc_replace
+
+        if "options" not in changes:
+            changes["options"] = dict(self.options)
+        return _dc_replace(self, **changes)

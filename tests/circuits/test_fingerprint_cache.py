@@ -1,0 +1,201 @@
+"""Structural fingerprints, the O(1) compile cache, and the strided Step-3
+controlled diffusion (satellites of the engine PR)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    Gate,
+    grover_circuit,
+    partial_search_circuit,
+    run_circuit,
+    run_circuit_compiled,
+)
+from repro.circuits.compiler import (
+    DiffusionOp,
+    clear_compile_cache,
+    compile_cache_info,
+    compile_circuit,
+    _pattern_indices,
+)
+
+
+class TestStructuralFingerprint:
+    def test_incremental_equals_bulk(self):
+        # Built gate-by-gate vs all-at-once: same sequence, same fingerprint.
+        gates = [Gate("H", (0,)), Gate("CX", (0, 1)), Gate("P", (1,), 0.25)]
+        bulk = Circuit(2, list(gates))
+        incremental = Circuit(2)
+        for g in gates:
+            incremental.append(g)
+        assert incremental.structural_fingerprint == bulk.structural_fingerprint
+
+    def test_distinguishes_sequences(self):
+        a = Circuit(2, [Gate("H", (0,)), Gate("X", (1,))])
+        b = Circuit(2, [Gate("X", (1,)), Gate("H", (0,))])
+        assert a.structural_fingerprint != b.structural_fingerprint
+
+    def test_distinguishes_wire_counts(self):
+        a = Circuit(2, [Gate("H", (0,))])
+        b = Circuit(3, [Gate("H", (0,))])
+        assert a.structural_fingerprint != b.structural_fingerprint
+
+    def test_oracle_tag_is_structural(self):
+        # Tags steer the compiler's fusion decisions, so tagged and
+        # untagged twins must not share a compiled program.
+        a = Circuit(2, [Gate("MCZ", (0, 1))])
+        b = Circuit(2, [Gate("MCZ", (0, 1), tag="oracle")])
+        assert a.structural_fingerprint != b.structural_fingerprint
+
+    def test_direct_gate_list_mutation_rebuilds(self):
+        # Mutating ``gates`` behind append's back must not serve a stale key.
+        circ = Circuit(2, [Gate("H", (0,))])
+        fp_before = circ.structural_fingerprint
+        circ.gates.append(Gate("X", (1,)))
+        assert circ.structural_fingerprint != fp_before
+        assert circ.structural_fingerprint == Circuit(
+            2, [Gate("H", (0,)), Gate("X", (1,))]
+        ).structural_fingerprint
+
+    def test_in_place_replacement_detected(self):
+        # Same-length in-place replacement — interior or tail — is caught
+        # by the gate-list mutation version, so the compile cache never
+        # serves a stale program for an out-of-contract edit.
+        circ = Circuit(1, [Gate("X", (0,)), Gate("X", (0,))])
+        out_xx = run_circuit_compiled(circ)
+        circ.gates[0] = Gate("H", (0,))  # interior gate, length unchanged
+        assert circ.structural_fingerprint == Circuit(
+            1, [Gate("H", (0,)), Gate("X", (0,))]
+        ).structural_fingerprint
+        np.testing.assert_allclose(
+            run_circuit_compiled(circ), run_circuit(circ), atol=1e-12
+        )
+        assert np.abs(run_circuit_compiled(circ) - out_xx).max() > 0.5
+
+    def test_reorder_and_slice_mutations_detected(self):
+        a, b = Gate("H", (0,)), Gate("X", (1,))
+        circ = Circuit(2, [a, b])
+        fp = circ.structural_fingerprint
+        circ.gates.reverse()
+        assert circ.structural_fingerprint != fp
+        assert circ.structural_fingerprint == Circuit(2, [b, a]).structural_fingerprint
+        circ.gates[:] = [a]
+        assert circ.structural_fingerprint == Circuit(2, [a]).structural_fingerprint
+
+    def test_circuits_stay_picklable_value_objects(self):
+        import copy
+        import pickle
+
+        circ = grover_circuit(3, 5, 1)
+        clone = pickle.loads(pickle.dumps(circ))
+        assert clone == circ
+        assert clone.structural_fingerprint == circ.structural_fingerprint
+        deep = copy.deepcopy(circ)
+        deep.append(Gate("X", (0,)))
+        assert deep.structural_fingerprint != circ.structural_fingerprint
+
+
+class TestCompileCacheHits:
+    def test_identical_circuits_hit_without_rehashing(self):
+        clear_compile_cache()
+        circ = grover_circuit(4, 5, 2)
+        out1 = run_circuit_compiled(circ)
+        assert compile_cache_info() == {"hits": 0, "misses": 1, "size": 1}
+        # Same object and a separately-built identical circuit both hit.
+        run_circuit_compiled(circ)
+        run_circuit_compiled(grover_circuit(4, 5, 2))
+        info = compile_cache_info()
+        assert info["hits"] == 2 and info["misses"] == 1 and info["size"] == 1
+        # A structurally different circuit misses.
+        out2 = run_circuit_compiled(grover_circuit(4, 6, 2))
+        assert compile_cache_info()["misses"] == 2
+        assert np.abs(out1 - out2).max() > 1e-3  # different targets, really ran
+
+    def test_cached_program_still_correct(self):
+        clear_compile_cache()
+        circ = partial_search_circuit(5, 2, target=19, l1=3, l2=2)
+        first = run_circuit_compiled(circ)
+        again = run_circuit_compiled(partial_search_circuit(5, 2, 19, 3, 2))
+        np.testing.assert_array_equal(first, again)
+        assert compile_cache_info()["hits"] == 1
+        np.testing.assert_allclose(first, run_circuit(circ), atol=1e-12)
+
+    def test_eviction_keeps_cache_bounded(self):
+        from repro.circuits import compiler
+
+        clear_compile_cache()
+        for target in range(compiler._COMPILE_CACHE_MAX + 5):
+            run_circuit_compiled(grover_circuit(7, target, 1))
+        assert compile_cache_info()["size"] == compiler._COMPILE_CACHE_MAX
+
+    def test_lru_keeps_hot_entry_resident(self):
+        # A circuit re-run between bursts of distinct circuits must stay
+        # cached (LRU, not FIFO eviction).
+        from repro.circuits import compiler
+
+        clear_compile_cache()
+        hot = grover_circuit(7, 99, 1)
+        run_circuit_compiled(hot)
+        for target in range(compiler._COMPILE_CACHE_MAX - 1):
+            run_circuit_compiled(grover_circuit(7, target, 1))
+            run_circuit_compiled(hot)  # refresh recency each burst
+        misses_before = compile_cache_info()["misses"]
+        run_circuit_compiled(hot)
+        assert compile_cache_info()["misses"] == misses_before
+
+
+class TestStridedControlledDiffusion:
+    def _random_states(self, rng, shape):
+        return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+    @pytest.mark.parametrize("negate", [False, True])
+    @pytest.mark.parametrize("lead", [(), (7,)])
+    def test_strided_matches_gather(self, negate, lead):
+        # Single matched trailing column (the ancilla-control case): the
+        # copy-free strided path must equal the general gather/scatter.
+        rng = np.random.default_rng(42)
+        n = 6
+        ctrl_sel = _pattern_indices(1, 1, 0)  # ancilla == 1 after conjugation
+        fast = DiffusionOp(n, 0, n - 1, ctrl_sel, negate=negate)
+        slow = DiffusionOp(n, 0, n - 1, ctrl_sel, negate=negate, strided=False)
+        assert fast.ctrl_col is not None and slow.ctrl_col is None
+        state = self._random_states(rng, (*lead, 1 << n))
+        expect = slow.apply(state.copy())
+        got = fast.apply(state.copy())
+        np.testing.assert_allclose(got, expect, atol=1e-14)
+
+    def test_strided_path_active_in_partial_search(self):
+        # The production Step-3 controlled diffusion must take the strided
+        # path (its only control is the ancilla).
+        program = compile_circuit(partial_search_circuit(5, 2, 3, 2, 2))
+        controlled = [
+            op for op in program.ops
+            if isinstance(op, DiffusionOp) and op.ctrl_sel is not None
+        ]
+        assert controlled, "step-3 controlled diffusion was not recognised"
+        assert all(op.ctrl_col is not None for op in controlled)
+
+    def test_multi_column_controls_use_fallback(self):
+        # Two trailing wires with one control -> two matched columns: the
+        # gather/scatter fallback handles it, and compiled == naive.
+        circ = Circuit(4)
+        for q in (0, 1):
+            circ.append(Gate("H", (q,)))
+        for q in (0, 1):
+            circ.append(Gate("X", (q,)))
+        circ.append(Gate("MCZ", (0, 1, 3)))  # extra control on last wire only
+        for q in (0, 1):
+            circ.append(Gate("X", (q,)))
+        for q in (0, 1):
+            circ.append(Gate("H", (q,)))
+        program = compile_circuit(circ)
+        diffusion = [op for op in program.ops if isinstance(op, DiffusionOp)]
+        assert diffusion and diffusion[0].ctrl_sel is not None
+        assert diffusion[0].ctrl_col is None  # size-2 selection -> fallback
+        rng = np.random.default_rng(7)
+        state = self._random_states(rng, 16)
+        state /= np.linalg.norm(state)
+        np.testing.assert_allclose(
+            program.run(state), run_circuit(circ, state), atol=1e-12
+        )

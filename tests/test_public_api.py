@@ -16,6 +16,7 @@ SUBPACKAGES = [
     "repro.classical",
     "repro.lowerbounds",
     "repro.analysis",
+    "repro.engine",
 ]
 
 
@@ -52,6 +53,21 @@ class TestDocstrings:
 
 class TestQuickstartSnippet:
     def test_readme_snippet_runs(self):
+        # The docstring/README quickstart: the SearchEngine facade.
+        from repro import SearchEngine, SearchRequest
+
+        engine = SearchEngine()
+        report = engine.search(
+            SearchRequest(n_items=4096, n_blocks=4, target=2717, method="grk")
+        )
+        assert report.block_guess == 2717 // 1024
+        assert report.queries < 3.1415 / 4 * 64
+        assert report.success_probability > 0.999
+        assert report.provenance["method"] == "grk"
+
+    def test_legacy_snippet_still_runs(self):
+        # The pre-engine entry points stay importable and correct (the
+        # documented deprecation path keeps them alive).
         from repro import SingleTargetDatabase, run_partial_search
 
         db = SingleTargetDatabase(n_items=4096, target=2717)
@@ -59,3 +75,23 @@ class TestQuickstartSnippet:
         assert result.block_guess == 2717 // 1024
         assert result.queries < 3.1415 / 4 * 64
         assert result.success_probability > 0.999
+
+
+class TestEngineSurface:
+    def test_engine_exports_resolve(self):
+        import repro.engine as engine
+
+        for symbol in engine.__all__:
+            assert hasattr(engine, symbol), f"repro.engine.__all__ lists {symbol}"
+
+    def test_builtin_methods_cover_every_runner(self):
+        from repro import available_methods
+
+        assert set(available_methods()) >= {
+            "grk",
+            "grk-sure-success",
+            "naive-blocks",
+            "grover-full",
+            "classical",
+            "subspace",
+        }
