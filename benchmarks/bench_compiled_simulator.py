@@ -158,6 +158,33 @@ def bench_batched(cfg: dict) -> dict:
     }
 
 
+def bench_kernels_batched(cfg: dict) -> dict:
+    """The structured-kernels ``(B, N)`` all-targets batch — the path the
+    preallocated ``mean_out`` diffusion buffers target (ROADMAP perf item:
+    no per-iteration mean/broadcast temporaries in the hot loop)."""
+    n = cfg["batch_address_qubits"]
+    n_items = 1 << n
+    engine = SearchEngine()
+
+    def run():
+        return engine.search_batch(
+            SearchRequest(
+                n_items=n_items,
+                n_blocks=1 << N_BLOCK_BITS,
+                backend="kernels",
+                shards=ShardPolicy(max_bytes=1 << 62),  # one unsharded chunk
+            )
+        )
+
+    run()  # warm the schedule plan
+    t_kernels = _time(run)
+    return {
+        "n_address_qubits": n,
+        "n_targets": int(n_items),
+        "kernels_batched_s": t_kernels,
+    }
+
+
 def bench_sharded(cfg: dict) -> dict:
     """The ROADMAP sharding item, measured: all-targets batch under a byte
     budget vs the unsharded single-shard execution (peak RSS + identity)."""
@@ -208,10 +235,34 @@ def bench_sharded(cfg: dict) -> dict:
     }
 
 
-def main(mode: str = "full") -> dict:
+def _delta_vs_baseline(results: dict, baseline_path: str) -> dict:
+    """Timing ratios against a previous run of this script (same machine):
+    ``< 1`` means this build is faster.  Records the perf satellite's
+    before/after delta directly in the JSON artifact."""
+    baseline = json.loads(pathlib.Path(baseline_path).read_text())
+    deltas = {}
+    for section, key in [
+        ("single", "compiled_s"),
+        ("batched", "batched_s"),
+        ("kernels_batched", "kernels_batched_s"),
+        ("sharded", "sharded_s"),
+    ]:
+        before = baseline.get(section, {}).get(key)
+        after = results.get(section, {}).get(key)
+        if before and after:
+            deltas[key] = {
+                "before_s": before,
+                "after_s": after,
+                "ratio": after / before,
+            }
+    return deltas
+
+
+def main(mode: str = "full", baseline: str | None = None) -> dict:
     cfg = CONFIGS[mode]
     single = bench_single(cfg)
     batched = bench_batched(cfg)
+    kernels_batched = bench_kernels_batched(cfg)
     sharded = bench_sharded(cfg)
     results = {
         "bench": "compiled_simulator",
@@ -223,6 +274,7 @@ def main(mode: str = "full") -> dict:
         ),
         "single": single,
         "batched": batched,
+        "kernels_batched": kernels_batched,
         "sharded": sharded,
         "acceptance": {
             f"compiled_at_least_{cfg['floor_compiled_vs_naive']:g}x_naive":
@@ -235,6 +287,8 @@ def main(mode: str = "full") -> dict:
                 or sharded["peak_sharded_bytes"] < sharded["peak_unsharded_bytes"],
         },
     }
+    if baseline:
+        results["delta_vs_baseline"] = _delta_vs_baseline(results, baseline)
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
     print(json.dumps(results, indent=2))
     print(f"[written to {OUTPUT}]")
@@ -249,4 +303,12 @@ if __name__ == "__main__":
         action="store_true",
         help="reduced configuration for the CI smoke job",
     )
-    main("quick" if parser.parse_args().quick else "full")
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="JSON",
+        help="previous BENCH_simulator.json from this machine; records "
+             "after/before timing ratios under 'delta_vs_baseline'",
+    )
+    cli = parser.parse_args()
+    main("quick" if cli.quick else "full", baseline=cli.baseline)

@@ -38,6 +38,12 @@ Batches shard automatically under a memory budget (default ≲128 MiB)::
     )  # every target, sharded (B_chunk, N) execution
     print(report.worst_success, report.execution["n_shards"])
 
+Batched shards can also run on *other hosts*: :mod:`repro.service`
+provides the executor layer (``LocalExecutor`` / ``RemoteExecutor`` +
+``repro-worker``), an asyncio ``SearchService`` (bounded queue,
+backpressure, TTL cache, single-flight coalescing), and the ``repro
+serve`` / ``repro submit`` CLI — see README "Serving & distribution".
+
 The original ``run_*`` entry points (``run_partial_search``,
 ``run_grover``, ...) remain importable — the engine dispatches *to* them —
 but new code should go through :class:`SearchEngine`;

@@ -257,6 +257,20 @@ class DiffusionOp(_Op):
             if strided and ctrl_sel is not None and ctrl_sel.size == 1
             else None
         )
+        # Scratch for the mean reduction, reused across applications with
+        # the same (shape, dtype): compiled programs unroll l1+l2 diffusion
+        # ops and run them once per shard chunk, so per-iteration mean/
+        # broadcast temporaries otherwise dominate allocator traffic
+        # (ROADMAP perf item).  Thread-local because compiled programs are
+        # shared through an lru_cache and the serving layer runs them from
+        # a thread pool.  Results are bit-identical with or without reuse.
+        self._scratch = threading.local()
+
+    def _mean_scratch(self, shape: tuple, dtype) -> np.ndarray:
+        buf = getattr(self._scratch, "buf", None)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = self._scratch.buf = np.empty(shape, dtype=dtype)
+        return buf
 
     def negated(self) -> "DiffusionOp":
         return DiffusionOp(
@@ -271,21 +285,27 @@ class DiffusionOp(_Op):
     def apply(self, state: np.ndarray) -> np.ndarray:
         view = state.reshape(*state.shape[:-1], self.left, self.mid, self.right)
         if self.ctrl_sel is None:
-            mean = view.mean(axis=-2, keepdims=True)
+            shape = view.shape[:-2] + (1,) + view.shape[-1:]
+            mean = np.mean(view, axis=-2, keepdims=True,
+                           out=self._mean_scratch(shape, view.dtype))
+            np.multiply(mean, 2.0, out=mean)
             if self.negate:
-                np.subtract(2.0 * mean, view, out=view)
+                np.subtract(mean, view, out=view)
             else:
-                view -= 2.0 * mean
+                view -= mean
             return state
         if self.ctrl_col is not None:
             # Single matched column: basic indexing yields a strided view
             # into the state, so the kernel updates it with zero copies.
             sub = view[..., self.ctrl_col]
-            mean = sub.mean(axis=-1, keepdims=True)
+            shape = sub.shape[:-1] + (1,)
+            mean = np.mean(sub, axis=-1, keepdims=True,
+                           out=self._mean_scratch(shape, sub.dtype))
+            np.multiply(mean, 2.0, out=mean)
             if self.negate:
-                np.subtract(2.0 * mean, sub, out=sub)
+                np.subtract(mean, sub, out=sub)
             else:
-                sub -= 2.0 * mean
+                sub -= mean
             return state
         sub = view[..., self.ctrl_sel]  # copy of the control-matched columns
         mean = sub.mean(axis=-2, keepdims=True)

@@ -19,6 +19,10 @@ Public surface:
 - :func:`~repro.core.sure_success.run_sure_success_partial_search` — the
   "with certainty" variant (failure ~ machine epsilon, constant extra
   queries).
+- :func:`~repro.core.simplified.run_simplified_partial_search` —
+  Korepin–Grover's ancilla-free simplification (quant-ph/0504157), whose
+  optimised asymptotic query coefficient exactly matches the Section 3.1
+  table.
 - :func:`~repro.core.naive.run_naive_partial_search` — Section 1.2's
   search-K−1-blocks baseline.
 - :func:`~repro.core.iterated.run_iterated_full_search` — Theorem 2's
@@ -31,6 +35,13 @@ from repro.core.blockspec import BlockSpec
 from repro.core.parameters import GRKParameters, GRKSchedule, plan_schedule
 from repro.core.algorithm import PartialSearchResult, run_partial_search
 from repro.core.batch import BatchResult, run_partial_search_batch
+from repro.core.simplified import (
+    SimplifiedSchedule,
+    SimplifiedSearchResult,
+    plan_simplified_schedule,
+    run_simplified_partial_search,
+    simplified_query_coefficient,
+)
 from repro.core.subspace import SubspaceGRK, SubspaceCoordinates
 from repro.core.naive import NaivePartialSearchResult, run_naive_partial_search
 from repro.core.iterated import IteratedSearchResult, run_iterated_full_search
@@ -57,6 +68,11 @@ __all__ = [
     "IteratedSearchResult",
     "run_iterated_full_search",
     "run_sure_success_partial_search",
+    "SimplifiedSchedule",
+    "SimplifiedSearchResult",
+    "plan_simplified_schedule",
+    "run_simplified_partial_search",
+    "simplified_query_coefficient",
     "coefficient_table",
     "normalized_query_coefficient",
     "optimal_epsilon",

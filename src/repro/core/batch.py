@@ -105,13 +105,18 @@ def execute_batch_rows(
     n_items, n_blocks = spec.n_items, spec.n_blocks
     b = targets.size
     amps = np.full((b, n_items), 1.0 / np.sqrt(n_items))
+    # One mean buffer per diffusion flavour, allocated once per chunk and
+    # reused across every iteration (the ROADMAP perf item: the hot loop
+    # runs l1+l2 ~ O(sqrt(N)) passes and must not churn the allocator).
+    mean_buf = np.empty((b, 1))
+    block_mean_buf = np.empty((b, n_blocks, 1))
 
     for _ in range(schedule.l1):
         _phase_flip_batch(amps, targets)
-        ops.invert_about_mean(amps)
+        ops.invert_about_mean(amps, mean_out=mean_buf)
     for _ in range(schedule.l2):
         _phase_flip_batch(amps, targets)
-        ops.invert_about_mean_blocks(amps, n_blocks)
+        ops.invert_about_mean_blocks(amps, n_blocks, mean_out=block_mean_buf)
 
     # Step 3, batched: park each row's target amplitude, invert the rest
     # about the full mean, then fold the parked amplitude back into the
@@ -119,7 +124,7 @@ def execute_batch_rows(
     rows = np.arange(b)
     parked = amps[rows, targets].copy()
     amps[rows, targets] = 0.0
-    ops.invert_about_mean(amps)
+    ops.invert_about_mean(amps, mean_out=mean_buf)
 
     probs = amps.reshape(b, n_blocks, spec.block_size) ** 2
     block_probs = probs.sum(axis=2)

@@ -1,0 +1,345 @@
+"""Korepin–Grover's *Simple Algorithm for Partial Quantum Search*
+(quant-ph/0504157), executable with exact query accounting.
+
+The simplified algorithm keeps GRK's Step 1 and Step 2 but replaces the
+ancilla-controlled Step 3 with **one ordinary global Grover iteration**:
+
+1. ``j1`` standard Grover iterations on the full address space;
+2. ``j2`` block-local iterations (non-target blocks are fixed points; the
+   target block over-rotates past the target);
+3. one more oracle query followed by a plain inversion about the full
+   average — no ancilla, no controlled operation — tuned so the non-target
+   blocks' amplitudes cancel;
+4. measure the block register.
+
+No extra qubit and no controlled diffusion makes this the easiest partial
+search to realise, and the final-step analysis collapses to one affine
+update of the three symmetric coordinates (:mod:`repro.core.subspace`).
+
+**Zeroing condition.**  Write the post-Step-2 state as ``(u, v, w)``
+(target / rest-of-target-block / outside amplitudes).  The final iteration
+flips ``u`` and inverts about the mean ``m``; outside amplitudes vanish
+iff ``2m = w``, i.e. exactly
+
+    ``sqrt(b-1)·cos(gamma) - sin(gamma) = (2b - N) w / (2 alpha)``
+
+with ``alpha, gamma`` the target block's polar coordinates and ``b = N/K``.
+In the large-``N`` limit this becomes ``cos(gamma) = -(K-2) cos(phi) /
+(2 alpha sqrt(K))`` — the same ``(K-2)`` over-rotation structure as GRK's
+eq. (4).  Minimising total queries ``j1 + j2 + 1`` over the Step 1 stopping
+angle ``phi`` reproduces, for every ``K``, **exactly the optimised GRK
+coefficients of the source paper's Section 3.1 table**: the simplified
+algorithm is not just simpler, it is asymptotically just as fast.  The
+test suite pins that equivalence (``simplified_query_coefficient(K) ==
+optimal_epsilon(K).coefficient`` to 1e-6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from repro.core.blockspec import BlockSpec
+from repro.core.subspace import SubspaceCoordinates, SubspaceGRK
+from repro.grover.angles import grover_angle
+from repro.statevector import ops
+from repro.util.validation import require
+
+__all__ = [
+    "SimplifiedSchedule",
+    "SimplifiedSearchResult",
+    "simplified_query_coefficient",
+    "simplified_step1_angle",
+    "simplified_final_coordinates",
+    "plan_simplified_schedule",
+    "run_simplified_partial_search",
+    "execute_simplified_batch_rows",
+]
+
+
+@dataclass(frozen=True)
+class SimplifiedSchedule:
+    """A concrete ``(j1, j2)`` schedule for one ``(N, K)`` instance.
+
+    Attributes:
+        spec: the block geometry.
+        j1: Step 1 (global) iterations.
+        j2: Step 2 (block-local) iterations.
+        predicted_success: exact block-measurement success probability
+            (from the subspace model; target-independent).
+    """
+
+    spec: BlockSpec
+    j1: int
+    j2: int
+    predicted_success: float
+
+    @property
+    def queries(self) -> int:
+        """Total oracle queries: ``j1 + j2 + 1`` (the final iteration's one)."""
+        return self.j1 + self.j2 + 1
+
+    @property
+    def query_coefficient(self) -> float:
+        """``queries / sqrt(N)`` for comparison against the paper tables."""
+        return self.queries / math.sqrt(self.spec.n_items)
+
+
+# --------------------------------------------------------------- asymptotics
+
+@lru_cache(maxsize=None)
+def _continuous_optimum(n_blocks: int) -> tuple[float, float]:
+    """``(phi*, coefficient)`` minimising the large-N query count.
+
+    ``phi`` is the Step 1 stopping angle ``(2 j1 + 1) beta``; the zeroing
+    condition fixes the Step 2 exit angle ``gamma(phi)``, leaving a 1-D
+    minimisation of ``phi/2 + (gamma - gamma0) / (2 sqrt(K))``.
+    """
+    from scipy.optimize import minimize_scalar
+
+    k = n_blocks
+
+    def cost(phi: float) -> float:
+        s, c = math.sin(phi), math.cos(phi)
+        alpha = math.sqrt(s * s + c * c / k)
+        arg = (k - 2) * c / (2.0 * alpha * math.sqrt(k))
+        if arg > 1.0:  # infeasible: Step 2 cannot over-rotate far enough
+            return 10.0
+        gamma = math.acos(-arg)
+        gamma0 = math.atan2(s, c / math.sqrt(k))
+        return phi / 2.0 + (gamma - gamma0) / (2.0 * math.sqrt(k))
+
+    res = minimize_scalar(
+        cost, bounds=(0.0, math.pi / 2.0), method="bounded",
+        options={"xatol": 1e-12},
+    )
+    phi = float(res.x)
+    return phi, float(cost(phi))
+
+
+def simplified_query_coefficient(n_blocks: int) -> float:
+    """Asymptotic ``queries / sqrt(N)`` of the simplified algorithm.
+
+    Numerically identical to the source paper's optimised GRK coefficient
+    (:func:`repro.core.optimizer.optimal_epsilon`): the simplified final
+    iteration saves the ancilla, not queries — and loses none either.
+    """
+    require(n_blocks >= 2, "n_blocks must be >= 2")
+    return _continuous_optimum(n_blocks)[1]
+
+
+def simplified_step1_angle(n_blocks: int) -> float:
+    """The optimal Step 1 stopping angle ``phi*`` (radians)."""
+    require(n_blocks >= 2, "n_blocks must be >= 2")
+    return _continuous_optimum(n_blocks)[0]
+
+
+# ------------------------------------------------------------ exact finite N
+
+def simplified_final_coordinates(
+    model: SubspaceGRK, j1: int, j2: int
+) -> SubspaceCoordinates:
+    """Exact post-final-iteration coordinates for ``(j1, j2)``.
+
+    The final iteration is oracle (``u -> -u``) then global inversion about
+    the mean — three affine updates of the symmetric coordinates.
+    """
+    c = model.after_step2(j1, j2)
+    spec = model.spec
+    b, n = spec.block_size, spec.n_items
+    u, v, w = -c.target, c.block_rest, c.outside
+    mean = (u + (b - 1) * v + (n - b) * w) / n
+    return SubspaceCoordinates(
+        target=2.0 * mean - u,
+        block_rest=2.0 * mean - v,
+        outside=2.0 * mean - w,
+    )
+
+
+def _success(model: SubspaceGRK, j1: int, j2: int) -> float:
+    return simplified_final_coordinates(model, j1, j2).target_block_mass(model.spec)
+
+
+def plan_simplified_schedule(
+    n_items: int,
+    n_blocks: int,
+    *,
+    refine: bool = True,
+    window: int = 3,
+) -> SimplifiedSchedule:
+    """Build the integer ``(j1, j2)`` schedule the simulator executes.
+
+    ``j1`` comes from the asymptotic optimum ``phi*``; ``j2`` from the
+    *exact* finite-``N`` zeroing condition evaluated at that ``j1``.  With
+    ``refine=True`` (recommended) a ``window``-sized neighbourhood is
+    scanned with the exact subspace evaluator and the best success wins,
+    ties going to the fewest queries — achieving failure ``O(1/sqrt(N))``
+    or better, matching the paper's budget.
+    """
+    spec = BlockSpec(n_items, n_blocks)
+    require(spec.block_size >= 2, "block size N/K must be >= 2")
+    model = SubspaceGRK(spec)
+    b = spec.block_size
+    beta = grover_angle(n_items)
+    beta_b = grover_angle(b)
+
+    phi_star, _ = _continuous_optimum(n_blocks)
+    j1 = max(0, round((phi_star / beta - 1.0) / 2.0))
+
+    def analytic_j2(j1_val: int) -> int:
+        c = model.after_step1(j1_val)
+        alpha = math.hypot(c.target, c.block_rest * math.sqrt(b - 1))
+        gamma0 = math.atan2(c.target, c.block_rest * math.sqrt(b - 1))
+        # sqrt(b-1) cos g - sin g = sqrt(b) cos(g + delta), delta = atan(1/sqrt(b-1))
+        delta = math.atan2(1.0, math.sqrt(b - 1))
+        arg = (2 * b - n_items) * c.outside / (2.0 * alpha * math.sqrt(b))
+        gamma = math.acos(max(-1.0, min(1.0, arg))) - delta
+        return max(0, round((gamma - gamma0) / (2.0 * beta_b)))
+
+    j2 = analytic_j2(j1)
+    if not refine:
+        return SimplifiedSchedule(
+            spec=spec, j1=j1, j2=j2, predicted_success=_success(model, j1, j2)
+        )
+
+    best: tuple[float, int, int] | None = None
+    for a in range(max(0, j1 - window), j1 + window + 1):
+        j2_a = analytic_j2(a)
+        for bb in range(max(0, j2_a - window), j2_a + window + 1):
+            s = _success(model, a, bb)
+            if (
+                best is None
+                or s > best[0] + 1e-9
+                or (abs(s - best[0]) <= 1e-9 and a + bb < best[1] + best[2])
+            ):
+                best = (s, a, bb)
+    s, j1, j2 = best
+    return SimplifiedSchedule(spec=spec, j1=j1, j2=j2, predicted_success=s)
+
+
+# ---------------------------------------------------------------- execution
+
+@dataclass(frozen=True)
+class SimplifiedSearchResult:
+    """Outcome of one simplified-partial-search run.
+
+    Attributes:
+        spec: the ``(N, K)`` geometry.
+        schedule: the executed ``(j1, j2)`` schedule.
+        amplitudes: final state, shape ``(N,)`` (no ancilla in this
+            algorithm — that is the point).
+        block_distribution: block-measurement probabilities, shape ``(K,)``.
+        block_guess: the most likely block.
+        success_probability: probability mass on the true target block.
+        queries: oracle queries actually counted during the run.
+    """
+
+    spec: BlockSpec
+    schedule: SimplifiedSchedule
+    amplitudes: np.ndarray
+    block_distribution: np.ndarray
+    block_guess: int
+    success_probability: float
+    queries: int
+
+    @property
+    def failure_probability(self) -> float:
+        return max(0.0, 1.0 - self.success_probability)
+
+
+def run_simplified_partial_search(
+    database,
+    n_blocks: int,
+    *,
+    schedule: SimplifiedSchedule | None = None,
+) -> SimplifiedSearchResult:
+    """Execute the Korepin–Grover simplified algorithm on a counted oracle.
+
+    Args:
+        database: database with exactly one marked address; its counter
+            accumulates this run's ``j1 + j2 + 1`` queries.
+        n_blocks: ``K`` (must divide ``N``; powers of two not required).
+        schedule: pre-planned schedule (default: the planned optimum).
+
+    Returns:
+        :class:`SimplifiedSearchResult` with the exact final distribution.
+    """
+    from repro.oracle.quantum import PhaseOracle
+
+    n = database.n_items
+    if schedule is None:
+        schedule = plan_simplified_schedule(n, n_blocks)
+    spec = schedule.spec
+    if spec.n_items != n or spec.n_blocks != n_blocks:
+        raise ValueError(
+            f"schedule is for (N={spec.n_items}, K={spec.n_blocks}), "
+            f"but this run has (N={n}, K={n_blocks})"
+        )
+    marked = database.reveal_marked()
+    if len(marked) != 1:
+        raise ValueError(
+            f"partial search requires exactly one marked item, got {len(marked)}"
+        )
+    target = next(iter(marked))
+    target_block = spec.block_of(target)
+
+    oracle = PhaseOracle(database)
+    start_count = database.counter.count
+    amps = np.full(n, 1.0 / np.sqrt(n))
+    for _ in range(schedule.j1):
+        oracle.apply(amps)
+        ops.invert_about_mean(amps)
+    for _ in range(schedule.j2):
+        oracle.apply(amps)
+        ops.invert_about_mean_blocks(amps, n_blocks)
+    oracle.apply(amps)
+    ops.invert_about_mean(amps)
+
+    dist = (amps.reshape(n_blocks, spec.block_size) ** 2).sum(axis=1)
+    return SimplifiedSearchResult(
+        spec=spec,
+        schedule=schedule,
+        amplitudes=amps,
+        block_distribution=dist,
+        block_guess=int(np.argmax(dist)),
+        success_probability=float(dist[target_block]),
+        queries=database.counter.count - start_count,
+    )
+
+
+def execute_simplified_batch_rows(
+    schedule: SimplifiedSchedule, targets: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """One memory-resident ``(B_chunk, N)`` simplified-algorithm sweep.
+
+    The shard primitive for the engine's batched ``grk-simplified`` path
+    (kernels backend): rows evolve independently, so concatenating chunk
+    outputs is bit-identical to one unsharded call.
+    """
+    spec = schedule.spec
+    n_items, n_blocks = spec.n_items, spec.n_blocks
+    targets = np.asarray(targets, dtype=np.intp)
+    b = targets.size
+    rows = np.arange(b)
+    amps = np.full((b, n_items), 1.0 / np.sqrt(n_items))
+    mean_buf = np.empty((b, 1))
+    block_mean_buf = np.empty((b, n_blocks, 1))
+
+    for _ in range(schedule.j1):
+        amps[rows, targets] *= -1.0
+        ops.invert_about_mean(amps, mean_out=mean_buf)
+    for _ in range(schedule.j2):
+        amps[rows, targets] *= -1.0
+        ops.invert_about_mean_blocks(amps, n_blocks, mean_out=block_mean_buf)
+    amps[rows, targets] *= -1.0
+    ops.invert_about_mean(amps, mean_out=mean_buf)
+
+    block_probs = (amps.reshape(b, n_blocks, spec.block_size) ** 2).sum(axis=2)
+    true_blocks = targets // spec.block_size
+    return (
+        block_probs[rows, true_blocks].astype(float),
+        np.argmax(block_probs, axis=1),
+    )

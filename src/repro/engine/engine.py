@@ -47,13 +47,31 @@ class SearchEngine:
         shards: default :class:`ShardPolicy` applied when a request carries
             the stock policy (engine-level override for deployments that
             want a different budget everywhere).
+        executor: :class:`repro.service.executor.ShardExecutor` batched
+            executions dispatch their shards through.  ``None`` uses the
+            in-process/process-pool default
+            (:class:`~repro.service.executor.LocalExecutor`); pass a
+            :class:`~repro.service.executor.RemoteExecutor` to fan shards
+            out to ``repro-worker`` hosts.  Results are bit-identical
+            whatever the executor: shard boundaries and per-target RNG
+            streams are fixed before dispatch.
 
-    The engine is stateless apart from that default — it is cheap to
+    The engine is stateless apart from those defaults — it is cheap to
     construct and safe to share.
     """
 
-    def __init__(self, shards: ShardPolicy | None = None):
+    def __init__(self, shards: ShardPolicy | None = None, executor=None):
         self._default_shards = shards
+        self._executor = executor
+
+    @property
+    def executor(self):
+        """The resolved shard executor this engine dispatches through."""
+        if self._executor is None:
+            from repro.service.executor import default_executor
+
+            return default_executor()
+        return self._executor
 
     # ----------------------------------------------------------- plumbing
     def _resolve(self, request: SearchRequest) -> tuple[MethodSpec, str]:
@@ -149,8 +167,33 @@ class SearchEngine:
         if targets.min() < 0 or targets.max() >= request.n_items:
             raise ValueError("targets out of address range")
         if spec.native_batch is not None:
-            return spec.native_batch(request, backend, targets)
+            return self._call_native_batch(spec, request, backend, targets)
         return self._generic_batch(spec, request, backend, targets)
+
+    def _call_native_batch(
+        self,
+        spec: MethodSpec,
+        request: SearchRequest,
+        backend: str,
+        targets: np.ndarray,
+    ) -> BatchReport:
+        """Invoke a native batch adapter, threading the engine's executor
+        through when the adapter accepts one (older three-argument adapters
+        registered by external code keep working unchanged)."""
+        import inspect
+
+        try:
+            params = inspect.signature(spec.native_batch).parameters
+            takes_executor = "executor" in params or any(
+                p.kind is inspect.Parameter.VAR_KEYWORD for p in params.values()
+            )
+        except (TypeError, ValueError):  # builtins/partials without signatures
+            takes_executor = False
+        if takes_executor:
+            return spec.native_batch(
+                request, backend, targets, executor=self.executor
+            )
+        return spec.native_batch(request, backend, targets)
 
     def _generic_batch(
         self,
@@ -166,7 +209,6 @@ class SearchEngine:
         fan-out and keeps the report's execution provenance uniform.
         """
         from repro.engine.plan import plan_shards
-        from repro.util.parallel import parallel_map
         from repro.util.rng import spawn_rngs
 
         plan = plan_shards(targets.size, request.n_items, backend, request.shards)
@@ -190,11 +232,8 @@ class SearchEngine:
             (spec, base_fields, backend, targets[sl], rngs[sl])
             for sl in plan.slices()
         ]
-        results = parallel_map(
-            _run_single_target_shard,
-            tasks,
-            workers=plan.workers,
-            use_processes=plan.workers > 1,
+        results = self.executor.run_shards(
+            _run_single_target_shard, tasks, workers=plan.workers
         )
         success = np.concatenate([r[0] for r in results])
         guesses = np.concatenate([r[1] for r in results])
@@ -210,7 +249,7 @@ class SearchEngine:
             block_guesses=guesses,
             queries=queries,
             schedule=schedule,
-            execution=plan.describe(),
+            execution={**plan.describe(), **self.executor.describe()},
         )
 
     # -------------------------------------------------------------- sweep

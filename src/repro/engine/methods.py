@@ -13,6 +13,8 @@ Registered on import (importing :mod:`repro.engine` is enough):
 ==================  ====================================================
 ``grk``             the three-step GRK partial search (Figure 2);
                     backends ``kernels`` / ``compiled`` / ``naive``
+``grk-simplified``  Korepin–Grover's ancilla-free simplification
+                    (quant-ph/0504157) — same asymptotic query count
 ``grk-sure-success``  the phased sure-success variant (Theorem 1 remark)
 ``naive-blocks``    Section 1.2's K−1-block quantum baseline
 ``grover-full``     standard full search (+ Long's exact variant)
@@ -94,13 +96,18 @@ def _run_grk(request: SearchRequest, backend: str, database) -> SearchReport:
     )
 
 
-def _batch_grk(request: SearchRequest, backend: str, targets: np.ndarray) -> BatchReport:
+def _batch_grk(
+    request: SearchRequest, backend: str, targets: np.ndarray, executor=None
+) -> BatchReport:
     from repro.engine.plan import run_grk_batch_sharded
 
     schedule = _resolve_schedule(request)
     success, guesses, plan = run_grk_batch_sharded(
-        schedule, targets, backend, request.shards
+        schedule, targets, backend, request.shards, executor=executor
     )
+    execution = plan.describe()
+    if executor is not None:
+        execution.update(executor.describe())
     return BatchReport(
         method="grk",
         backend=backend,
@@ -111,7 +118,87 @@ def _batch_grk(request: SearchRequest, backend: str, targets: np.ndarray) -> Bat
         block_guesses=guesses,
         queries=np.full(targets.size, schedule.queries, dtype=np.intp),
         schedule=_schedule_provenance(schedule),
-        execution=plan.describe(),
+        execution=execution,
+    )
+
+
+# --------------------------------------------------------------------------
+# grk-simplified (Korepin–Grover, quant-ph/0504157)
+# --------------------------------------------------------------------------
+
+def _resolve_simplified_schedule(request: SearchRequest):
+    from repro.core.simplified import SimplifiedSchedule, plan_simplified_schedule
+
+    schedule = request.option("schedule")
+    if schedule is None:
+        return plan_simplified_schedule(request.n_items, request.n_blocks)
+    if not isinstance(schedule, SimplifiedSchedule):
+        raise ValueError(
+            "grk-simplified takes a SimplifiedSchedule in options['schedule'] "
+            f"(got {type(schedule).__name__})"
+        )
+    spec = schedule.spec
+    if spec.n_items != request.n_items or spec.n_blocks != request.n_blocks:
+        raise ValueError(
+            f"schedule is for (N={spec.n_items}, K={spec.n_blocks}), but the "
+            f"request has (N={request.n_items}, K={request.n_blocks})"
+        )
+    return schedule
+
+
+def _simplified_provenance(schedule) -> dict:
+    return {
+        "j1": schedule.j1,
+        "j2": schedule.j2,
+        "queries": schedule.queries,
+        "predicted_success": schedule.predicted_success,
+    }
+
+
+def _run_grk_simplified(request: SearchRequest, backend: str, database) -> SearchReport:
+    from repro.core.simplified import run_simplified_partial_search
+
+    result = run_simplified_partial_search(
+        database, request.n_blocks,
+        schedule=request.option("schedule"),
+    )
+    return SearchReport(
+        method="grk-simplified",
+        backend=backend,
+        n_items=request.n_items,
+        n_blocks=request.n_blocks,
+        block_guess=result.block_guess,
+        success_probability=result.success_probability,
+        queries=result.queries,
+        schedule=_simplified_provenance(result.schedule),
+        answer=result.block_guess,
+        raw=result,
+    )
+
+
+def _batch_grk_simplified(
+    request: SearchRequest, backend: str, targets: np.ndarray, executor=None
+) -> BatchReport:
+    from repro.engine.plan import run_simplified_batch_sharded
+
+    schedule = _resolve_simplified_schedule(request)
+    success, guesses, plan = run_simplified_batch_sharded(
+        schedule, targets, request.shards, executor=executor
+    )
+    execution = plan.describe()
+    if executor is not None:
+        execution.update(executor.describe())
+    return BatchReport(
+        method="grk-simplified",
+        backend=backend,
+        n_items=request.n_items,
+        n_blocks=request.n_blocks,
+        targets=targets,
+        success_probabilities=success,
+        block_guesses=guesses,
+        queries=np.full(targets.size, schedule.queries, dtype=np.intp),
+        schedule=_simplified_provenance(schedule),
+        execution=execution,
     )
 
 
@@ -314,6 +401,17 @@ def register_builtin_methods(*, replace: bool = False) -> None:
             run=_run_grk,
             native_batch=_batch_grk,
             supports_trace=True,
+        ),
+        replace=replace,
+    )
+    register_method(
+        MethodSpec(
+            name="grk-simplified",
+            description="Korepin-Grover simplified partial search "
+                        "(quant-ph/0504157): no ancilla, plain final iteration",
+            backends=(KERNEL_BACKEND,),
+            run=_run_grk_simplified,
+            native_batch=_batch_grk_simplified,
         ),
         replace=replace,
     )

@@ -5,8 +5,11 @@ state matrix — ~0.5 GB before kernel temporaries.  The planner converts a
 :class:`~repro.engine.request.ShardPolicy` byte budget into a per-shard row
 count from a per-backend row-size model, splits the target batch into
 ``(B_chunk, N)`` shards, executes them independently (rows never interact,
-so shard boundaries are bit-invisible in the results), and optionally fans
-shards across a process pool via :func:`repro.util.parallel.parallel_map`.
+so shard boundaries are bit-invisible in the results), and dispatches the
+shard list through a :class:`repro.service.executor.ShardExecutor` — by
+default the in-process/process-pool :class:`~repro.service.executor.LocalExecutor`,
+or any custom executor (e.g. the TCP-distributed
+:class:`~repro.service.executor.RemoteExecutor`) installed on the engine.
 """
 
 from __future__ import annotations
@@ -18,7 +21,13 @@ import numpy as np
 from repro.core.backends import CIRCUIT_BACKENDS, KERNEL_BACKEND
 from repro.engine.request import ShardPolicy
 
-__all__ = ["ExecutionPlan", "plan_shards", "state_row_bytes", "run_grk_batch_sharded"]
+__all__ = [
+    "ExecutionPlan",
+    "plan_shards",
+    "state_row_bytes",
+    "run_grk_batch_sharded",
+    "run_simplified_batch_sharded",
+]
 
 #: Working-set multiplier over the bare state row: the kernels allocate
 #: mean-broadcast temporaries and the final block-probability reshape, and
@@ -144,24 +153,62 @@ def run_grk_batch_sharded(
     targets: np.ndarray,
     backend: str,
     policy: ShardPolicy | None = None,
+    executor=None,
 ) -> tuple[np.ndarray, np.ndarray, ExecutionPlan]:
     """Run the GRK batch over *targets* in memory-bounded shards.
 
     Returns ``(success_probabilities, block_guesses, plan)`` with the arrays
     concatenated in target order — bit-identical to the unsharded execution,
     because every batch row evolves independently under the same kernels.
+    *executor* selects where shards run (``None`` = the default local
+    executor); every executor preserves bit-identity because shard
+    boundaries are fixed here, before dispatch.
     """
-    from repro.util.parallel import parallel_map
+    from repro.service.executor import default_executor
 
     targets = np.asarray(targets, dtype=np.intp)
     plan = plan_shards(targets.size, schedule.spec.n_items, backend, policy)
     tasks = [(schedule, targets[sl], backend) for sl in plan.slices()]
-    results = parallel_map(
-        _grk_shard,
-        tasks,
-        workers=plan.workers,
-        use_processes=plan.workers > 1,
-    )
+    if executor is None:
+        executor = default_executor()
+    results = executor.run_shards(_grk_shard, tasks, workers=plan.workers)
+    success = np.concatenate([r[0] for r in results])
+    guesses = np.concatenate([r[1] for r in results])
+    return success, guesses, plan
+
+
+def _simplified_shard(task, rng):
+    """One Korepin–Grover-simplified shard (module-level: pools pickle it).
+
+    Deterministic like the GRK batch, so the per-task *rng* goes unused and
+    results are bit-identical for any executor or worker count.
+    """
+    schedule, targets = task
+    from repro.core.simplified import execute_simplified_batch_rows
+
+    return execute_simplified_batch_rows(schedule, targets)
+
+
+def run_simplified_batch_sharded(
+    schedule,
+    targets: np.ndarray,
+    policy: ShardPolicy | None = None,
+    executor=None,
+) -> tuple[np.ndarray, np.ndarray, ExecutionPlan]:
+    """Sharded all-targets batch of the simplified algorithm (kernels only).
+
+    Same contract as :func:`run_grk_batch_sharded`: memory-bounded
+    ``(B_chunk, N)`` shards, dispatched through *executor*, bit-identical
+    to the unsharded execution.
+    """
+    from repro.service.executor import default_executor
+
+    targets = np.asarray(targets, dtype=np.intp)
+    plan = plan_shards(targets.size, schedule.spec.n_items, KERNEL_BACKEND, policy)
+    tasks = [(schedule, targets[sl]) for sl in plan.slices()]
+    if executor is None:
+        executor = default_executor()
+    results = executor.run_shards(_simplified_shard, tasks, workers=plan.workers)
     success = np.concatenate([r[0] for r in results])
     guesses = np.concatenate([r[1] for r in results])
     return success, guesses, plan

@@ -142,3 +142,40 @@ class SearchRequest:
         if "options" not in changes:
             changes["options"] = dict(self.options)
         return _dc_replace(self, **changes)
+
+    def to_fields(self) -> dict:
+        """Plain-field form of this request (``options`` as a real dict).
+
+        The frozen ``options`` proxy is not picklable, so anything that
+        ships requests across process or host boundaries — the engine's
+        process fan-out, the :mod:`repro.service` wire protocol — works
+        with this form; :meth:`from_fields` rebuilds (and re-validates)
+        the request on the other side.
+        """
+        return {
+            "n_items": self.n_items,
+            "n_blocks": self.n_blocks,
+            "method": self.method,
+            "backend": self.backend,
+            "epsilon": self.epsilon,
+            "target": self.target,
+            "trace": self.trace,
+            "rng": self.rng,
+            "shards": self.shards,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_fields(cls, fields: Mapping[str, Any]) -> "SearchRequest":
+        """Rebuild a request from :meth:`to_fields` output."""
+        return cls(**fields)
+
+    def __reduce__(self):
+        # MappingProxyType makes the dataclass unpicklable by default; pickle
+        # via the plain-field form so requests cross pools and sockets.
+        return (_rebuild_request, (self.to_fields(),))
+
+
+def _rebuild_request(fields: dict) -> "SearchRequest":
+    """Module-level pickle hook for :meth:`SearchRequest.__reduce__`."""
+    return SearchRequest.from_fields(fields)

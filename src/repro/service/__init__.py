@@ -1,0 +1,57 @@
+"""repro.service — distributed shard execution and async serving.
+
+Two layers grow the single-machine engine into a serving system:
+
+1. **Executor layer** (:mod:`repro.service.executor`): the
+   :class:`ShardExecutor` seam :meth:`repro.engine.SearchEngine.search_batch`
+   dispatches its ``(B_chunk, N)`` shards through.  :class:`LocalExecutor`
+   wraps the in-process / process-pool fan-out that PR 2 shipped;
+   :class:`RemoteExecutor` speaks a small length-prefixed TCP protocol
+   (:mod:`repro.service.wire`) to ``repro-worker`` processes
+   (:mod:`repro.service.worker`) on other hosts.  Shard boundaries and
+   per-target RNG streams are fixed *before* dispatch, so every executor
+   returns bit-identical results.
+
+2. **Serving layer** (:mod:`repro.service.scheduler` /
+   :mod:`repro.service.server`): an :mod:`asyncio`-based
+   :class:`SearchService` with a bounded job queue, backpressure, per-request
+   timeouts, and a TTL result cache keyed by each request's structural
+   fingerprint, exposed over TCP by :class:`SearchServer` and driven by the
+   ``repro serve`` / ``repro submit`` CLI (:mod:`repro.service.cli`).
+
+Trust model: frames carry pickled payloads, so workers and servers must only
+be exposed to trusted hosts (a cluster-internal network), never the open
+internet.  The wire format is versioned — see :data:`repro.service.wire.WIRE_VERSION`.
+"""
+
+from repro.service.cache import TTLCache, request_fingerprint
+from repro.service.executor import (
+    LocalExecutor,
+    RemoteExecutor,
+    ShardExecutionError,
+    ShardExecutor,
+    WorkerUnavailable,
+)
+from repro.service.scheduler import SearchService, ServiceOverloaded, ServiceStats
+from repro.service.server import SearchServer, submit_remote
+from repro.service.worker import WorkerServer
+from repro.service.wire import WIRE_VERSION, ConnectionClosed, WireError
+
+__all__ = [
+    "TTLCache",
+    "request_fingerprint",
+    "ShardExecutor",
+    "LocalExecutor",
+    "RemoteExecutor",
+    "ShardExecutionError",
+    "WorkerUnavailable",
+    "SearchService",
+    "ServiceOverloaded",
+    "ServiceStats",
+    "SearchServer",
+    "submit_remote",
+    "WorkerServer",
+    "WIRE_VERSION",
+    "WireError",
+    "ConnectionClosed",
+]

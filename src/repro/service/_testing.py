@@ -1,0 +1,34 @@
+"""Picklable shard functions for executor/worker fault-path tests.
+
+The wire protocol ships shard functions by reference (module + qualname),
+so test doubles must live in an importable module — test files collected by
+pytest's importlib mode are not.  These helpers are tiny, deterministic,
+and used only by the test suite and docs examples.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["echo_shard", "double_shard", "raise_shard", "slow_shard"]
+
+
+def echo_shard(task, rng):
+    """Return the task unchanged (transport round-trip checks)."""
+    return task
+
+
+def double_shard(task, rng):
+    """Return ``task * 2`` (order/requeue checks with distinct results)."""
+    return task * 2
+
+
+def raise_shard(task, rng):
+    """Always raise — a deterministic shard failure (must not be retried)."""
+    raise ValueError(f"injected shard failure for task {task!r}")
+
+
+def slow_shard(task, rng):
+    """Sleep ``task`` seconds, then return it (timeout checks)."""
+    time.sleep(float(task))
+    return task

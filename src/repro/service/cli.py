@@ -1,0 +1,230 @@
+"""``repro`` — the serving/distribution command line.
+
+Subcommands::
+
+    repro serve    # run the async SearchService behind a TCP endpoint
+    repro submit   # send one request to a running server, print the report
+    repro worker   # run a shard-execution worker (alias of repro-worker)
+    repro methods  # list the method registry (name, backends, description)
+
+Two-host quickstart (see README "Serving & distribution"): start
+``repro-worker`` on each compute host, then point the server at them with
+``--remote-worker host:port`` so batched searches fan their shards out over
+TCP; clients talk to the server with ``repro submit``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+__all__ = ["main"]
+
+
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("serve", help="run the async search service over TCP")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="bind port (default 7736; 0 picks a free port)")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="admission bound: queued + running requests")
+    p.add_argument("--max-workers", type=int, default=4,
+                   help="simultaneous engine executions")
+    p.add_argument("--request-timeout", type=float, default=60.0,
+                   help="default per-request deadline in seconds")
+    p.add_argument("--cache-size", type=int, default=256,
+                   help="TTL cache entry bound (0 disables caching)")
+    p.add_argument("--cache-ttl", type=float, default=300.0,
+                   help="seconds a cached report stays servable")
+    p.add_argument("--remote-worker", action="append", default=[],
+                   metavar="HOST:PORT",
+                   help="repro-worker endpoint; repeat for more hosts "
+                        "(shards of batched searches fan out across them)")
+    p.add_argument("--fallback-local", action="store_true",
+                   help="finish shards in-process if every worker dies")
+
+
+def _add_submit(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("submit", help="submit one request to a running server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("--n-items", type=int, required=True, help="database size N")
+    p.add_argument("--n-blocks", type=int, required=True, help="block count K")
+    p.add_argument("--method", default="grk")
+    p.add_argument("--backend", default=None)
+    p.add_argument("--epsilon", type=float, default=None)
+    p.add_argument("--target", type=int, default=None,
+                   help="marked address (single search)")
+    p.add_argument("--batch", action="store_true",
+                   help="batched search over --targets (or every address)")
+    p.add_argument("--targets", type=int, nargs="*", default=None,
+                   help="explicit batch targets (with --batch)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seed for stochastic methods")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="per-request deadline override in seconds")
+    p.add_argument("--stats", action="store_true",
+                   help="also fetch and print server stats")
+
+
+def _add_worker(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("worker", help="run a shard-execution worker")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    p.add_argument("-v", "--verbose", action="store_true")
+
+
+def _add_methods(sub: argparse._SubParsersAction) -> None:
+    sub.add_parser("methods", help="list the registered search methods")
+
+
+def _cmd_serve(args) -> int:
+    import logging
+
+    from repro.engine import SearchEngine
+    from repro.service.scheduler import SearchService
+    from repro.service.server import DEFAULT_PORT, SearchServer
+
+    logging.basicConfig(level=logging.INFO,
+                        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    executor = None
+    if args.remote_worker:
+        from repro.service.executor import RemoteExecutor
+
+        executor = RemoteExecutor(
+            args.remote_worker, fallback_local=args.fallback_local
+        )
+    engine = SearchEngine(executor=executor)
+
+    async def run() -> None:
+        async with SearchService(
+            engine,
+            max_pending=args.max_pending,
+            max_workers=args.max_workers,
+            request_timeout=args.request_timeout,
+            cache_size=args.cache_size,
+            cache_ttl=args.cache_ttl,
+        ) as service:
+            server = SearchServer(
+                service,
+                args.host,
+                DEFAULT_PORT if args.port is None else args.port,
+            )
+            await server.start()
+            print(f"repro serve ready on {server.address[0]}:"
+                  f"{server.address[1]}", flush=True)
+            await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _report_to_json(report) -> dict:
+    import numpy as np
+
+    from repro.engine.report import BatchReport
+
+    if isinstance(report, BatchReport):
+        return {
+            "kind": "batch",
+            "method": report.method,
+            "backend": report.backend,
+            "n_items": report.n_items,
+            "n_blocks": report.n_blocks,
+            "n_rows": report.n_rows,
+            "worst_success": report.worst_success,
+            "all_correct": report.all_correct,
+            "queries_per_run": report.queries_per_run,
+            "block_guesses": np.asarray(report.block_guesses).tolist(),
+            "execution": dict(report.execution),
+        }
+    return {
+        "kind": "search",
+        "method": report.method,
+        "backend": report.backend,
+        "n_items": report.n_items,
+        "n_blocks": report.n_blocks,
+        "block_guess": report.block_guess,
+        "success_probability": report.success_probability,
+        "queries": report.queries,
+        "schedule": dict(report.schedule),
+    }
+
+
+def _cmd_submit(args) -> int:
+    from repro.engine import SearchRequest
+    from repro.service.server import DEFAULT_PORT, server_stats, submit_remote
+
+    request = SearchRequest(
+        n_items=args.n_items,
+        n_blocks=args.n_blocks,
+        method=args.method,
+        backend=args.backend,
+        epsilon=args.epsilon,
+        target=args.target,
+        rng=args.seed,
+    )
+    address = (args.host, DEFAULT_PORT if args.port is None else args.port)
+    report = submit_remote(
+        address,
+        request,
+        targets=args.targets,
+        batch=args.batch,
+        timeout=args.timeout,
+    )
+    payload = _report_to_json(report)
+    if args.stats:
+        payload["server_stats"] = server_stats(address)
+    json.dump(payload, sys.stdout, indent=2)
+    print()
+    return 0
+
+
+def _cmd_worker(args) -> int:
+    from repro.service.worker import DEFAULT_PORT, main as worker_main
+
+    argv = ["--host", args.host,
+            "--port", str(DEFAULT_PORT if args.port is None else args.port)]
+    if args.verbose:
+        argv.append("--verbose")
+    return worker_main(argv)
+
+
+def _cmd_methods(_args) -> int:
+    from repro.engine.registry import available_methods, get_method
+
+    for name in available_methods():
+        spec = get_method(name)
+        print(f"{name:18s} [{', '.join(spec.backends)}]  {spec.description}")
+    return 0
+
+
+_COMMANDS = {
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "worker": _cmd_worker,
+    "methods": _cmd_methods,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Serving and distribution CLI for the partial-search engine.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_serve(sub)
+    _add_submit(sub)
+    _add_worker(sub)
+    _add_methods(sub)
+    args = parser.parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,323 @@
+"""The executor seam: where a batched search's shards actually run.
+
+:meth:`repro.engine.SearchEngine.search_batch` splits a batch into
+``(B_chunk, N)`` shards under its :class:`~repro.engine.request.ShardPolicy`
+and then hands the shard list to a :class:`ShardExecutor`.  The contract is
+deliberately tiny — ``run_shards(func, tasks)`` returning results *in task
+order* — because everything that matters for reproducibility is decided
+before dispatch: shard boundaries come from the plan, and per-target RNG
+streams are spawned from the request seed and shipped *inside* the task
+payloads.  Any executor that runs every task exactly once therefore returns
+bit-identical results, whatever the host, scheduling order, or retry
+history.
+
+Two executors ship today:
+
+- :class:`LocalExecutor` — the in-process / process-pool fan-out
+  (:func:`repro.util.parallel.parallel_map`), the default.
+- :class:`RemoteExecutor` — fans shards out to ``repro-worker`` processes
+  (:mod:`repro.service.worker`) over the length-prefixed TCP protocol of
+  :mod:`repro.service.wire`, with per-shard timeouts and requeue-on-failure:
+  a worker that dies mid-shard loses its connection, its shard goes back on
+  the queue, and a surviving worker picks it up.
+
+Future scaling work (new transports, cluster schedulers) plugs in here by
+subclassing :class:`ShardExecutor`; the engine and the method adapters do
+not change.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from abc import ABC, abstractmethod
+from typing import Callable, Sequence
+
+from repro.service.wire import ConnectionClosed, WireError, recv_frame, send_frame
+from repro.util.parallel import parallel_map
+from repro.util.rng import spawn_rngs
+
+__all__ = [
+    "ShardExecutor",
+    "LocalExecutor",
+    "RemoteExecutor",
+    "ShardExecutionError",
+    "WorkerUnavailable",
+    "default_executor",
+]
+
+
+class ShardExecutionError(RuntimeError):
+    """A shard function raised on a worker — retrying cannot help."""
+
+
+class WorkerUnavailable(RuntimeError):
+    """No worker could complete the remaining shards (dead/unreachable)."""
+
+
+class ShardExecutor(ABC):
+    """Strategy for executing a list of independent shard tasks."""
+
+    @abstractmethod
+    def run_shards(self, func: Callable, tasks: Sequence, *, workers: int = 1) -> list:
+        """Run ``func(task, rng)`` for every task; results in task order.
+
+        ``workers`` is the plan's parallelism hint; executors with their own
+        notion of width (e.g. one lane per remote worker) may ignore it.
+        """
+
+    def describe(self) -> dict:
+        """Provenance record merged into ``BatchReport.execution``."""
+        return {"executor": type(self).__name__}
+
+
+class LocalExecutor(ShardExecutor):
+    """This-machine execution: serial in-process, or a process pool.
+
+    This is the engine's default and reproduces the PR 2 behaviour exactly:
+    ``workers == 1`` runs shards serially in the calling process;
+    ``workers > 1`` fans them across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+    Args:
+        use_processes: force the serial path when ``False`` (handy for
+            debugging and for shard functions that are not picklable).
+    """
+
+    def __init__(self, use_processes: bool = True):
+        self.use_processes = use_processes
+
+    def run_shards(self, func, tasks, *, workers: int = 1) -> list:
+        return parallel_map(
+            func,
+            tasks,
+            workers=workers,
+            use_processes=self.use_processes and workers > 1,
+        )
+
+    def describe(self) -> dict:
+        return {"executor": "local"}
+
+
+def _parse_address(address) -> tuple[str, int]:
+    """``"host:port"`` or ``(host, port)`` -> ``(host, port)``."""
+    if isinstance(address, str):
+        host, _, port = address.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"worker address {address!r} is not 'host:port'")
+        return host, int(port)
+    host, port = address
+    return str(host), int(port)
+
+
+class RemoteExecutor(ShardExecutor):
+    """Fan shards out to ``repro-worker`` processes over TCP.
+
+    One dispatch thread per worker address pulls shards off a shared queue,
+    ships each as a ``("shard", func, task, rng)`` frame, and waits for the
+    ``("result", value)`` reply.  Failure handling:
+
+    - **transport failure** (connection refused/reset, worker death
+      mid-shard, per-shard timeout): the shard is requeued for the surviving
+      workers and the failed worker's lane shuts down.  Because tasks carry
+      their randomness, a requeued shard reproduces the exact result the
+      dead worker would have returned.
+    - **shard function error** (the worker ran the shard and it raised):
+      deterministic — no retry; the whole run aborts with
+      :class:`ShardExecutionError`.
+
+    A shard is attempted at most ``max_attempts`` times (default: once per
+    configured worker).  If every worker lane dies with shards outstanding,
+    the run falls back to in-process execution when ``fallback_local=True``,
+    else raises :class:`WorkerUnavailable`.
+
+    Args:
+        addresses: worker endpoints, each ``"host:port"`` or ``(host, port)``.
+        timeout: per-shard reply timeout in seconds (covers send + compute +
+            receive on one worker).
+        connect_timeout: TCP connect timeout per worker.
+        max_attempts: per-shard attempt bound; ``None`` = one try per worker.
+        fallback_local: run leftover shards in-process instead of raising
+            when every worker is gone.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence,
+        *,
+        timeout: float = 300.0,
+        connect_timeout: float = 5.0,
+        max_attempts: int | None = None,
+        fallback_local: bool = False,
+    ):
+        self.addresses = [_parse_address(a) for a in addresses]
+        if not self.addresses:
+            raise ValueError("RemoteExecutor needs at least one worker address")
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self.max_attempts = max_attempts or len(self.addresses)
+        self.fallback_local = fallback_local
+        #: Stats of the most recent :meth:`run_shards` call (requeues, deaths).
+        self.last_run: dict = {}
+
+    # ------------------------------------------------------------ internals
+    def _connect(self, address: tuple[str, int]) -> socket.socket:
+        sock = socket.create_connection(address, timeout=self.connect_timeout)
+        sock.settimeout(self.timeout)
+        return sock
+
+    def _serve_lane(self, address, func, state) -> None:
+        """One worker lane: pull shards until every shard is done or the
+        worker fails.  Any transport failure requeues the in-flight shard
+        and ends the lane (the worker is assumed gone or wedged).  An idle
+        lane keeps waiting while another lane has a shard in flight — that
+        shard may yet be requeued and need picking up."""
+        sock = None
+        try:
+            while not state["fatal"]:
+                # Pop and mark in-flight under ONE lock hold: a sibling
+                # lane's idle check (queue empty AND nothing in flight)
+                # must never interleave between the two, or it could retire
+                # while this lane still holds a shard that may be requeued.
+                with state["lock"]:
+                    try:
+                        index = state["pending"].get_nowait()
+                    except queue.Empty:
+                        if state["in_flight"] == 0:
+                            # Nothing queued and nothing in flight anywhere:
+                            # either all done, or no lane will requeue again.
+                            return
+                        index = None
+                    else:
+                        state["in_flight"] += 1
+                        state["attempts"][index] += 1
+                        exhausted = (
+                            state["attempts"][index] > self.max_attempts
+                        )
+                if index is None:
+                    time.sleep(0.02)  # idle: await a possible requeue
+                    continue
+
+                def release(requeue: bool) -> None:
+                    with state["lock"]:
+                        state["in_flight"] -= 1
+                        if requeue:
+                            state["pending"].put(index)
+
+                if exhausted:
+                    # Over-tried shard: give it back and end the lane so the
+                    # run can fail with a coherent report.
+                    release(requeue=True)
+                    return
+                try:
+                    if sock is None:
+                        sock = self._connect(address)
+                    send_frame(sock, ("shard", func, state["tasks"][index],
+                                      state["rngs"][index]))
+                    reply = recv_frame(sock)
+                except (OSError, ConnectionClosed) as exc:
+                    # Worker death mid-shard, refused connection, or timeout:
+                    # requeue for the other lanes and retire this one.
+                    with state["lock"]:
+                        state["requeued"] += 1
+                        state["dead"].append(
+                            {"address": f"{address[0]}:{address[1]}",
+                             "error": f"{type(exc).__name__}: {exc}"}
+                        )
+                    release(requeue=True)
+                    return
+                if not isinstance(reply, tuple) or not reply:
+                    state["fatal"] = f"malformed worker reply: {reply!r}"
+                    release(requeue=True)
+                    return
+                if reply[0] == "error":
+                    state["fatal"] = reply[1]
+                    release(requeue=True)
+                    return
+                if reply[0] != "result":
+                    state["fatal"] = f"unexpected reply type {reply[0]!r}"
+                    release(requeue=True)
+                    return
+                state["results"][index] = reply[1]
+                state["done"][index] = True
+                release(requeue=False)
+        except WireError as exc:
+            state["fatal"] = str(exc)
+        finally:
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    # -------------------------------------------------------------- public
+    def run_shards(self, func, tasks, *, workers: int = 1) -> list:
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        state = {
+            "tasks": tasks,
+            # Mirror parallel_map's per-task generator argument; shard
+            # functions that need reproducible randomness carry pre-spawned
+            # generators inside their task payloads instead.
+            "rngs": spawn_rngs(None, len(tasks)),
+            "results": [None] * len(tasks),
+            "done": [False] * len(tasks),
+            "attempts": [0] * len(tasks),
+            "pending": queue.Queue(),
+            "lock": threading.Lock(),
+            "in_flight": 0,
+            "requeued": 0,
+            "dead": [],
+            "fatal": None,
+        }
+        for i in range(len(tasks)):
+            state["pending"].put(i)
+
+        threads = [
+            threading.Thread(
+                target=self._serve_lane, args=(addr, func, state), daemon=True
+            )
+            for addr in self.addresses
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        self.last_run = {
+            "requeued": state["requeued"],
+            "dead_workers": list(state["dead"]),
+            "local_fallback_shards": 0,
+        }
+        if state["fatal"]:
+            raise ShardExecutionError(
+                f"shard function failed on a worker: {state['fatal']}"
+            )
+        leftover = [i for i, ok in enumerate(state["done"]) if not ok]
+        if leftover:
+            if not self.fallback_local:
+                raise WorkerUnavailable(
+                    f"{len(leftover)} shard(s) unfinished after all worker "
+                    f"lanes failed: {state['dead']}"
+                )
+            for i in leftover:
+                state["results"][i] = func(tasks[i], state["rngs"][i])
+            self.last_run["local_fallback_shards"] = len(leftover)
+        return state["results"]
+
+    def describe(self) -> dict:
+        return {
+            "executor": "remote",
+            "workers": [f"{h}:{p}" for h, p in self.addresses],
+            "timeout_s": self.timeout,
+        }
+
+
+_DEFAULT = LocalExecutor()
+
+
+def default_executor() -> ShardExecutor:
+    """The process-wide default executor (a shared :class:`LocalExecutor`)."""
+    return _DEFAULT

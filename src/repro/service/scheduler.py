@@ -1,0 +1,301 @@
+"""The async serving core: a bounded, cached front door to the engine.
+
+:class:`SearchService` accepts :class:`~repro.engine.request.SearchRequest`
+jobs from many concurrent clients and runs them on a
+:class:`~repro.engine.SearchEngine` with explicit resource bounds:
+
+- **bounded job queue / backpressure** — at most ``max_pending`` requests
+  may be admitted (queued + running) at once; request ``max_pending + 1``
+  is rejected *immediately* with :class:`ServiceOverloaded` instead of
+  growing an unbounded queue.  Overload is a fast, explicit signal clients
+  can retry on, not a latency cliff.
+- **bounded concurrency** — at most ``max_workers`` searches execute
+  simultaneously (on a thread pool; numpy kernels release the GIL, and the
+  engine's own shard policy / executor governs per-search parallelism).
+- **per-request timeouts** — a search that exceeds its deadline raises
+  :class:`asyncio.TimeoutError` to its client immediately.  Python threads
+  cannot be killed, so the abandoned computation keeps its *worker* slot
+  until it actually finishes (the slot is reclaimed by a done-callback);
+  admission capacity frees at once, and overload during a timeout storm
+  surfaces as explicit :class:`ServiceOverloaded` rejections rather than
+  a silently wedged pool.
+- **TTL result cache** — completed reports are memoised by structural
+  fingerprint (:func:`repro.service.cache.request_fingerprint`), so
+  identical requests within the TTL cost one execution.  Cache size and TTL
+  bound the memory the cache can hold.
+- **single-flight coalescing** — concurrent identical requests share one
+  execution: the first admits a job, the rest await its future (the
+  thundering-herd pattern a cold cache cannot catch alone).
+
+The service is transport-agnostic; :mod:`repro.service.server` exposes it
+over TCP and :mod:`repro.service.cli` drives it from the command line.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from threading import Lock
+
+__all__ = ["SearchService", "ServiceOverloaded", "ServiceStats"]
+
+
+class ServiceOverloaded(RuntimeError):
+    """Backpressure: the bounded job queue is full — retry later."""
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters plus the instantaneous load of a service."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    cache_hits: int = 0
+    coalesced: int = 0
+    in_flight: int = 0
+    cache: dict = field(default_factory=dict)
+
+    def snapshot(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "cache_hits": self.cache_hits,
+            "coalesced": self.coalesced,
+            "in_flight": self.in_flight,
+            "cache": dict(self.cache),
+        }
+
+
+class SearchService:
+    """Async facade over a :class:`~repro.engine.SearchEngine`.
+
+    Args:
+        engine: the engine jobs run on (default: a fresh ``SearchEngine()``,
+            optionally constructed with a custom executor for distributed
+            shard fan-out).
+        max_pending: admission bound — queued plus running requests.
+        max_workers: simultaneous engine executions.
+        request_timeout: default per-request deadline in seconds.
+        cache_size: TTL-cache entry bound (``0`` disables caching).
+        cache_ttl: seconds a cached report stays servable.
+
+    Use as an async context manager (or call :meth:`close`) so the worker
+    pool shuts down deterministically.
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        *,
+        max_pending: int = 64,
+        max_workers: int = 4,
+        request_timeout: float = 60.0,
+        cache_size: int = 256,
+        cache_ttl: float = 300.0,
+    ):
+        from repro.engine import SearchEngine
+        from repro.service.cache import TTLCache
+
+        if max_pending < 1:
+            raise ValueError(f"max_pending={max_pending} must be >= 1")
+        if max_workers < 1:
+            raise ValueError(f"max_workers={max_workers} must be >= 1")
+        if request_timeout <= 0:
+            raise ValueError(f"request_timeout={request_timeout} must be positive")
+        self.engine = engine if engine is not None else SearchEngine()
+        self.max_pending = max_pending
+        self.request_timeout = request_timeout
+        self.cache = TTLCache(maxsize=cache_size, ttl=cache_ttl)
+        self.stats = ServiceStats()
+        self._inflight_jobs: dict[str, asyncio.Future] = {}
+        self._admission = Lock()
+        self._slots = asyncio.Semaphore(max_workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------ lifecycle
+    async def __aenter__(self) -> "SearchService":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._pool.shutdown(wait=True, cancel_futures=True)
+
+    # -------------------------------------------------------------- serving
+    def _admit(self) -> None:
+        with self._admission:
+            if self.stats.in_flight >= self.max_pending:
+                self.stats.rejected += 1
+                raise ServiceOverloaded(
+                    f"{self.stats.in_flight} requests already pending "
+                    f"(bound {self.max_pending}); retry later"
+                )
+            self.stats.in_flight += 1
+            self.stats.submitted += 1
+
+    def _release(self) -> None:
+        with self._admission:
+            self.stats.in_flight -= 1
+
+    async def submit(
+        self,
+        request,
+        *,
+        targets=None,
+        batch: bool = False,
+        database=None,
+        timeout: float | None = None,
+    ):
+        """Admit, (maybe) serve from cache, execute, and cache one request.
+
+        Args:
+            request: the :class:`~repro.engine.request.SearchRequest`.
+            targets: batch targets (``batch=True`` only); ``None`` = all.
+            batch: dispatch to :meth:`~repro.engine.SearchEngine.search_batch`
+                instead of :meth:`~repro.engine.SearchEngine.search`.
+            database: explicit database for single searches (uncached —
+                its query counter is part of the caller's experiment).
+            timeout: per-request deadline override in seconds.
+
+        Raises:
+            ServiceOverloaded: the admission bound is full (backpressure).
+            asyncio.TimeoutError: the deadline elapsed.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        from repro.service.cache import request_fingerprint
+
+        self._admit()
+        try:
+            key = None
+            if database is None:
+                key = request_fingerprint(request, targets if batch else None)
+                if not batch:
+                    key = None if key is None else f"search:{key}"
+                else:
+                    key = None if key is None else f"batch:{key}"
+            cached = self.cache.get(key, _MISS)
+            if cached is not _MISS:
+                self.stats.cache_hits += 1
+                self.stats.completed += 1
+                return cached
+
+            # Single-flight: identical requests already executing are
+            # awaited, not re-run (the waiter still occupies an admission
+            # slot — it is a real pending client — but no worker slot).
+            shared = self._inflight_jobs.get(key) if key is not None else None
+            if shared is not None:
+                self.stats.coalesced += 1
+                try:
+                    result = await asyncio.wait_for(
+                        asyncio.shield(shared),
+                        self.request_timeout if timeout is None else timeout,
+                    )
+                except asyncio.CancelledError:
+                    if shared.cancelled():  # the primary died, not us
+                        raise RuntimeError(
+                            "coalesced request was cancelled with its primary"
+                        ) from None
+                    raise
+                self.stats.completed += 1
+                return result
+
+            if batch:
+                job = functools.partial(
+                    self.engine.search_batch, request, targets=targets
+                )
+            else:
+                job = functools.partial(self.engine.search, request, database)
+
+            deadline = self.request_timeout if timeout is None else timeout
+            loop = asyncio.get_running_loop()
+            promise: asyncio.Future | None = None
+            if key is not None:
+                promise = loop.create_future()
+                self._inflight_jobs[key] = promise
+            try:
+                await self._slots.acquire()
+                slot_held = True
+                try:
+                    # Submit directly so we hold the *concurrent* future: on
+                    # timeout the asyncio wrapper gets cancelled and reports
+                    # done immediately, but only the concurrent future
+                    # completes when the pool thread actually ends.
+                    job_future = self._pool.submit(job)
+                    try:
+                        result = await asyncio.wait_for(
+                            asyncio.wrap_future(job_future, loop=loop), deadline
+                        )
+                    except (asyncio.TimeoutError, TimeoutError) as exc:
+                        self.stats.timeouts += 1
+                        self.stats.failed += 1
+                        if promise is not None:
+                            promise.set_exception(exc)
+                            promise.exception()  # mark retrieved: waiters optional
+                        # The pool thread cannot be killed: keep the worker
+                        # slot until the orphaned job actually finishes, so
+                        # a timeout storm cannot oversubscribe the pool.
+                        slot_held = False
+                        job_future.add_done_callback(
+                            functools.partial(self._reap_abandoned, loop)
+                        )
+                        raise
+                    except Exception as exc:
+                        self.stats.failed += 1
+                        if promise is not None:
+                            promise.set_exception(exc)
+                            promise.exception()
+                        raise
+                finally:
+                    if slot_held:
+                        self._slots.release()
+                if promise is not None:
+                    promise.set_result(result)
+            finally:
+                if key is not None:
+                    self._inflight_jobs.pop(key, None)
+                if promise is not None and not promise.done():
+                    promise.cancel()  # primary cancelled mid-run
+            self.cache.put(key, result)
+            self.stats.completed += 1
+            return result
+        finally:
+            self._release()
+
+    def _reap_abandoned(self, loop, job_future) -> None:
+        """Release the worker slot of a timed-out job once its thread ends.
+
+        Runs as a ``concurrent.futures`` done-callback (in the pool thread,
+        or in the cancelling thread if the job never started), so the
+        semaphore release hops back onto the event loop.  Consumes the
+        job's outcome so nothing logs "exception was never retrieved".
+        """
+        if not job_future.cancelled():
+            job_future.exception()
+        try:
+            loop.call_soon_threadsafe(self._slots.release)
+        except RuntimeError:
+            pass  # loop already closed: the service is shutting down
+
+    def stats_snapshot(self) -> dict:
+        """Counters plus current cache occupancy."""
+        self.stats.cache = self.cache.stats()
+        return self.stats.snapshot()
+
+
+_MISS = object()

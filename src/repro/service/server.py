@@ -1,0 +1,180 @@
+"""TCP front end for :class:`~repro.service.scheduler.SearchService`.
+
+``repro serve`` binds a :class:`SearchServer`; clients (``repro submit`` or
+:func:`submit_remote`) send one frame per request over the shared wire
+protocol and read one frame back:
+
+- ``("submit", request, targets, batch, timeout)`` ->
+  ``("result", report)`` on success, ``("overloaded", msg)`` when the
+  service's admission bound rejects the request (clients should back off
+  and retry), ``("timeout", msg)`` when the per-request deadline elapsed,
+  or ``("error", msg)`` for anything else;
+- ``("stats",)`` -> ``("stats", snapshot_dict)``;
+- ``("ping",)`` -> ``("pong", {})``.
+
+Connections are persistent: a client may pipeline many submits over one
+socket; each is admitted, cached, and bounded independently by the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import socket
+
+from repro.service.scheduler import SearchService, ServiceOverloaded
+from repro.service.wire import (
+    ConnectionClosed,
+    WireError,
+    recv_frame,
+    recv_frame_async,
+    send_frame,
+    send_frame_async,
+)
+
+__all__ = ["SearchServer", "submit_remote", "server_stats"]
+
+log = logging.getLogger("repro.service.server")
+
+DEFAULT_PORT = 7736
+
+
+class SearchServer:
+    """Asyncio TCP server delegating every request to a *service*."""
+
+    def __init__(self, service: SearchService, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: asyncio.AbstractServer | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self) -> "SearchServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        log.info("repro serve listening on %s:%d", *self.address)
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    # ------------------------------------------------------------- handling
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    message = await recv_frame_async(reader)
+                except ConnectionClosed:
+                    return
+                except WireError as exc:
+                    await send_frame_async(writer, ("error", str(exc)))
+                    return
+                await send_frame_async(writer, await self._dispatch(message))
+        except (OSError, ConnectionResetError):
+            return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+    async def _dispatch(self, message) -> tuple:
+        if not isinstance(message, tuple) or not message:
+            return ("error", f"malformed message: {message!r}")
+        kind = message[0]
+        if kind == "ping":
+            return ("pong", {})
+        if kind == "stats":
+            return ("stats", self.service.stats_snapshot())
+        if kind == "submit":
+            try:
+                _, request, targets, batch, timeout = message
+            except ValueError:
+                return ("error",
+                        "submit message must be (submit, request, targets, "
+                        "batch, timeout)")
+            try:
+                report = await self.service.submit(
+                    request, targets=targets, batch=batch, timeout=timeout
+                )
+            except ServiceOverloaded as exc:
+                return ("overloaded", str(exc))
+            except (asyncio.TimeoutError, TimeoutError):
+                return ("timeout", "request deadline elapsed")
+            except Exception as exc:
+                log.exception("request failed")
+                return ("error", f"{type(exc).__name__}: {exc}")
+            return ("result", report)
+        return ("error", f"unknown message type {kind!r}")
+
+
+# ----------------------------------------------------------------- clients
+
+def _roundtrip(address, message, *, connect_timeout: float, reply_timeout: float):
+    host, port = address
+    with socket.create_connection((host, port), timeout=connect_timeout) as sock:
+        sock.settimeout(reply_timeout)
+        send_frame(sock, message)
+        return recv_frame(sock)
+
+
+def submit_remote(
+    address: tuple[str, int],
+    request,
+    *,
+    targets=None,
+    batch: bool = False,
+    timeout: float | None = None,
+    connect_timeout: float = 5.0,
+    reply_timeout: float = 300.0,
+):
+    """Submit one request to a running ``repro serve`` and return the report.
+
+    Raises:
+        ServiceOverloaded: the server rejected the request (backpressure).
+        TimeoutError: the server reported a request deadline overrun.
+        RuntimeError: any other server-side failure.
+    """
+    reply = _roundtrip(
+        address,
+        ("submit", request, targets, batch, timeout),
+        connect_timeout=connect_timeout,
+        reply_timeout=reply_timeout,
+    )
+    kind = reply[0] if isinstance(reply, tuple) and reply else "error"
+    if kind == "result":
+        return reply[1]
+    if kind == "overloaded":
+        raise ServiceOverloaded(reply[1])
+    if kind == "timeout":
+        raise TimeoutError(reply[1])
+    raise RuntimeError(f"server error: {reply[1] if len(reply) > 1 else reply!r}")
+
+
+def server_stats(address: tuple[str, int], *, connect_timeout: float = 5.0) -> dict:
+    """Fetch a running server's :meth:`SearchService.stats_snapshot`."""
+    reply = _roundtrip(
+        address, ("stats",), connect_timeout=connect_timeout, reply_timeout=30.0
+    )
+    if not (isinstance(reply, tuple) and reply and reply[0] == "stats"):
+        raise RuntimeError(f"unexpected stats reply: {reply!r}")
+    return reply[1]

@@ -1,0 +1,142 @@
+"""Length-prefixed wire format shared by workers, servers, and clients.
+
+One frame = a fixed 12-byte header followed by a pickled payload::
+
+    +------+---------+-----------------+----------------+
+    | RPRO | version | payload length  | pickle payload |
+    | 4 B  | 2 B BE  | 4 B BE unsigned | length bytes   |
+    +------+---------+-----------------+----------------+
+
+Every frame carries the protocol version, so a mismatched peer is detected
+on the *first* message rather than by a mid-stream unpickling crash.
+
+**Versioning rule:** any change that an old peer cannot decode — new
+message types are fine (unknown types get an ``("error", ...)`` reply),
+but changed header layout, changed payload encoding, or changed semantics
+of an existing message type are not — MUST bump :data:`WIRE_VERSION`.
+Peers reject frames whose version differs from their own; there is no
+cross-version negotiation (redeploy workers and servers together).
+
+Payloads are pickles: compact, and numpy generators/arrays round-trip with
+bit-exact state, which is what keeps remote shard execution bit-identical
+to the in-process path.  Pickle also means frames can execute code on the
+receiver — both ends of every connection must be trusted (see the package
+docstring).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import pickle
+import socket
+import struct
+
+__all__ = [
+    "WIRE_VERSION",
+    "MAX_FRAME_BYTES",
+    "WireError",
+    "ConnectionClosed",
+    "send_frame",
+    "recv_frame",
+    "send_frame_async",
+    "recv_frame_async",
+]
+
+#: Protocol version — bump on any incompatible change (see module docstring).
+WIRE_VERSION = 1
+
+#: Frame magic: identifies the stream as the repro shard protocol.
+MAGIC = b"RPRO"
+
+#: Header: magic, version, payload byte length.
+_HEADER = struct.Struct(">4sHI")
+
+#: Upper bound on one frame's payload (1 GiB) — a corrupted or hostile
+#: length field must not trigger a giant allocation.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class WireError(RuntimeError):
+    """Malformed frame: bad magic, version mismatch, or oversized payload."""
+
+
+class ConnectionClosed(WireError):
+    """The peer closed the stream (mid-frame or between frames)."""
+
+
+def _encode(payload: object) -> bytes:
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame payload of {len(body)} bytes exceeds the "
+                        f"{MAX_FRAME_BYTES}-byte bound")
+    return _HEADER.pack(MAGIC, WIRE_VERSION, len(body)) + body
+
+
+def _check_header(header: bytes) -> int:
+    magic, version, length = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r} (not a repro peer?)")
+    if version != WIRE_VERSION:
+        raise WireError(
+            f"wire version mismatch: peer speaks v{version}, this process "
+            f"speaks v{WIRE_VERSION} (redeploy so both ends match)"
+        )
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame announces {length} bytes, above the "
+                        f"{MAX_FRAME_BYTES}-byte bound")
+    return length
+
+
+def _decode(body: bytes) -> object:
+    return pickle.loads(body)
+
+
+# ------------------------------------------------------------- blocking I/O
+
+def send_frame(sock: socket.socket, payload: object) -> None:
+    """Serialise *payload* and write one frame to a blocking socket."""
+    sock.sendall(_encode(payload))
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    buf = io.BytesIO()
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionClosed(
+                f"peer closed the connection with {remaining} of {n} bytes unread"
+            )
+        buf.write(chunk)
+        remaining -= len(chunk)
+    return buf.getvalue()
+
+
+def recv_frame(sock: socket.socket) -> object:
+    """Read one frame from a blocking socket and return its payload.
+
+    Raises:
+        ConnectionClosed: the peer hung up (cleanly or mid-frame).
+        WireError: bad magic, version mismatch, or oversized frame.
+    """
+    length = _check_header(_recv_exact(sock, _HEADER.size))
+    return _decode(_recv_exact(sock, length))
+
+
+# -------------------------------------------------------------- asyncio I/O
+
+async def send_frame_async(writer: asyncio.StreamWriter, payload: object) -> None:
+    """Write one frame to an asyncio stream and drain."""
+    writer.write(_encode(payload))
+    await writer.drain()
+
+
+async def recv_frame_async(reader: asyncio.StreamReader) -> object:
+    """Read one frame from an asyncio stream and return its payload."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+        body = await reader.readexactly(_check_header(header))
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionClosed("peer closed the connection mid-frame") from exc
+    return _decode(body)

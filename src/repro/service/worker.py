@@ -1,0 +1,214 @@
+"""``repro-worker`` — a shard-execution server for :class:`RemoteExecutor`.
+
+The worker listens on TCP, accepts any number of concurrent connections
+(one thread each), and answers frames of the wire protocol
+(:mod:`repro.service.wire`):
+
+- ``("shard", func, task, rng)`` -> ``("result", func(task, rng))``, or
+  ``("error", message)`` when the shard function raises;
+- ``("ping",)`` -> ``("pong", stats_dict)`` — liveness/health probe.
+
+The worker is stateless between shards: everything a shard needs (schedule,
+targets, pre-spawned RNG streams) arrives in the task payload, which is what
+makes results bit-identical to local execution.  Functions are pickled by
+reference (module + qualname), so the worker host needs the same ``repro``
+version importable — deploy workers and drivers from the same build, and
+bump :data:`repro.service.wire.WIRE_VERSION` on incompatible protocol
+changes.
+
+Run one per host::
+
+    repro-worker --host 0.0.0.0 --port 7737
+
+(or ``python -m repro.service.worker``).  Only expose workers to trusted
+networks: frames are pickles and execute code by design.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import socket
+import threading
+import traceback
+
+from repro.service.wire import ConnectionClosed, WireError, recv_frame, send_frame
+
+__all__ = ["WorkerServer", "main"]
+
+DEFAULT_PORT = 7737
+
+log = logging.getLogger("repro.service.worker")
+
+
+class WorkerServer:
+    """A blocking TCP worker; use :meth:`start` + :meth:`serve_forever`, or
+    the context-manager form which serves on a background thread.
+
+    Args:
+        host: bind address (default loopback; use ``0.0.0.0`` for cluster use).
+        port: bind port; ``0`` picks a free one (read it from :attr:`address`).
+        fail_after: **fault-injection hook for tests** — after serving this
+            many shards the worker abruptly closes every connection and stops
+            accepting, simulating a crash mid-stream.  ``None`` (default)
+            never fails.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 *, fail_after: int | None = None):
+        self._sock = socket.create_server((host, port), backlog=16)
+        self._sock.settimeout(0.2)  # poll so shutdown is prompt
+        self.address: tuple[str, int] = self._sock.getsockname()[:2]
+        self.fail_after = fail_after
+        self.shards_served = 0
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        # Live connections/threads only: handlers prune themselves on exit,
+        # so a long-lived worker serving many short connections stays flat.
+        self._threads: set[threading.Thread] = set()
+        self._conns: set[socket.socket] = set()
+
+    # ------------------------------------------------------------ lifecycle
+    def serve_forever(self) -> None:
+        """Accept and serve connections until :meth:`stop` is called."""
+        log.info("repro-worker listening on %s:%d", *self.address)
+        while not self._stop.is_set():
+            try:
+                conn, peer = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            conn.settimeout(None)
+            t = threading.Thread(
+                target=self._serve_connection, args=(conn, peer), daemon=True
+            )
+            with self._lock:
+                self._conns.add(conn)
+                self._threads.add(t)
+            t.start()
+        self._sock.close()
+
+    def start(self) -> "WorkerServer":
+        """Serve on a daemon thread (returns immediately)."""
+        self._accept_thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting, close every live connection, join the threads."""
+        self._stop.set()
+        with self._lock:
+            conns, self._conns = self._conns, set()
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "WorkerServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------- handling
+    def _crashed(self) -> bool:
+        return self.fail_after is not None and self.shards_served >= self.fail_after
+
+    def _serve_connection(self, conn: socket.socket, peer) -> None:
+        log.debug("connection from %s", peer)
+        try:
+            while not self._stop.is_set():
+                try:
+                    message = recv_frame(conn)
+                except ConnectionClosed:
+                    return
+                except WireError as exc:
+                    # Version/framing mismatch: tell the peer why, then drop.
+                    self._best_effort_send(conn, ("error", str(exc)))
+                    return
+                reply = self._dispatch(message)
+                if reply is None:  # injected crash: vanish mid-stream
+                    self.stop()
+                    return
+                send_frame(conn, reply)
+        except OSError:
+            return
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+            with self._lock:
+                self._conns.discard(conn)
+                self._threads.discard(threading.current_thread())
+
+    def _dispatch(self, message) -> tuple | None:
+        if not isinstance(message, tuple) or not message:
+            return ("error", f"malformed message: {message!r}")
+        kind = message[0]
+        if kind == "ping":
+            return ("pong", {"shards_served": self.shards_served})
+        if kind == "shard":
+            if self._crashed():
+                return None
+            try:
+                _, func, task, rng = message
+            except ValueError:
+                return ("error", "shard message must be (shard, func, task, rng)")
+            try:
+                result = func(task, rng)
+            except Exception as exc:  # deterministic failure -> no retry
+                log.exception("shard function raised")
+                return ("error",
+                        f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+            with self._lock:
+                self.shards_served += 1
+            if self._crashed():
+                # Crash *after* computing but before replying — the harshest
+                # mid-shard death the executor must survive.
+                return None
+            return ("result", result)
+        return ("error", f"unknown message type {kind!r}")
+
+    @staticmethod
+    def _best_effort_send(conn: socket.socket, payload) -> None:
+        try:
+            send_frame(conn, payload)
+        except OSError:
+            pass
+
+
+def main(argv=None) -> int:
+    """CLI entry point for ``repro-worker``."""
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description="Shard-execution worker for repro RemoteExecutor "
+                    "(trusted networks only).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("-v", "--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if args.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    server = WorkerServer(args.host, args.port)
+    # Announce readiness on stdout so harnesses can wait for the port.
+    print(f"repro-worker ready on {server.address[0]}:{server.address[1]}",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        server.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

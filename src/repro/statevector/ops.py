@@ -75,7 +75,9 @@ def phase_rotate(amps: np.ndarray, index, phase: float) -> np.ndarray:
     return amps
 
 
-def invert_about_mean(amps: np.ndarray, phase: float = np.pi) -> np.ndarray:
+def invert_about_mean(
+    amps: np.ndarray, phase: float = np.pi, *, mean_out: np.ndarray | None = None
+) -> np.ndarray:
     """Apply the (generalised) diffusion ``D(phase)`` along the last axis.
 
     ``D(phase) = (1 - e^{i*phase}) |psi_0><psi_0| - I`` where ``|psi_0>`` is
@@ -87,10 +89,22 @@ def invert_about_mean(amps: np.ndarray, phase: float = np.pi) -> np.ndarray:
     paper's sign convention.  Other phases give the phase-matched diffusion
     used by the sure-success variants (it is ``-R(phase)`` for the standard
     generalised reflection ``R``; the global −1 is immaterial).
+
+    ``mean_out`` (``phase = pi`` only) is an optional preallocated buffer of
+    shape ``amps.shape[:-1] + (1,)`` and matching dtype for the mean
+    reduction: batched hot loops call this kernel hundreds of times per
+    sweep, and reusing one buffer removes the two per-iteration temporaries
+    (the mean and its doubling) the allocator would otherwise churn through.
+    Results are bit-identical with or without it.
     """
     if phase == np.pi:
-        mean = amps.mean(axis=-1, keepdims=True)
-        np.subtract(2.0 * mean, amps, out=amps)
+        if mean_out is None:
+            mean = amps.mean(axis=-1, keepdims=True)
+            np.subtract(2.0 * mean, amps, out=amps)
+            return amps
+        np.mean(amps, axis=-1, keepdims=True, out=mean_out)
+        np.multiply(mean_out, 2.0, out=mean_out)
+        np.subtract(mean_out, amps, out=amps)
         return amps
     if not np.iscomplexobj(amps):
         raise TypeError("generalised diffusion with phase != pi needs a complex array")
@@ -102,7 +116,8 @@ def invert_about_mean(amps: np.ndarray, phase: float = np.pi) -> np.ndarray:
 
 
 def invert_about_mean_blocks(
-    amps: np.ndarray, n_blocks: int, phase: float = np.pi
+    amps: np.ndarray, n_blocks: int, phase: float = np.pi,
+    *, mean_out: np.ndarray | None = None
 ) -> np.ndarray:
     """Blockwise (generalised) diffusion: ``I_K ⊗ D_[N/K](phase)``.
 
@@ -111,11 +126,20 @@ def invert_about_mean_blocks(
     one vectorised pass (a reshape view — no copy — per the HPC guides).
     ``phase != pi`` applies the generalised per-block diffusion
     ``a -> (1 - e^{i*phase}) * block_mean - a`` (sure-success Step 2).
+
+    ``mean_out`` (``phase = pi`` only) is an optional preallocated buffer of
+    shape ``amps.shape[:-1] + (n_blocks, 1)`` and matching dtype, reused for
+    the per-block mean exactly as in :func:`invert_about_mean`.
     """
     n = amps.shape[-1]
     if n_blocks <= 0 or n % n_blocks != 0:
         raise ValueError(f"n_blocks={n_blocks} must divide state size {n}")
     view = amps.reshape(*amps.shape[:-1], n_blocks, n // n_blocks)
+    if phase == np.pi and mean_out is not None:
+        np.mean(view, axis=-1, keepdims=True, out=mean_out)
+        np.multiply(mean_out, 2.0, out=mean_out)
+        np.subtract(mean_out, view, out=view)
+        return amps
     mean = view.mean(axis=-1, keepdims=True)
     if phase == np.pi:
         np.subtract(2.0 * mean, view, out=view)

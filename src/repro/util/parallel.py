@@ -6,6 +6,13 @@ use ``concurrent.futures`` workers; each task receives its own
 ``numpy.random.Generator`` spawned from a single root seed, so results are
 bit-reproducible regardless of worker count or scheduling order (the same
 discipline mpi4py programs use with per-rank seed sequences).
+
+This module is the *single-machine* substrate.  The engine dispatches
+batched shards through the :class:`repro.service.executor.ShardExecutor`
+seam instead of calling :func:`parallel_map` directly; the default
+:class:`~repro.service.executor.LocalExecutor` delegates here, and remote
+executors replace the transport while keeping the same ``func(task, rng)``
+task contract.
 """
 
 from __future__ import annotations
@@ -16,12 +23,16 @@ from typing import Callable, Sequence
 
 from repro.util.rng import spawn_rngs
 
-__all__ = ["parallel_map"]
+__all__ = ["default_workers", "parallel_map"]
 
 
-def _default_workers() -> int:
+def default_workers() -> int:
+    """Default pool width: ``min(8, cpu_count)``, at least 1."""
     cpus = os.cpu_count() or 1
     return max(1, min(8, cpus))
+
+
+_default_workers = default_workers  # backwards-compatible alias
 
 
 def parallel_map(

@@ -1,0 +1,159 @@
+"""Frame-level tests of the length-prefixed wire format."""
+
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.service import wire
+
+
+def _socketpair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            ("ping",),
+            {"nested": [1, 2.5, "x"]},
+            ("result", list(range(1000))),
+        ],
+    )
+    def test_objects_round_trip(self, payload):
+        a, b = _socketpair()
+        try:
+            wire.send_frame(a, payload)
+            assert wire.recv_frame(b) == payload
+        finally:
+            a.close()
+            b.close()
+
+    def test_numpy_round_trips_bit_exact(self):
+        a, b = _socketpair()
+        try:
+            arr = np.random.default_rng(7).standard_normal(257)
+            wire.send_frame(a, arr)
+            out = wire.recv_frame(b)
+            assert out.dtype == arr.dtype and np.array_equal(out, arr)
+        finally:
+            a.close()
+            b.close()
+
+    def test_generator_state_round_trips(self):
+        """RNG streams must survive the wire with bit-exact state — the
+        foundation of remote/local result identity."""
+        a, b = _socketpair()
+        try:
+            rng = np.random.default_rng(123)
+            rng.standard_normal(10)  # advance to a nontrivial state
+            wire.send_frame(a, rng)
+            clone = wire.recv_frame(b)
+            assert np.array_equal(
+                clone.standard_normal(16), rng.standard_normal(16)
+            )
+        finally:
+            a.close()
+            b.close()
+
+    def test_many_frames_pipeline(self):
+        a, b = _socketpair()
+        try:
+            for i in range(50):
+                wire.send_frame(a, ("n", i))
+            assert [wire.recv_frame(b) for _ in range(50)] == [
+                ("n", i) for i in range(50)
+            ]
+        finally:
+            a.close()
+            b.close()
+
+
+class TestFailureModes:
+    def test_peer_close_between_frames(self):
+        a, b = _socketpair()
+        a.close()
+        try:
+            with pytest.raises(wire.ConnectionClosed):
+                wire.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_peer_close_mid_frame(self):
+        a, b = _socketpair()
+        try:
+            frame = wire._encode(("result", list(range(100))))
+            a.sendall(frame[: len(frame) // 2])
+            a.close()
+            with pytest.raises(wire.ConnectionClosed):
+                wire.recv_frame(b)
+        finally:
+            b.close()
+
+    def test_bad_magic_rejected(self):
+        a, b = _socketpair()
+        try:
+            a.sendall(struct.pack(">4sHI", b"EVIL", wire.WIRE_VERSION, 4) + b"ABCD")
+            with pytest.raises(wire.WireError, match="magic"):
+                wire.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_version_mismatch_rejected(self):
+        a, b = _socketpair()
+        try:
+            a.sendall(
+                struct.pack(">4sHI", b"RPRO", wire.WIRE_VERSION + 1, 4) + b"ABCD"
+            )
+            with pytest.raises(wire.WireError, match="version mismatch"):
+                wire.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_oversized_frame_rejected_without_allocation(self):
+        a, b = _socketpair()
+        try:
+            a.sendall(struct.pack(">4sHI", b"RPRO", wire.WIRE_VERSION,
+                                  wire.MAX_FRAME_BYTES + 1))
+            with pytest.raises(wire.WireError, match="bound"):
+                wire.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestAsyncio:
+    def test_async_round_trip(self):
+        import asyncio
+
+        async def main():
+            server_got = []
+
+            async def handler(reader, writer):
+                server_got.append(await wire.recv_frame_async(reader))
+                await wire.send_frame_async(writer, ("ack", server_got[-1]))
+                writer.close()
+
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            host, port = server.sockets[0].getsockname()[:2]
+            reader, writer = await asyncio.open_connection(host, port)
+            await wire.send_frame_async(writer, {"q": 1})
+            reply = await wire.recv_frame_async(reader)
+            writer.close()
+            server.close()
+            await server.wait_closed()
+            return server_got, reply
+
+        import asyncio as aio
+
+        got, reply = aio.run(main())
+        assert got == [{"q": 1}]
+        assert reply == ("ack", {"q": 1})

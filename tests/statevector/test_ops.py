@@ -212,3 +212,50 @@ class TestGroverIterations:
         state = random_state(64, rng)
         ops.apply_grover_iteration(state, 3, iterations=50)
         assert np.linalg.norm(state) == pytest.approx(1.0, abs=1e-10)
+
+
+class TestMeanOutBuffers:
+    """The preallocated ``mean_out`` path must be bit-identical to the
+    allocating path (the ROADMAP perf item trades allocator churn, never
+    results)."""
+
+    def test_invert_about_mean_bit_identical(self, rng):
+        amps = rng.standard_normal((7, 33))
+        plain = ops.invert_about_mean(amps.copy())
+        buffered = ops.invert_about_mean(
+            amps.copy(), mean_out=np.empty((7, 1))
+        )
+        assert np.array_equal(plain, buffered)
+
+    def test_invert_about_mean_blocks_bit_identical(self, rng):
+        amps = rng.standard_normal((5, 24))
+        plain = ops.invert_about_mean_blocks(amps.copy(), 4)
+        buffered = ops.invert_about_mean_blocks(
+            amps.copy(), 4, mean_out=np.empty((5, 4, 1))
+        )
+        assert np.array_equal(plain, buffered)
+
+    def test_buffer_reused_across_iterations(self, rng):
+        amps = rng.standard_normal((3, 16))
+        reference = amps.copy()
+        for _ in range(10):
+            ops.invert_about_mean(reference)
+        buffered = amps.copy()
+        buf = np.empty((3, 1))
+        for _ in range(10):
+            ops.invert_about_mean(buffered, mean_out=buf)
+        assert np.array_equal(reference, buffered)
+
+    def test_one_dimensional_state(self, rng):
+        amps = rng.standard_normal(32)
+        plain = ops.invert_about_mean(amps.copy())
+        buffered = ops.invert_about_mean(amps.copy(), mean_out=np.empty((1,)))
+        assert np.array_equal(plain, buffered)
+
+    def test_complex_dtype(self, rng):
+        amps = random_state(24, rng, complex_=True)
+        plain = ops.invert_about_mean_blocks(amps.copy(), 3)
+        buffered = ops.invert_about_mean_blocks(
+            amps.copy(), 3, mean_out=np.empty((3, 1), dtype=complex)
+        )
+        assert np.array_equal(plain, buffered)

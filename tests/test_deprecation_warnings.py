@@ -1,0 +1,65 @@
+"""Deprecated wrappers must warn with the right category *at the caller*.
+
+``stacklevel`` bugs make deprecation warnings point inside the library,
+which breaks ``filterwarnings``-by-module and hides the offending call
+site.  These tests pin category and location: the reported filename must
+be THIS file, the line the literal call line.
+"""
+
+import warnings
+
+import pytest
+
+from repro.analysis.sweep import sweep_partial_search
+from repro.core.batch import run_partial_search_batch
+
+
+def _sole_deprecation(record):
+    assert len(record) == 1
+    [w] = record
+    assert w.category is DeprecationWarning
+    return w
+
+
+class TestRunPartialSearchBatch:
+    def test_warns_deprecation_at_caller(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            run_partial_search_batch(16, 4, [3])  # noqa: B018 — the probe line
+            probe_line = _line_of("run_partial_search_batch(16, 4, [3])")
+        w = _sole_deprecation(record)
+        assert w.filename == __file__
+        assert w.lineno == probe_line
+        assert "SearchEngine.search_batch" in str(w.message)
+
+    def test_pytest_warns_category(self):
+        with pytest.warns(DeprecationWarning,
+                          match="run_partial_search_batch is deprecated"):
+            run_partial_search_batch(16, 4, [0, 5])
+
+
+class TestSweepPartialSearch:
+    def test_warns_deprecation_at_caller(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            sweep_partial_search([16], [4])  # noqa: B018 — the probe line
+            probe_line = _line_of("sweep_partial_search([16], [4])")
+        w = _sole_deprecation(record)
+        assert w.filename == __file__
+        assert w.lineno == probe_line
+        assert "SearchEngine.sweep" in str(w.message)
+
+    def test_pytest_warns_category(self):
+        with pytest.warns(DeprecationWarning,
+                          match="sweep_partial_search is deprecated"):
+            sweep_partial_search([16], [2, 4])
+
+
+def _line_of(snippet: str) -> int:
+    """Line number (1-based) of the first source line containing *snippet*,
+    excluding this function's own body."""
+    with open(__file__) as fh:
+        for i, line in enumerate(fh, start=1):
+            if snippet in line and "_line_of(" not in line:
+                return i
+    raise AssertionError(f"snippet {snippet!r} not found")

@@ -18,6 +18,11 @@ CASES = {
     "iterated_full_search.py": ["found address 2717 (correct", "series bound"],
     "query_budget_sweep.py": ["c_K*sqrt(K)", "N = 2**40"],
     "overshoot_drift.py": ["negative, by design", "drift 'nuisance'"],
+    "serving.py": [
+        "remote results bit-identical to local: True",
+        "results still bit-identical: True",
+        "coalesced in flight",
+    ],
 }
 
 

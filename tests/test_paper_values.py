@@ -21,6 +21,35 @@ from repro.analysis.theory import LARGE_K_CONSTANT, large_k_coefficient, savings
 from repro.statevector import ops
 
 
+class TestKorepinGroverSimplified:
+    """quant-ph/0504157: the simplified algorithm reproduces the GRK query
+    counts — its optimised asymptotic coefficient equals the Section 3.1
+    upper-bound column, and finite-N schedules match the GRK planner's
+    query totals at the paper's representative sizes."""
+
+    PAPER_UPPER = {2: 0.555, 3: 0.592, 4: 0.615, 5: 0.633, 8: 0.664, 32: 0.725}
+
+    @pytest.mark.parametrize("k", sorted(PAPER_UPPER))
+    def test_coefficient_matches_table_upper_bound(self, k):
+        from repro.core.simplified import simplified_query_coefficient
+
+        tol = 0.0016 if k == 3 else 0.0006  # same rounding notes as GRK
+        assert simplified_query_coefficient(k) == pytest.approx(
+            self.PAPER_UPPER[k], abs=tol
+        )
+
+    @pytest.mark.parametrize("n,k", [(1024, 4), (4096, 4), (4096, 8)])
+    def test_finite_n_queries_match_grk(self, n, k):
+        from repro.core.parameters import plan_schedule
+        from repro.core.simplified import plan_simplified_schedule
+
+        simplified = plan_simplified_schedule(n, k)
+        grk = plan_schedule(n, k)
+        assert abs(simplified.queries - grk.queries) <= 2
+        assert simplified.queries < (math.pi / 4) * math.sqrt(n)
+        assert simplified.predicted_success >= 1 - 2 / math.sqrt(n)
+
+
 class TestSection31Table:
     """The table in Section 3.1 (upper via optimisation, lower via Thm 2)."""
 
