@@ -16,9 +16,14 @@ comparable perf snapshot.  Four measurements:
   qubits — a ``(4096, 8192)`` complex state (~0.5 GB) unsharded — executed
   under the default 128 MiB shard budget, with the tracemalloc peak of the
   sharded vs unsharded runs and a bit-identity check between them.
+- ``kernels_batched``: the structured-kernels ``(B, N)`` all-targets sweep
+  under every :class:`~repro.kernels.ExecutionPolicy` variant — the
+  complex128 baseline, ``dtype="complex64"``, ``row_threads``, and both —
+  with per-variant speedups and the complex64 tolerance check.
 - ``acceptance``: the PR gate — compiled >= 5x naive on the single
-  circuit, batched >= 10x the single-run loop, and the sharded batch
-  bit-identical under its budget.
+  circuit, batched >= 10x the single-run loop, the sharded batch
+  bit-identical under its budget, and at least one policy knob buying
+  throughput on the batched kernels.
 
 ``--quick`` runs a reduced configuration (fewer qubits, smaller budgets,
 relaxed speedup floors) for the CI smoke job; the JSON records which mode
@@ -39,7 +44,8 @@ import numpy as np
 from repro.circuits import partial_search_circuit, run_circuit
 from repro.circuits.compiler import compile_circuit
 from repro.core.parameters import plan_schedule
-from repro.engine import SearchEngine, SearchRequest, ShardPolicy
+from repro.engine import ExecutionPolicy, SearchEngine, SearchRequest, ShardPolicy
+from repro.kernels import COMPLEX64_SUCCESS_ATOL
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 OUTPUT = REPO_ROOT / "BENCH_simulator.json"
@@ -55,6 +61,8 @@ CONFIGS = {
         "naive_loop_sample": 32,
         "sharded_address_qubits": 12,  # (4096, 8192) complex unsharded
         "shard_budget_bytes": 128 * 1024 * 1024,
+        "kernels_batch_qubits": 10,  # same geometry as the PR-3 baseline
+        "row_threads": 4,
         "floor_compiled_vs_naive": 5.0,
         "floor_batched_vs_loop": 10.0,
     },
@@ -64,6 +72,8 @@ CONFIGS = {
         "naive_loop_sample": 16,
         "sharded_address_qubits": 10,  # (1024, 2048) complex unsharded
         "shard_budget_bytes": 8 * 1024 * 1024,
+        "kernels_batch_qubits": 8,
+        "row_threads": 2,
         "floor_compiled_vs_naive": 3.0,
         "floor_batched_vs_loop": 5.0,
     },
@@ -159,30 +169,63 @@ def bench_batched(cfg: dict) -> dict:
 
 
 def bench_kernels_batched(cfg: dict) -> dict:
-    """The structured-kernels ``(B, N)`` all-targets batch — the path the
-    preallocated ``mean_out`` diffusion buffers target (ROADMAP perf item:
-    no per-iteration mean/broadcast temporaries in the hot loop)."""
-    n = cfg["batch_address_qubits"]
+    """The structured-kernels ``(B, N)`` all-targets batch under every
+    :class:`ExecutionPolicy` variant — the ROADMAP dtype/parallelism item.
+
+    Four measurements of the same sweep: the complex128 single-threaded
+    baseline (bit-identical to seed), ``dtype="complex64"`` (half the
+    memory traffic), ``row_threads > 1`` (GIL-releasing row slabs), and
+    both knobs together.  complex64 results are checked against the
+    baseline within the documented tolerance; threaded results must be
+    bit-identical.
+    """
+    n = cfg["kernels_batch_qubits"]
     n_items = 1 << n
+    threads = cfg["row_threads"]
     engine = SearchEngine()
 
-    def run():
+    def run(policy: ExecutionPolicy):
         return engine.search_batch(
             SearchRequest(
                 n_items=n_items,
                 n_blocks=1 << N_BLOCK_BITS,
                 backend="kernels",
+                policy=policy,
                 shards=ShardPolicy(max_bytes=1 << 62),  # one unsharded chunk
             )
         )
 
-    run()  # warm the schedule plan
-    t_kernels = _time(run)
-    return {
+    base_policy = ExecutionPolicy()
+    variants = {
+        "complex64": ExecutionPolicy(dtype="complex64"),
+        "row_threads": ExecutionPolicy(row_threads=threads),
+        "complex64_threaded": ExecutionPolicy(dtype="complex64",
+                                              row_threads=threads),
+    }
+    baseline = run(base_policy)  # warm the schedule plan + allocator
+    t_base = _time(lambda: run(base_policy))
+    results = {
         "n_address_qubits": n,
         "n_targets": int(n_items),
-        "kernels_batched_s": t_kernels,
+        "row_threads": threads,
+        "kernels_batched_s": t_base,
     }
+    for name, policy in variants.items():
+        report = run(policy)
+        if policy.dtype == "complex64":
+            err = float(np.abs(report.success_probabilities
+                               - baseline.success_probabilities).max())
+            assert err <= COMPLEX64_SUCCESS_ATOL, (
+                f"{name} drifted {err} > {COMPLEX64_SUCCESS_ATOL}")
+            results[f"max_success_error_{name}"] = err
+        else:
+            assert np.array_equal(report.success_probabilities,
+                                  baseline.success_probabilities), (
+                f"{name} must be bit-identical to the baseline")
+        t = _time(lambda p=policy: run(p))
+        results[f"kernels_batched_{name}_s"] = t
+        results[f"speedup_{name}_vs_baseline"] = t_base / t
+    return results
 
 
 def bench_sharded(cfg: dict) -> dict:
@@ -238,18 +281,29 @@ def bench_sharded(cfg: dict) -> dict:
 def _delta_vs_baseline(results: dict, baseline_path: str) -> dict:
     """Timing ratios against a previous run of this script (same machine):
     ``< 1`` means this build is faster.  Records the perf satellite's
-    before/after delta directly in the JSON artifact."""
+    before/after delta directly in the JSON artifact.  The policy variants
+    compare against the **baseline file's complex128 kernels time** — what
+    the same sweep cost before the dtype/threading knobs existed."""
     baseline = json.loads(pathlib.Path(baseline_path).read_text())
     deltas = {}
-    for section, key in [
-        ("single", "compiled_s"),
-        ("batched", "batched_s"),
-        ("kernels_batched", "kernels_batched_s"),
-        ("sharded", "sharded_s"),
+    for section, key, baseline_key in [
+        ("single", "compiled_s", "compiled_s"),
+        ("batched", "batched_s", "batched_s"),
+        ("kernels_batched", "kernels_batched_s", "kernels_batched_s"),
+        ("kernels_batched", "kernels_batched_complex64_s", "kernels_batched_s"),
+        ("kernels_batched", "kernels_batched_row_threads_s", "kernels_batched_s"),
+        ("kernels_batched", "kernels_batched_complex64_threaded_s",
+         "kernels_batched_s"),
+        ("sharded", "sharded_s", "sharded_s"),
     ]:
-        before = baseline.get(section, {}).get(key)
+        before = baseline.get(section, {}).get(baseline_key)
         after = results.get(section, {}).get(key)
         if before and after:
+            # Different-geometry baselines would make the ratio meaningless.
+            before_n = baseline.get(section, {}).get("n_address_qubits")
+            after_n = results.get(section, {}).get("n_address_qubits")
+            if before_n is not None and before_n != after_n:
+                continue
             deltas[key] = {
                 "before_s": before,
                 "after_s": after,
@@ -285,6 +339,14 @@ def main(mode: str = "full", baseline: str | None = None) -> dict:
             "sharded_peak_under_budget": sharded["sharded_under_budget"],
             "sharded_peak_below_unsharded": sharded["n_shards"] <= 1
                 or sharded["peak_sharded_bytes"] < sharded["peak_unsharded_bytes"],
+            # The ExecutionPolicy knobs must buy throughput on the batched
+            # kernels: complex64 (half the memory traffic) or row_threads
+            # (one slab per core — a no-op on single-core CI boxes, which
+            # is why the gate is on the max of the two).
+            "kernels_policy_speedup": max(
+                kernels_batched["speedup_complex64_vs_baseline"],
+                kernels_batched["speedup_row_threads_vs_baseline"],
+            ) > 1.05,
         },
     }
     if baseline:

@@ -68,6 +68,7 @@ from repro.core import (
 )
 from repro.engine import (
     BatchReport,
+    ExecutionPolicy,
     SearchEngine,
     SearchReport,
     SearchRequest,
@@ -104,6 +105,7 @@ __all__ = [
     "SearchReport",
     "BatchReport",
     "ShardPolicy",
+    "ExecutionPolicy",
     "available_methods",
     "register_method",
     "TwoLevelGrover",

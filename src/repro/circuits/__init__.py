@@ -87,7 +87,11 @@ __all__ = [
     "uniform_superposition_circuit",
 ]
 
-#: Registered simulator backends: name -> ``f(circuit, initial=None) -> state``.
+#: Registered simulator backends:
+#: name -> ``f(circuit, initial=None, *, dtype=np.complex128) -> state``.
+#: ``dtype`` is the state precision the :class:`~repro.kernels.ExecutionPolicy`
+#: selects; :func:`execute` forwards it whenever a caller supplies one, so
+#: every registered backend must accept the keyword.
 BACKENDS = {
     "naive": run_circuit,
     "compiled": run_circuit_compiled,
@@ -107,6 +111,15 @@ def get_backend(name: str):
         raise ValueError(f"unknown backend {name!r} (known: {known})") from None
 
 
-def execute(circuit: Circuit, initial=None, *, backend: str = "naive"):
-    """Run *circuit* on the selected backend; returns the final state."""
-    return get_backend(backend)(circuit, initial)
+def execute(circuit: Circuit, initial=None, *, backend: str = "naive",
+            dtype=None):
+    """Run *circuit* on the selected backend; returns the final state.
+
+    ``dtype`` selects the state precision (``None`` = the backends'
+    complex128 default); both registered backends thread it through to
+    their kernels, so a complex64 request stays complex64 end to end.
+    """
+    runner = get_backend(backend)
+    if dtype is None:
+        return runner(circuit, initial)
+    return runner(circuit, initial, dtype=dtype)

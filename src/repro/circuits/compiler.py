@@ -41,6 +41,15 @@ per-row target address at run time, so one compiled program serves an
 all-targets sweep — the masks, fused matrices, and diffusion plans are
 shared across the whole batch.
 
+The *state math* of the fused ops is not implemented here: masked phase
+multiplies, inversions about an axis mean, and the per-row parametric
+oracle/move-out all dispatch to :mod:`repro.kernels` (the unified kernel
+execution layer), so this module owns only the lowering — pattern caches,
+motif recognition, peephole fusion — and the kernels' dtype polymorphism
+carries over: every ``run*`` method takes a ``dtype`` (complex128 default,
+complex64 for the :class:`~repro.kernels.ExecutionPolicy` fast mode), with
+fused matrices and phase vectors downcast once per program, not per call.
+
 The naive simulator remains the correctness oracle: the property suite
 checks compiled-vs-naive equality amplitude-for-amplitude on randomized
 circuits over the full gate set.
@@ -56,6 +65,8 @@ import numpy as np
 
 from repro.circuits.circuit import Circuit
 from repro.circuits.gates import Gate
+from repro.kernels import batched as _kb
+from repro.kernels import primitives as _kp
 
 __all__ = [
     "CompiledCircuit",
@@ -136,23 +147,38 @@ class _Op:
 
 
 class SingleQubitOp(_Op):
-    """A (possibly fused) 2x2 unitary on one wire, via a reshaped matmul."""
+    """A (possibly fused) 2x2 unitary on one wire, via a reshaped matmul.
+
+    The canonical matrix is complex128; narrower state dtypes get a
+    once-per-program downcast copy (matmul would otherwise upcast the whole
+    state back to complex128 every application).
+    """
 
     def __init__(self, qubit: int, mat: np.ndarray, n_qubits: int):
         self.qubit = qubit
         self.mat = np.ascontiguousarray(mat, dtype=np.complex128)
         self.left = 1 << qubit
         self.right = 1 << (n_qubits - 1 - qubit)
+        self._mat_cache: dict = {}
+
+    def _mat_for(self, dtype) -> np.ndarray:
+        if dtype == np.complex128:
+            return self.mat
+        mat = self._mat_cache.get(dtype)
+        if mat is None:  # benign race on shared programs: last writer wins
+            mat = self._mat_cache[dtype] = self.mat.astype(dtype)
+        return mat
 
     def apply(self, state: np.ndarray) -> np.ndarray:
         shape = state.shape
         view = state.reshape(*shape[:-1], self.left, 2, self.right)
-        return np.matmul(self.mat, view).reshape(shape)
+        return np.matmul(self._mat_for(state.dtype), view).reshape(shape)
 
     def fused_with(self, later: "SingleQubitOp") -> "SingleQubitOp":
         out = SingleQubitOp.__new__(SingleQubitOp)
         out.qubit, out.left, out.right = self.qubit, self.left, self.right
         out.mat = np.ascontiguousarray(later.mat @ self.mat)
+        out._mat_cache = {}
         return out
 
     @property
@@ -174,7 +200,12 @@ class GlobalPhaseOp(_Op):
 
 
 class PhaseMaskOp(_Op):
-    """Multiply the amplitudes at a cached index set by one scalar."""
+    """Multiply the amplitudes at a cached index set by one scalar.
+
+    The masked multiply itself is the kernel layer's
+    :func:`repro.kernels.apply_phase_factor` — the oracle reflection ``I_t``
+    when the factor is −1 (a weak Python scalar, so any state dtype wins).
+    """
 
     diagonal = True
 
@@ -184,20 +215,32 @@ class PhaseMaskOp(_Op):
         self.oracle = oracle
 
     def apply(self, state: np.ndarray) -> np.ndarray:
-        state[..., self.indices] *= self.factor
-        return state
+        return _kp.apply_phase_factor(state, self.indices, self.factor)
 
 
 class DiagonalOp(_Op):
-    """Elementwise multiply by a precomputed length-N phase vector."""
+    """Elementwise multiply by a precomputed length-N phase vector.
+
+    Canonically complex128 with a once-per-program downcast for narrower
+    state dtypes, mirroring :class:`SingleQubitOp`.
+    """
 
     diagonal = True
 
     def __init__(self, phases: np.ndarray):
         self.phases = _frozen(np.asarray(phases, dtype=np.complex128))
+        self._cache: dict = {}
+
+    def _phases_for(self, dtype) -> np.ndarray:
+        if dtype == np.complex128:
+            return self.phases
+        phases = self._cache.get(dtype)
+        if phases is None:
+            phases = self._cache[dtype] = _frozen(self.phases.astype(dtype))
+        return phases
 
     def apply(self, state: np.ndarray) -> np.ndarray:
-        state *= self.phases
+        state *= self._phases_for(state.dtype)
         return state
 
 
@@ -286,33 +329,23 @@ class DiffusionOp(_Op):
         view = state.reshape(*state.shape[:-1], self.left, self.mid, self.right)
         if self.ctrl_sel is None:
             shape = view.shape[:-2] + (1,) + view.shape[-1:]
-            mean = np.mean(view, axis=-2, keepdims=True,
-                           out=self._mean_scratch(shape, view.dtype))
-            np.multiply(mean, 2.0, out=mean)
-            if self.negate:
-                np.subtract(mean, view, out=view)
-            else:
-                view -= mean
+            _kp.invert_about_axis_mean(
+                view, -2, negate=self.negate,
+                mean_out=self._mean_scratch(shape, view.dtype),
+            )
             return state
         if self.ctrl_col is not None:
             # Single matched column: basic indexing yields a strided view
             # into the state, so the kernel updates it with zero copies.
             sub = view[..., self.ctrl_col]
             shape = sub.shape[:-1] + (1,)
-            mean = np.mean(sub, axis=-1, keepdims=True,
-                           out=self._mean_scratch(shape, sub.dtype))
-            np.multiply(mean, 2.0, out=mean)
-            if self.negate:
-                np.subtract(mean, sub, out=sub)
-            else:
-                sub -= mean
+            _kp.invert_about_axis_mean(
+                sub, -1, negate=self.negate,
+                mean_out=self._mean_scratch(shape, sub.dtype),
+            )
             return state
         sub = view[..., self.ctrl_sel]  # copy of the control-matched columns
-        mean = sub.mean(axis=-2, keepdims=True)
-        if self.negate:
-            sub = 2.0 * mean - sub
-        else:
-            sub -= 2.0 * mean
+        _kp.invert_about_axis_mean(sub, -2, negate=self.negate)
         view[..., self.ctrl_sel] = sub
         return state
 
@@ -331,7 +364,7 @@ class ParametricPhaseFlipOp(_Op):
 
     def apply_multi(self, state: np.ndarray, rows: np.ndarray, targets: np.ndarray) -> np.ndarray:
         view = state.reshape(state.shape[0], -1, 1 << self.n_free)
-        view[rows, targets] *= -1.0
+        _kb.phase_flip_rows(view, targets, rows)
         return state
 
 
@@ -340,7 +373,7 @@ class ParametricMoveOutOp(_Op):
 
     def apply_multi(self, state: np.ndarray, rows: np.ndarray, targets: np.ndarray) -> np.ndarray:
         view = state.reshape(state.shape[0], -1, 2)
-        view[rows, targets] = view[rows, targets][:, ::-1]
+        _kb.moveout_rows(view, targets, rows)
         return state
 
 
@@ -633,26 +666,31 @@ class CompiledCircuit:
         """Fused program length (compare against the source gate count)."""
         return len(self.ops)
 
-    def _initial(self, initial, lead: tuple[int, ...] = ()) -> np.ndarray:
+    def _initial(self, initial, lead: tuple[int, ...] = (), dtype=np.complex128) -> np.ndarray:
         if initial is None:
-            state = np.zeros(lead + (self.dim,), dtype=np.complex128)
+            state = np.zeros(lead + (self.dim,), dtype=dtype)
             state[..., 0] = 1.0
             return state
-        state = np.array(initial, dtype=np.complex128, copy=True)
+        state = np.array(initial, dtype=dtype, copy=True)
         if state.shape != lead + (self.dim,):
             raise ValueError(f"initial state must have shape {lead + (self.dim,)}")
         return state
 
-    def run(self, initial: np.ndarray | None = None) -> np.ndarray:
-        """Execute on one state; returns a fresh ``(2**n,)`` complex array."""
+    def run(self, initial: np.ndarray | None = None, *, dtype=np.complex128) -> np.ndarray:
+        """Execute on one state; returns a fresh ``(2**n,)`` complex array.
+
+        ``dtype`` selects the state precision (the
+        :class:`~repro.kernels.ExecutionPolicy` complex dtype); every fused
+        op preserves it, downcasting its constants once per program.
+        """
         if self.parametric:
             raise ValueError("parametric programs need run_multi_target(targets)")
-        state = self._initial(initial)
+        state = self._initial(initial, dtype=dtype)
         for op in self.ops:
             state = op.apply(state)
         return state
 
-    def run_batch(self, initials: np.ndarray) -> np.ndarray:
+    def run_batch(self, initials: np.ndarray, *, dtype=np.complex128) -> np.ndarray:
         """Execute on a ``(B, 2**n)`` batch of states in one fused sweep.
 
         Every row evolves under the same program; masks, fused matrices and
@@ -663,13 +701,13 @@ class CompiledCircuit:
         initials = np.asarray(initials)
         if initials.ndim != 2:
             raise ValueError("run_batch expects a (B, 2**n) state matrix")
-        state = self._initial(initials, lead=(initials.shape[0],))
+        state = self._initial(initials, lead=(initials.shape[0],), dtype=dtype)
         for op in self.ops:
             state = op.apply(state)
         return state
 
     def run_multi_target(
-        self, targets, initial: np.ndarray | None = None
+        self, targets, initial: np.ndarray | None = None, *, dtype=np.complex128
     ) -> np.ndarray:
         """Execute one row per target; oracle ops act on each row's target.
 
@@ -677,6 +715,7 @@ class CompiledCircuit:
             targets: shape ``(B,)`` target addresses, one per row.
             initial: optional shared ``(2**n,)`` initial state (default
                 ``|0...0>``); every row starts from it.
+            dtype: state precision (see :meth:`run`).
 
         Returns:
             The ``(B, 2**n)`` final states.
@@ -689,9 +728,9 @@ class CompiledCircuit:
         rows = np.arange(targets.size)
         if initial is not None:
             initial = np.broadcast_to(
-                np.asarray(initial, dtype=np.complex128), (targets.size, self.dim)
+                np.asarray(initial, dtype=dtype), (targets.size, self.dim)
             )
-        state = self._initial(initial, lead=(targets.size,))
+        state = self._initial(initial, lead=(targets.size,), dtype=dtype)
         for op in self.ops:
             if isinstance(op, _PARAMETRIC_TYPES):
                 state = op.apply_multi(state, rows, targets)
@@ -798,11 +837,11 @@ def clear_compile_cache() -> None:
 
 
 def run_circuit_compiled(
-    circuit: Circuit, initial: np.ndarray | None = None
+    circuit: Circuit, initial: np.ndarray | None = None, *, dtype=np.complex128
 ) -> np.ndarray:
     """Drop-in replacement for :func:`repro.circuits.simulator.run_circuit`
     that compiles (memoised on the circuit's structural fingerprint) and
-    executes."""
+    executes at the requested state *dtype*."""
     key = circuit.structural_fingerprint
     with _COMPILE_CACHE_LOCK:
         program = _COMPILE_CACHE.pop(key, None)
@@ -818,4 +857,4 @@ def run_circuit_compiled(
             while len(_COMPILE_CACHE) >= _COMPILE_CACHE_MAX:
                 _COMPILE_CACHE.pop(next(iter(_COMPILE_CACHE)), None)
             _COMPILE_CACHE[key] = program
-    return program.run(initial)
+    return program.run(initial, dtype=dtype)

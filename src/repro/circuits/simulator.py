@@ -37,6 +37,8 @@ def _apply_single(state: np.ndarray, mat: np.ndarray, qubit: int, n_qubits: int)
     left = 1 << qubit
     right = 1 << (n_qubits - 1 - qubit)
     view = state.reshape(left, 2, right)
+    if mat.dtype != state.dtype:  # keep narrow-dtype states narrow
+        mat = mat.astype(state.dtype)
     # out[a, i, b] = sum_j mat[i, j] view[a, j, b]
     state = np.einsum("ij,ajb->aib", mat, view).reshape(-1)
     return state
@@ -60,7 +62,7 @@ def apply_gate(state: np.ndarray, gate: Gate, n_qubits: int) -> np.ndarray:
         return _apply_single(state, _Z, gate.qubits[0], n_qubits)
     if name == "P":
         mat = np.array(
-            [[1.0, 0.0], [0.0, cmath.exp(1j * gate.param)]], dtype=np.complex128
+            [[1.0, 0.0], [0.0, cmath.exp(1j * gate.param)]], dtype=state.dtype
         )
         return _apply_single(state, mat, gate.qubits[0], n_qubits)
     if name == "GPHASE":
@@ -90,19 +92,21 @@ def apply_gate(state: np.ndarray, gate: Gate, n_qubits: int) -> np.ndarray:
 
 
 def run_circuit(
-    circuit: Circuit, initial: np.ndarray | None = None
+    circuit: Circuit, initial: np.ndarray | None = None, *, dtype=np.complex128
 ) -> np.ndarray:
     """Execute *circuit* from ``|0...0>`` (or a given initial state).
 
-    Returns the final state as a fresh ``complex128`` array of length
-    ``2**n_qubits``.
+    Returns the final state as a fresh complex array of length
+    ``2**n_qubits`` at the requested *dtype* (complex128 default; complex64
+    for the :class:`~repro.kernels.ExecutionPolicy` fast mode — gate
+    matrices are cast down so the state never silently upcasts).
     """
     dim = 1 << circuit.n_qubits
     if initial is None:
-        state = np.zeros(dim, dtype=np.complex128)
+        state = np.zeros(dim, dtype=dtype)
         state[0] = 1.0
     else:
-        state = np.asarray(initial, dtype=np.complex128).copy()
+        state = np.asarray(initial, dtype=dtype).copy()
         if state.shape != (dim,):
             raise ValueError(f"initial state must have shape ({dim},)")
     for gate in circuit:

@@ -29,6 +29,7 @@ from repro.core.backends import circuit_geometry, validate_backend
 from repro.core.blockspec import BlockSpec
 from repro.core.parameters import GRKSchedule, plan_schedule
 from repro.core.tracing import StageTrace
+from repro.kernels import ExecutionPolicy, uniform_state
 from repro.oracle.database import Database
 from repro.oracle.quantum import BitFlipOracle, PhaseOracle
 from repro.statevector import ops
@@ -91,6 +92,7 @@ def run_partial_search(
     schedule: GRKSchedule | None = None,
     trace: bool = False,
     backend: str = "kernels",
+    policy: ExecutionPolicy | None = None,
 ) -> PartialSearchResult:
     """Execute the three-step GRK algorithm against a counted oracle.
 
@@ -113,12 +115,18 @@ def run_partial_search(
             requires ``N`` and ``K`` to be powers of two).  All backends
             produce the same result to float precision and charge the same
             ``l1 + l2 + 1`` queries to the database counter.
+        policy: :class:`~repro.kernels.ExecutionPolicy` selecting the state
+            precision on every backend (``None`` = the bit-identical
+            complex128 default; ``row_threads`` has no effect on a single
+            run).
 
     Returns:
         :class:`PartialSearchResult`.  ``success_probability`` is exact (it
         reads the final distribution, it does not sample).
     """
     validate_backend(backend)
+    if policy is None:
+        policy = ExecutionPolicy()
     n = database.n_items
     if schedule is None:
         schedule = plan_schedule(n, n_blocks, epsilon)
@@ -135,12 +143,12 @@ def run_partial_search(
         if trace:
             raise ValueError("stage tracing requires the 'kernels' backend")
         return _run_on_circuit_backend(
-            database, schedule, target, target_block, backend
+            database, schedule, target, target_block, backend, policy
         )
 
     oracle = PhaseOracle(database)
     start_count = database.counter.count
-    amps = np.full(n, 1.0 / np.sqrt(n))
+    amps = uniform_state(n, dtype=policy.real_dtype)
 
     traces: list[StageTrace] | None = [] if trace else None
 
@@ -198,6 +206,7 @@ def _run_on_circuit_backend(
     target: int,
     target_block: int,
     backend: str,
+    policy: ExecutionPolicy,
 ) -> PartialSearchResult:
     """Execute the GRK run as a full gate-level circuit on a named backend.
 
@@ -212,7 +221,7 @@ def _run_on_circuit_backend(
     circuit = partial_search_circuit(
         n_address_qubits, n_block_bits, target, schedule.l1, schedule.l2
     )
-    final = execute(circuit, backend=backend)
+    final = execute(circuit, backend=backend, dtype=policy.complex_dtype)
     database.counter.increment(circuit.oracle_queries)
     # The ancilla is the last wire, so index = address * 2 + ancilla; the
     # GRK gate set is real, so the imaginary residue is float noise only.

@@ -33,10 +33,11 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro import kernels
 from repro.core.backends import circuit_geometry, validate_backend
 from repro.core.blockspec import BlockSpec
 from repro.core.parameters import GRKSchedule, plan_schedule
-from repro.statevector import ops
+from repro.kernels import ExecutionPolicy
 
 __all__ = ["BatchResult", "execute_batch_rows", "run_partial_search_batch"]
 
@@ -73,68 +74,76 @@ class BatchResult:
         return float(self.success_probabilities.min())
 
 
-def _phase_flip_batch(amps: np.ndarray, targets: np.ndarray) -> None:
-    """Per-row oracle reflection: row ``i`` flips its own target column."""
-    rows = np.arange(amps.shape[0])
-    amps[rows, targets] *= -1.0
-
-
 def execute_batch_rows(
-    schedule: GRKSchedule, targets: np.ndarray, backend: str
+    schedule: GRKSchedule,
+    targets: np.ndarray,
+    backend: str,
+    policy: ExecutionPolicy | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Run one memory-resident ``(B_chunk, N)`` GRK sweep.
 
     This is the shard primitive the engine's execution planner dispatches:
     rows evolve independently, so concatenating the outputs of consecutive
-    chunks is bit-identical to one unsharded call.
+    chunks is bit-identical to one unsharded call.  The sweep itself is
+    composed entirely of :mod:`repro.kernels` calls — this module owns the
+    GRK *loop structure*, not the kernel math.
 
     Args:
         schedule: the shared integer schedule (fixes ``N`` and ``K``).
         targets: shape ``(B_chunk,)`` target addresses, one row each.
         backend: ``"kernels"``, ``"compiled"``, or ``"naive"`` (see
             :func:`run_partial_search_batch`).
+        policy: the :class:`~repro.kernels.ExecutionPolicy` (dtype + row
+            threads); ``None`` = the complex128 single-threaded default,
+            which reproduces the seed results bit for bit.  ``row_threads``
+            splits the chunk into contiguous row slabs whose sweeps run on
+            the GIL-releasing thread seam — also bit-identical, since rows
+            never interact.
 
     Returns:
         ``(success_probabilities, block_guesses)`` arrays of shape
         ``(B_chunk,)``.
     """
+    if policy is None:
+        policy = ExecutionPolicy()
+    if targets.size == 0:
+        # Uniform empty-batch contract across backends: callers chunk work
+        # and concatenate shard outputs unconditionally.
+        return np.empty(0, dtype=np.float64), np.empty(0, dtype=np.intp)
     if backend != "kernels":
-        return _execute_rows_on_circuit_backend(schedule, targets, backend)
+        return _execute_rows_on_circuit_backend(schedule, targets, backend, policy)
 
     spec = schedule.spec
     n_items, n_blocks = spec.n_items, spec.n_blocks
     b = targets.size
-    amps = np.full((b, n_items), 1.0 / np.sqrt(n_items))
-    # One mean buffer per diffusion flavour, allocated once per chunk and
-    # reused across every iteration (the ROADMAP perf item: the hot loop
-    # runs l1+l2 ~ O(sqrt(N)) passes and must not churn the allocator).
-    mean_buf = np.empty((b, 1))
-    block_mean_buf = np.empty((b, n_blocks, 1))
+    dtype = policy.real_dtype  # the GRK gate set is real
+    amps = kernels.uniform_batch(b, n_items, dtype=dtype)
 
-    for _ in range(schedule.l1):
-        _phase_flip_batch(amps, targets)
-        ops.invert_about_mean(amps, mean_out=mean_buf)
-    for _ in range(schedule.l2):
-        _phase_flip_batch(amps, targets)
-        ops.invert_about_mean_blocks(amps, n_blocks, mean_out=block_mean_buf)
+    def sweep(sl: slice) -> tuple[np.ndarray, np.ndarray]:
+        a, t = amps[sl], targets[sl]
+        # One mean buffer per diffusion flavour, allocated once per slab and
+        # reused across every iteration (the ROADMAP perf item: the hot loop
+        # runs l1+l2 ~ O(sqrt(N)) passes and must not churn the allocator).
+        mean_buf = np.empty((a.shape[0], 1), dtype=dtype)
+        block_mean_buf = np.empty((a.shape[0], n_blocks, 1), dtype=dtype)
 
-    # Step 3, batched: park each row's target amplitude, invert the rest
-    # about the full mean, then fold the parked amplitude back into the
-    # block distribution.
-    rows = np.arange(b)
-    parked = amps[rows, targets].copy()
-    amps[rows, targets] = 0.0
-    ops.invert_about_mean(amps, mean_out=mean_buf)
+        for _ in range(schedule.l1):
+            kernels.phase_flip_rows(a, t)
+            kernels.invert_about_mean(a, mean_out=mean_buf)
+        for _ in range(schedule.l2):
+            kernels.phase_flip_rows(a, t)
+            kernels.invert_about_mean_blocks(a, n_blocks, mean_out=block_mean_buf)
 
-    probs = amps.reshape(b, n_blocks, spec.block_size) ** 2
-    block_probs = probs.sum(axis=2)
-    block_probs[rows, targets // spec.block_size] += parked**2
+        # Step 3, batched: park each row's target amplitude, invert the rest
+        # about the full mean, then fold the parked amplitude back into the
+        # block distribution.
+        parked = kernels.moveout_controlled_diffusion_rows(a, t, mean_out=mean_buf)
+        block_probs = kernels.block_measurement_rows(
+            a, n_blocks, parked=parked, targets=t
+        )
+        return kernels.success_and_guesses(block_probs, t, spec.block_size)
 
-    true_blocks = targets // spec.block_size
-    return (
-        block_probs[rows, true_blocks].astype(float),
-        np.argmax(block_probs, axis=1),
-    )
+    return kernels.sweep_row_slabs(sweep, b, policy.row_threads)
 
 
 def run_partial_search_batch(
@@ -225,35 +234,45 @@ def _multi_target_program(
 
 
 def _execute_rows_on_circuit_backend(
-    schedule: GRKSchedule, targets: np.ndarray, backend: str
+    schedule: GRKSchedule,
+    targets: np.ndarray,
+    backend: str,
+    policy: ExecutionPolicy,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Gate-level batched execution: one compiled program for all rows, or
-    (``"naive"``) the interpreting simulator looped per target."""
+    (``"naive"``) the interpreting simulator looped per target.
+
+    The policy's dtype flows into the circuit kernels; ``row_threads``
+    slabs the compiled multi-target run (program constants are shared and
+    the diffusion scratch is thread-local, so slabs are bit-identical to
+    the single sweep).
+    """
     from repro.circuits import partial_search_circuit, run_circuit
 
     spec = schedule.spec
     n_address_qubits, n_block_bits = circuit_geometry(spec, backend)
     b = targets.size
+    dtype = policy.complex_dtype
     if backend == "compiled":
         program = _multi_target_program(
             n_address_qubits, n_block_bits, schedule.l1, schedule.l2
         )
-        final = program.run_multi_target(targets)
+
+        def run_slab(sl: slice) -> np.ndarray:
+            return program.run_multi_target(targets[sl], dtype=dtype)
+
+        parts = kernels.map_row_slabs(run_slab, b, policy.row_threads)
+        final = parts[0] if len(parts) == 1 else np.concatenate(parts)
     else:  # "naive" — validate_backend already rejected everything else
-        final = np.empty((b, 2 * spec.n_items), dtype=np.complex128)
+        final = np.empty((b, 2 * spec.n_items), dtype=dtype)
         for i, t in enumerate(targets):
             circuit = partial_search_circuit(
                 n_address_qubits, n_block_bits, int(t), schedule.l1, schedule.l2
             )
-            final[i] = run_circuit(circuit)
+            final[i] = run_circuit(circuit, dtype=dtype)
 
     # Ancilla is the last wire: row layout is (address, ancilla); measuring
     # the block register traces the ancilla out incoherently.
     probs = np.abs(final.reshape(b, spec.n_items, 2)) ** 2
     block_probs = probs.reshape(b, spec.n_blocks, spec.block_size, 2).sum(axis=(2, 3))
-    rows = np.arange(b)
-    true_blocks = targets // spec.block_size
-    return (
-        block_probs[rows, true_blocks].astype(float),
-        np.argmax(block_probs, axis=1),
-    )
+    return kernels.success_and_guesses(block_probs, targets, spec.block_size)

@@ -255,6 +255,7 @@ def run_simplified_partial_search(
     n_blocks: int,
     *,
     schedule: SimplifiedSchedule | None = None,
+    policy=None,
 ) -> SimplifiedSearchResult:
     """Execute the Korepin–Grover simplified algorithm on a counted oracle.
 
@@ -263,12 +264,17 @@ def run_simplified_partial_search(
             accumulates this run's ``j1 + j2 + 1`` queries.
         n_blocks: ``K`` (must divide ``N``; powers of two not required).
         schedule: pre-planned schedule (default: the planned optimum).
+        policy: :class:`~repro.kernels.ExecutionPolicy` selecting the state
+            precision (``None`` = the bit-identical complex128 default).
 
     Returns:
         :class:`SimplifiedSearchResult` with the exact final distribution.
     """
+    from repro.kernels import ExecutionPolicy, uniform_state
     from repro.oracle.quantum import PhaseOracle
 
+    if policy is None:
+        policy = ExecutionPolicy()
     n = database.n_items
     if schedule is None:
         schedule = plan_simplified_schedule(n, n_blocks)
@@ -288,7 +294,7 @@ def run_simplified_partial_search(
 
     oracle = PhaseOracle(database)
     start_count = database.counter.count
-    amps = np.full(n, 1.0 / np.sqrt(n))
+    amps = uniform_state(n, dtype=policy.real_dtype)
     for _ in range(schedule.j1):
         oracle.apply(amps)
         ops.invert_about_mean(amps)
@@ -311,35 +317,45 @@ def run_simplified_partial_search(
 
 
 def execute_simplified_batch_rows(
-    schedule: SimplifiedSchedule, targets: np.ndarray
+    schedule: SimplifiedSchedule,
+    targets: np.ndarray,
+    policy=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One memory-resident ``(B_chunk, N)`` simplified-algorithm sweep.
 
     The shard primitive for the engine's batched ``grk-simplified`` path
     (kernels backend): rows evolve independently, so concatenating chunk
-    outputs is bit-identical to one unsharded call.
+    outputs is bit-identical to one unsharded call.  Composed entirely of
+    :mod:`repro.kernels` calls; *policy* (dtype + row threads) follows the
+    same contract as :func:`repro.core.batch.execute_batch_rows`.
     """
+    from repro import kernels
+    from repro.kernels import ExecutionPolicy
+
+    if policy is None:
+        policy = ExecutionPolicy()
     spec = schedule.spec
     n_items, n_blocks = spec.n_items, spec.n_blocks
     targets = np.asarray(targets, dtype=np.intp)
     b = targets.size
-    rows = np.arange(b)
-    amps = np.full((b, n_items), 1.0 / np.sqrt(n_items))
-    mean_buf = np.empty((b, 1))
-    block_mean_buf = np.empty((b, n_blocks, 1))
+    dtype = policy.real_dtype
+    amps = kernels.uniform_batch(b, n_items, dtype=dtype)
 
-    for _ in range(schedule.j1):
-        amps[rows, targets] *= -1.0
-        ops.invert_about_mean(amps, mean_out=mean_buf)
-    for _ in range(schedule.j2):
-        amps[rows, targets] *= -1.0
-        ops.invert_about_mean_blocks(amps, n_blocks, mean_out=block_mean_buf)
-    amps[rows, targets] *= -1.0
-    ops.invert_about_mean(amps, mean_out=mean_buf)
+    def sweep(sl: slice) -> tuple[np.ndarray, np.ndarray]:
+        a, t = amps[sl], targets[sl]
+        mean_buf = np.empty((a.shape[0], 1), dtype=dtype)
+        block_mean_buf = np.empty((a.shape[0], n_blocks, 1), dtype=dtype)
 
-    block_probs = (amps.reshape(b, n_blocks, spec.block_size) ** 2).sum(axis=2)
-    true_blocks = targets // spec.block_size
-    return (
-        block_probs[rows, true_blocks].astype(float),
-        np.argmax(block_probs, axis=1),
-    )
+        for _ in range(schedule.j1):
+            kernels.phase_flip_rows(a, t)
+            kernels.invert_about_mean(a, mean_out=mean_buf)
+        for _ in range(schedule.j2):
+            kernels.phase_flip_rows(a, t)
+            kernels.invert_about_mean_blocks(a, n_blocks, mean_out=block_mean_buf)
+        kernels.phase_flip_rows(a, t)
+        kernels.invert_about_mean(a, mean_out=mean_buf)
+
+        block_probs = kernels.block_measurement_rows(a, n_blocks)
+        return kernels.success_and_guesses(block_probs, t, spec.block_size)
+
+    return kernels.sweep_row_slabs(sweep, b, policy.row_threads)

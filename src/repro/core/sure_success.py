@@ -151,13 +151,21 @@ def run_sure_success_partial_search(
     *,
     plan: SureSuccessPlan | None = None,
     trace: bool = False,
+    policy=None,
 ) -> PartialSearchResult:
     """Run the sure-success variant against a counted oracle.
 
     The returned result's ``success_probability`` is 1 up to ~1e-12 (see the
     plan's ``predicted_failure``).  Accepts a pre-solved ``plan`` so batches
-    over many targets pay the (classical) phase solve once.
+    over many targets pay the (classical) phase solve once.  *policy*
+    selects the complex state precision (``None`` = complex128; at
+    complex64 the certainty residue grows to the float32 scale, inside the
+    documented :data:`repro.kernels.COMPLEX64_SUCCESS_ATOL`).
     """
+    from repro.kernels import ExecutionPolicy, uniform_state
+
+    if policy is None:
+        policy = ExecutionPolicy()
     n = database.n_items
     if plan is None:
         plan = plan_sure_success(n, n_blocks, epsilon)
@@ -169,7 +177,7 @@ def run_sure_success_partial_search(
 
     oracle = PhaseOracle(database)
     start_count = database.counter.count
-    amps = np.full(n, 1.0 / np.sqrt(n), dtype=np.complex128)
+    amps = uniform_state(n, dtype=policy.complex_dtype)
 
     for _ in range(plan.l1):
         oracle.apply(amps)
@@ -181,7 +189,7 @@ def run_sure_success_partial_search(
         oracle.apply(amps, phase=plan.phases[i])
         ops.invert_about_mean_blocks(amps, n_blocks, phase=plan.phases[i + 1])
 
-    branches = np.zeros((2, n), dtype=np.complex128)
+    branches = np.zeros((2, n), dtype=amps.dtype)
     branches[0] = amps
     BitFlipOracle(database).apply(branches)
     ops.invert_about_mean(branches[0])

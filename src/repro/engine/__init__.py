@@ -10,10 +10,10 @@ This package collapses them into one stable, extensible surface:
   shape with full method/backend/schedule provenance;
 - the **method registry** (:func:`register_method`, :func:`get_method`,
   :func:`available_methods`) mirroring the circuit backend registry: the
-  built-ins are ``grk``, ``grk-sure-success``, ``naive-blocks``,
-  ``grover-full``, ``classical``, and ``subspace``, and follow-on
-  algorithms (e.g. Korepin–Grover, quant-ph/0504157) plug in as new
-  registrations, not new top-level functions;
+  built-ins are ``grk``, ``grk-simplified``, ``grk-sure-success``,
+  ``grk-cwb``, ``naive-blocks``, ``grover-full``, ``classical``, and
+  ``subspace``, and follow-on algorithms plug in as new registrations,
+  not new top-level functions;
 - :class:`SearchEngine` — ``search`` / ``search_batch`` / ``sweep``, with
   memory-bounded ``(B_chunk, N)`` sharding (:class:`ExecutionPlan`,
   default budget ≲128 MiB) and optional process fan-out for all-targets
@@ -30,7 +30,12 @@ Quickstart::
     print(report.block_guess, report.queries, report.success_probability)
 """
 
-from repro.engine.request import DEFAULT_SHARD_BYTES, SearchRequest, ShardPolicy
+from repro.engine.request import (
+    DEFAULT_SHARD_BYTES,
+    ExecutionPolicy,
+    SearchRequest,
+    ShardPolicy,
+)
 from repro.engine.report import BatchReport, SearchReport
 from repro.engine.registry import (
     MethodSpec,
@@ -48,6 +53,7 @@ register_builtin_methods(replace=True)
 
 __all__ = [
     "DEFAULT_SHARD_BYTES",
+    "ExecutionPolicy",
     "SearchRequest",
     "ShardPolicy",
     "SearchReport",

@@ -82,9 +82,20 @@ class SearchEngine:
             raise ValueError(f"method {request.method!r} does not support tracing")
         return spec, backend
 
-    def _effective_request(self, request: SearchRequest) -> SearchRequest:
+    def _effective_request(
+        self, request: SearchRequest, spec: MethodSpec | None = None
+    ) -> SearchRequest:
         if self._default_shards is not None and request.shards == ShardPolicy():
-            return request.replace(shards=self._default_shards)
+            request = request.replace(shards=self._default_shards)
+        # Methods whose runners ignore the ExecutionPolicy get it
+        # normalised away: otherwise a complex64 request would halve the
+        # planner's row-byte model (2x the budgeted shard memory, since
+        # the state stays float64) and stamp a dtype into the provenance
+        # that was never used.
+        if spec is not None and not spec.honours_policy and not request.policy.is_default:
+            from repro.kernels import ExecutionPolicy
+
+            request = request.replace(policy=ExecutionPolicy())
         return request
 
     def _database_for(
@@ -123,8 +134,8 @@ class SearchEngine:
         Returns:
             :class:`SearchReport` — normalized answer plus provenance.
         """
-        request = self._effective_request(request)
         spec, backend = self._resolve(request)
+        request = self._effective_request(request, spec)
         db = self._database_for(spec, request, database)
         return spec.run(request, backend, db)
 
@@ -154,8 +165,8 @@ class SearchEngine:
         Returns:
             :class:`BatchReport` with per-row success/guess/query arrays.
         """
-        request = self._effective_request(request)
         spec, backend = self._resolve(request)
+        request = self._effective_request(request, spec)
         if request.trace:
             raise ValueError("batched execution does not support tracing")
         if targets is None:
@@ -211,7 +222,9 @@ class SearchEngine:
         from repro.engine.plan import plan_shards
         from repro.util.rng import spawn_rngs
 
-        plan = plan_shards(targets.size, request.n_items, backend, request.shards)
+        plan = plan_shards(
+            targets.size, request.n_items, backend, request.shards, request.policy
+        )
         # Plain-field task payloads: requests carry a read-only options proxy
         # that process pools cannot pickle, so shards rebuild the request.
         base_fields = {
@@ -219,6 +232,7 @@ class SearchEngine:
             "n_blocks": request.n_blocks,
             "method": request.method,
             "epsilon": request.epsilon,
+            "policy": request.policy,
             "options": dict(request.options),
         }
         # One independent stream per *target*, spawned before sharding, so

@@ -16,6 +16,9 @@ Registered on import (importing :mod:`repro.engine` is enough):
 ``grk-simplified``  Korepin–Grover's ancilla-free simplification
                     (quant-ph/0504157) — same asymptotic query count
 ``grk-sure-success``  the phased sure-success variant (Theorem 1 remark)
+``grk-cwb``         Choi–Walker–Braunstein sure success (quant-ph/0603136):
+                    per-stage phase conditions, certainty within a
+                    constant of the plain GRK budget
 ``naive-blocks``    Section 1.2's K−1-block quantum baseline
 ``grover-full``     standard full search (+ Long's exact variant)
 ``classical``       Section 1.1's deterministic/randomized scans
@@ -24,6 +27,8 @@ Registered on import (importing :mod:`repro.engine` is enough):
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -81,6 +86,7 @@ def _run_grk(request: SearchRequest, backend: str, database) -> SearchReport:
         schedule=request.option("schedule"),
         trace=request.trace,
         backend=backend,
+        policy=request.policy,
     )
     return SearchReport(
         method="grk",
@@ -103,7 +109,8 @@ def _batch_grk(
 
     schedule = _resolve_schedule(request)
     success, guesses, plan = run_grk_batch_sharded(
-        schedule, targets, backend, request.shards, executor=executor
+        schedule, targets, backend, request.shards,
+        executor=executor, execution=request.policy,
     )
     execution = plan.describe()
     if executor is not None:
@@ -161,6 +168,7 @@ def _run_grk_simplified(request: SearchRequest, backend: str, database) -> Searc
     result = run_simplified_partial_search(
         database, request.n_blocks,
         schedule=request.option("schedule"),
+        policy=request.policy,
     )
     return SearchReport(
         method="grk-simplified",
@@ -183,7 +191,8 @@ def _batch_grk_simplified(
 
     schedule = _resolve_simplified_schedule(request)
     success, guesses, plan = run_simplified_batch_sharded(
-        schedule, targets, request.shards, executor=executor
+        schedule, targets, request.shards,
+        executor=executor, execution=request.policy,
     )
     execution = plan.describe()
     if executor is not None:
@@ -206,14 +215,32 @@ def _batch_grk_simplified(
 # grk-sure-success
 # --------------------------------------------------------------------------
 
+@lru_cache(maxsize=64)
+def _cached_sure_success_plan(n_items: int, n_blocks: int, epsilon):
+    """Target-independent phase solve, paid once per geometry.
+
+    The sure-success families have no native batch path, so the engine's
+    per-target fallback calls the adapter once per row — without this
+    cache an all-targets sweep would repeat the identical multi-start
+    least-squares solve N times.  Plans are frozen dataclasses, safe to
+    share across rows, shards, and threads.
+    """
+    from repro.core.sure_success import plan_sure_success
+
+    return plan_sure_success(n_items, n_blocks, epsilon)
+
+
 def _run_sure_success(request: SearchRequest, backend: str, database) -> SearchReport:
-    from repro.core.sure_success import plan_sure_success, run_sure_success_partial_search
+    from repro.core.sure_success import run_sure_success_partial_search
 
     plan = request.option("plan")
     if plan is None:
-        plan = plan_sure_success(request.n_items, request.n_blocks, request.epsilon)
+        plan = _cached_sure_success_plan(
+            request.n_items, request.n_blocks, request.epsilon
+        )
     result = run_sure_success_partial_search(
-        database, request.n_blocks, request.epsilon, plan=plan
+        database, request.n_blocks, request.epsilon, plan=plan,
+        policy=request.policy,
     )
     return SearchReport(
         method="grk-sure-success",
@@ -228,6 +255,51 @@ def _run_sure_success(request: SearchRequest, backend: str, database) -> SearchR
             "l2_base": plan.l2_base,
             "phases": list(plan.phases),
             "queries": plan.queries,
+            "predicted_failure": plan.predicted_failure,
+        },
+        answer=result.block_guess,
+        raw=result,
+    )
+
+
+# --------------------------------------------------------------------------
+# grk-cwb (Choi–Walker–Braunstein, quant-ph/0603136)
+# --------------------------------------------------------------------------
+
+@lru_cache(maxsize=64)
+def _cached_cwb_plan(n_items: int, n_blocks: int, epsilon):
+    """CWB phase solve, paid once per geometry (see
+    :func:`_cached_sure_success_plan` for why)."""
+    from repro.core.cwb import plan_cwb
+
+    return plan_cwb(n_items, n_blocks, epsilon)
+
+
+def _run_cwb(request: SearchRequest, backend: str, database) -> SearchReport:
+    from repro.core.cwb import run_cwb_partial_search
+
+    plan = request.option("plan")
+    if plan is None:
+        plan = _cached_cwb_plan(request.n_items, request.n_blocks, request.epsilon)
+    result = run_cwb_partial_search(
+        database, request.n_blocks, request.epsilon, plan=plan,
+        policy=request.policy,
+    )
+    return SearchReport(
+        method="grk-cwb",
+        backend=backend,
+        n_items=request.n_items,
+        n_blocks=request.n_blocks,
+        block_guess=result.block_guess,
+        success_probability=result.success_probability,
+        queries=result.queries,
+        schedule={
+            "l1": plan.l1,
+            "l2": plan.l2,
+            "phases": list(plan.phases),
+            "final_phase": plan.final_phase,
+            "queries": plan.queries,
+            "extra_queries": plan.extra_queries,
             "predicted_failure": plan.predicted_failure,
         },
         answer=result.block_guess,
@@ -392,7 +464,7 @@ def _batch_subspace(
 # --------------------------------------------------------------------------
 
 def register_builtin_methods(*, replace: bool = False) -> None:
-    """Register the six built-in methods (idempotent with ``replace=True``)."""
+    """Register the built-in methods (idempotent with ``replace=True``)."""
     register_method(
         MethodSpec(
             name="grk",
@@ -426,10 +498,22 @@ def register_builtin_methods(*, replace: bool = False) -> None:
     )
     register_method(
         MethodSpec(
+            name="grk-cwb",
+            description="Choi-Walker-Braunstein sure success "
+                        "(quant-ph/0603136): per-stage phase conditions, "
+                        "certainty within a constant of the GRK budget",
+            backends=(KERNEL_BACKEND,),
+            run=_run_cwb,
+        ),
+        replace=replace,
+    )
+    register_method(
+        MethodSpec(
             name="naive-blocks",
             description="Section 1.2 baseline: Grover over K-1 blocks",
             backends=(KERNEL_BACKEND,),
             run=_run_naive_blocks,
+            honours_policy=False,
         ),
         replace=replace,
     )
@@ -440,6 +524,7 @@ def register_builtin_methods(*, replace: bool = False) -> None:
             backends=(KERNEL_BACKEND,),
             run=_run_grover_full,
             needs_blocks=False,
+            honours_policy=False,
         ),
         replace=replace,
     )
@@ -449,6 +534,7 @@ def register_builtin_methods(*, replace: bool = False) -> None:
             description="Section 1.1 classical scans (deterministic/randomized)",
             backends=(CLASSICAL_BACKEND,),
             run=_run_classical,
+            honours_policy=False,
         ),
         replace=replace,
     )
@@ -460,6 +546,7 @@ def register_builtin_methods(*, replace: bool = False) -> None:
             run=_run_subspace,
             native_batch=_batch_subspace,
             needs_database=False,
+            honours_policy=False,
         ),
         replace=replace,
     )

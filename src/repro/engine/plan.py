@@ -14,12 +14,12 @@ or any custom executor (e.g. the TCP-distributed
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.backends import CIRCUIT_BACKENDS, KERNEL_BACKEND
-from repro.engine.request import ShardPolicy
+from repro.engine.request import ExecutionPolicy, ShardPolicy
 
 __all__ = [
     "ExecutionPlan",
@@ -41,19 +41,24 @@ ROW_OVERHEAD = 4
 STATELESS_ROW_BYTES = 4096
 
 
-def state_row_bytes(backend: str, n_items: int) -> int:
+def state_row_bytes(
+    backend: str, n_items: int, policy: ExecutionPolicy | None = None
+) -> int:
     """Estimated working-set bytes one batch row costs on *backend*.
 
-    The kernels path holds a float64 row of ``N`` amplitudes; the circuit
-    backends hold a complex128 row of ``2N`` (ancilla doubles the space);
-    both are scaled by :data:`ROW_OVERHEAD` for kernel temporaries.
-    Stateless backends (``classical``, ``analytic``) cost
+    The kernels path holds a real row of ``N`` amplitudes; the circuit
+    backends hold a complex row of ``2N`` (ancilla doubles the space); both
+    are scaled by :data:`ROW_OVERHEAD` for kernel temporaries and by the
+    policy's dtype width — ``dtype="complex64"`` halves every amplitude, so
+    a fixed shard byte budget admits **2x the rows per shard**.  Stateless
+    backends (``classical``, ``analytic``) cost
     :data:`STATELESS_ROW_BYTES` regardless of ``N``.
     """
+    scale = 1.0 if policy is None else policy.itemsize_scale
     if backend in CIRCUIT_BACKENDS:
-        return 2 * n_items * 16 * ROW_OVERHEAD
+        return int(2 * n_items * 16 * ROW_OVERHEAD * scale)
     if backend == KERNEL_BACKEND:
-        return n_items * 8 * ROW_OVERHEAD
+        return int(n_items * 8 * ROW_OVERHEAD * scale)
     return STATELESS_ROW_BYTES
 
 
@@ -67,6 +72,9 @@ class ExecutionPlan:
         row_bytes: modelled working-set bytes per row.
         max_bytes: the policy budget the plan was fitted to.
         workers: process-pool width (1 = serial in-process).
+        policy: the :class:`~repro.kernels.ExecutionPolicy` the shards
+            execute under (dtype scales ``row_bytes``; ``row_threads`` fans
+            rows inside each shard).
     """
 
     n_rows: int
@@ -74,6 +82,7 @@ class ExecutionPlan:
     row_bytes: int
     max_bytes: int
     workers: int
+    policy: ExecutionPolicy = field(default_factory=ExecutionPolicy)
 
     @property
     def n_shards(self) -> int:
@@ -100,11 +109,16 @@ class ExecutionPlan:
             "shard_bytes": self.shard_bytes,
             "max_bytes": self.max_bytes,
             "workers": self.workers,
+            **self.policy.describe(),
         }
 
 
 def plan_shards(
-    n_rows: int, n_items: int, backend: str, policy: ShardPolicy | None = None
+    n_rows: int,
+    n_items: int,
+    backend: str,
+    policy: ShardPolicy | None = None,
+    execution: ExecutionPolicy | None = None,
 ) -> ExecutionPlan:
     """Fit a shard plan for ``n_rows`` batch rows of an ``N``-item instance.
 
@@ -113,13 +127,19 @@ def plan_shards(
     row always runs even if it alone exceeds the budget), further capped by
     ``policy.max_rows`` when set.  With ``policy.workers > 1`` the rows are
     additionally capped at an even split across the pool, so a batch whose
-    byte budget would fit in one shard still fans out.
+    byte budget would fit in one shard still fans out.  *execution* (the
+    kernels' :class:`~repro.kernels.ExecutionPolicy`) scales the per-row
+    byte model — complex64 rows are half-width, so the same budget admits
+    twice the ``B_chunk`` — and rides on the plan so shards execute under
+    it.
     """
     if n_rows < 1:
         raise ValueError("n_rows must be >= 1")
     if policy is None:
         policy = ShardPolicy()
-    row_bytes = state_row_bytes(backend, n_items)
+    if execution is None:
+        execution = ExecutionPolicy()
+    row_bytes = state_row_bytes(backend, n_items, execution)
     rows = max(1, policy.max_bytes // row_bytes)
     if policy.max_rows is not None:
         rows = min(rows, policy.max_rows)
@@ -132,6 +152,7 @@ def plan_shards(
         row_bytes=row_bytes,
         max_bytes=policy.max_bytes,
         workers=policy.workers,
+        policy=execution,
     )
 
 
@@ -140,12 +161,15 @@ def _grk_shard(task, rng):
 
     ``rng`` is the :func:`parallel_map` per-task generator; the GRK batch is
     deterministic so it goes unused — shard results are bit-identical
-    regardless of worker count or scheduling order.
+    regardless of worker count or scheduling order.  The task carries the
+    :class:`~repro.kernels.ExecutionPolicy` (wire-format payload field since
+    protocol v2), so remote workers execute at the requested dtype and row
+    parallelism.
     """
-    schedule, targets, backend = task
+    schedule, targets, backend, execution = task
     from repro.core.batch import execute_batch_rows
 
-    return execute_batch_rows(schedule, targets, backend)
+    return execute_batch_rows(schedule, targets, backend, execution)
 
 
 def run_grk_batch_sharded(
@@ -154,6 +178,7 @@ def run_grk_batch_sharded(
     backend: str,
     policy: ShardPolicy | None = None,
     executor=None,
+    execution: ExecutionPolicy | None = None,
 ) -> tuple[np.ndarray, np.ndarray, ExecutionPlan]:
     """Run the GRK batch over *targets* in memory-bounded shards.
 
@@ -162,13 +187,21 @@ def run_grk_batch_sharded(
     because every batch row evolves independently under the same kernels.
     *executor* selects where shards run (``None`` = the default local
     executor); every executor preserves bit-identity because shard
-    boundaries are fixed here, before dispatch.
+    boundaries are fixed here, before dispatch.  *execution* is the kernels'
+    :class:`~repro.kernels.ExecutionPolicy`: it sizes the shards (complex64
+    halves row bytes) and ships inside every shard task, so local and remote
+    workers honour the same dtype/threading — at complex128 the results stay
+    bit-identical for every policy combination.
     """
     from repro.service.executor import default_executor
 
     targets = np.asarray(targets, dtype=np.intp)
-    plan = plan_shards(targets.size, schedule.spec.n_items, backend, policy)
-    tasks = [(schedule, targets[sl], backend) for sl in plan.slices()]
+    if execution is None:
+        execution = ExecutionPolicy()
+    plan = plan_shards(
+        targets.size, schedule.spec.n_items, backend, policy, execution
+    )
+    tasks = [(schedule, targets[sl], backend, execution) for sl in plan.slices()]
     if executor is None:
         executor = default_executor()
     results = executor.run_shards(_grk_shard, tasks, workers=plan.workers)
@@ -181,12 +214,14 @@ def _simplified_shard(task, rng):
     """One Korepin–Grover-simplified shard (module-level: pools pickle it).
 
     Deterministic like the GRK batch, so the per-task *rng* goes unused and
-    results are bit-identical for any executor or worker count.
+    results are bit-identical for any executor or worker count; the shipped
+    :class:`~repro.kernels.ExecutionPolicy` is honoured like in
+    :func:`_grk_shard`.
     """
-    schedule, targets = task
+    schedule, targets, execution = task
     from repro.core.simplified import execute_simplified_batch_rows
 
-    return execute_simplified_batch_rows(schedule, targets)
+    return execute_simplified_batch_rows(schedule, targets, execution)
 
 
 def run_simplified_batch_sharded(
@@ -194,18 +229,24 @@ def run_simplified_batch_sharded(
     targets: np.ndarray,
     policy: ShardPolicy | None = None,
     executor=None,
+    execution: ExecutionPolicy | None = None,
 ) -> tuple[np.ndarray, np.ndarray, ExecutionPlan]:
     """Sharded all-targets batch of the simplified algorithm (kernels only).
 
     Same contract as :func:`run_grk_batch_sharded`: memory-bounded
-    ``(B_chunk, N)`` shards, dispatched through *executor*, bit-identical
-    to the unsharded execution.
+    ``(B_chunk, N)`` shards, dispatched through *executor* under the
+    *execution* policy, bit-identical to the unsharded execution at
+    complex128.
     """
     from repro.service.executor import default_executor
 
     targets = np.asarray(targets, dtype=np.intp)
-    plan = plan_shards(targets.size, schedule.spec.n_items, KERNEL_BACKEND, policy)
-    tasks = [(schedule, targets[sl]) for sl in plan.slices()]
+    if execution is None:
+        execution = ExecutionPolicy()
+    plan = plan_shards(
+        targets.size, schedule.spec.n_items, KERNEL_BACKEND, policy, execution
+    )
+    tasks = [(schedule, targets[sl], execution) for sl in plan.slices()]
     if executor is None:
         executor = default_executor()
     results = executor.run_shards(_simplified_shard, tasks, workers=plan.workers)

@@ -50,6 +50,13 @@ class MethodSpec:
         needs_blocks: whether the method requires ``K >= 2`` (everything
             except full search).
         supports_trace: whether ``request.trace=True`` is honoured.
+        honours_policy: whether the method's runners thread the request's
+            :class:`~repro.kernels.ExecutionPolicy` into their kernels.
+            When ``False`` (the classical scans, the analytic model, and
+            runners that pin float64 state) the engine normalises the
+            request back to the default policy so shard plans and
+            execution provenance stay truthful — a non-default policy is
+            silently a no-op there, never a mis-sized shard.
     """
 
     name: str
@@ -60,6 +67,7 @@ class MethodSpec:
     needs_database: bool = True
     needs_blocks: bool = True
     supports_trace: bool = False
+    honours_policy: bool = True
 
     def __post_init__(self):
         if not self.name:

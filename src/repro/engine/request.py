@@ -21,8 +21,9 @@ from types import MappingProxyType
 from typing import Any, Mapping
 
 from repro.core.blockspec import BlockSpec
+from repro.kernels import ExecutionPolicy
 
-__all__ = ["DEFAULT_SHARD_BYTES", "ShardPolicy", "SearchRequest"]
+__all__ = ["DEFAULT_SHARD_BYTES", "ExecutionPolicy", "ShardPolicy", "SearchRequest"]
 
 #: Default per-shard memory budget for batched execution (128 MiB).  An
 #: all-targets batch at 12 address qubits needs a ``(4096, 8192)`` complex
@@ -81,6 +82,15 @@ class SearchRequest:
         trace: request stage snapshots (methods that cannot trace raise).
         rng: seed or ``numpy.random.Generator`` for stochastic methods.
         shards: the batch/shard policy (see :class:`ShardPolicy`).
+        policy: the :class:`~repro.kernels.ExecutionPolicy` (amplitude
+            dtype + row threads) the kernels execute under.  The default is
+            complex128 / single-threaded — bit-identical to the seed
+            implementation; ``dtype="complex64"`` halves shard memory (the
+            planner admits 2x the rows per shard) at the documented
+            tolerance, and ``row_threads > 1`` fans independent batch rows
+            across a thread pool with no effect on results.  Travels with
+            the request across process pools and the service wire, so
+            remote workers honour it too.
         options: method-specific extras (e.g. ``schedule=`` for ``grk``,
             ``plan=`` for ``grk-sure-success``, ``strategy=`` for
             ``classical``).  Stored read-only.
@@ -95,6 +105,7 @@ class SearchRequest:
     trace: bool = False
     rng: Any = None
     shards: ShardPolicy = field(default_factory=ShardPolicy)
+    policy: ExecutionPolicy = field(default_factory=ExecutionPolicy)
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
@@ -116,6 +127,8 @@ class SearchRequest:
             )
         if not isinstance(self.shards, ShardPolicy):
             raise ValueError("shards must be a ShardPolicy")
+        if not isinstance(self.policy, ExecutionPolicy):
+            raise ValueError("policy must be an ExecutionPolicy")
         # Freeze the options mapping so a shared request cannot drift.
         object.__setattr__(self, "options", MappingProxyType(dict(self.options)))
 
@@ -162,6 +175,7 @@ class SearchRequest:
             "trace": self.trace,
             "rng": self.rng,
             "shards": self.shards,
+            "policy": self.policy,
             "options": dict(self.options),
         }
 

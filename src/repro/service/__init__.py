@@ -8,9 +8,12 @@ Two layers grow the single-machine engine into a serving system:
    wraps the in-process / process-pool fan-out that PR 2 shipped;
    :class:`RemoteExecutor` speaks a small length-prefixed TCP protocol
    (:mod:`repro.service.wire`) to ``repro-worker`` processes
-   (:mod:`repro.service.worker`) on other hosts.  Shard boundaries and
-   per-target RNG streams are fixed *before* dispatch, so every executor
-   returns bit-identical results.
+   (:mod:`repro.service.worker`) on other hosts;
+   :class:`RegistryExecutor` resolves the fleet per batch from a
+   :class:`WorkerRegistry` that workers join by announcing themselves
+   (``repro-worker --register``) and the server health-checks.  Shard
+   boundaries and per-target RNG streams are fixed *before* dispatch, so
+   every executor returns bit-identical results.
 
 2. **Serving layer** (:mod:`repro.service.scheduler` /
    :mod:`repro.service.server`): an :mod:`asyncio`-based
@@ -27,14 +30,16 @@ internet.  The wire format is versioned — see :data:`repro.service.wire.WIRE_V
 from repro.service.cache import TTLCache, request_fingerprint
 from repro.service.executor import (
     LocalExecutor,
+    RegistryExecutor,
     RemoteExecutor,
     ShardExecutionError,
     ShardExecutor,
     WorkerUnavailable,
 )
+from repro.service.registry import WorkerRegistry
 from repro.service.scheduler import SearchService, ServiceOverloaded, ServiceStats
 from repro.service.server import SearchServer, submit_remote
-from repro.service.worker import WorkerServer
+from repro.service.worker import WorkerServer, register_with_server
 from repro.service.wire import WIRE_VERSION, ConnectionClosed, WireError
 
 __all__ = [
@@ -43,6 +48,8 @@ __all__ = [
     "ShardExecutor",
     "LocalExecutor",
     "RemoteExecutor",
+    "RegistryExecutor",
+    "WorkerRegistry",
     "ShardExecutionError",
     "WorkerUnavailable",
     "SearchService",
@@ -51,6 +58,7 @@ __all__ = [
     "SearchServer",
     "submit_remote",
     "WorkerServer",
+    "register_with_server",
     "WIRE_VERSION",
     "WireError",
     "ConnectionClosed",

@@ -60,7 +60,7 @@ def request_fingerprint(request, targets=None) -> str | None:
     if isinstance(request.rng, np.random.Generator):
         return None
     parts = [
-        "fingerprint-v1",
+        "fingerprint-v2",
         f"n_items={request.n_items}",
         f"n_blocks={request.n_blocks}",
         f"method={request.method}",
@@ -69,6 +69,10 @@ def request_fingerprint(request, targets=None) -> str | None:
         f"target={request.target}",
         f"trace={request.trace}",
         f"rng={request.rng!r}",
+        # Only the dtype is structural: row_threads (like the shard policy)
+        # is bit-invisible in the output, but complex64 results genuinely
+        # differ from complex128 and must not share a cache entry.
+        f"dtype={request.policy.dtype}",
         f"options={_stable(dict(request.options))}",
         "targets=<all>" if targets is None else f"targets={_stable(np.asarray(targets))}",
     ]

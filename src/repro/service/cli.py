@@ -7,10 +7,12 @@ Subcommands::
     repro worker   # run a shard-execution worker (alias of repro-worker)
     repro methods  # list the method registry (name, backends, description)
 
-Two-host quickstart (see README "Serving & distribution"): start
-``repro-worker`` on each compute host, then point the server at them with
-``--remote-worker host:port`` so batched searches fan their shards out over
-TCP; clients talk to the server with ``repro submit``.
+Two-host quickstart (see README "Serving & distribution"): start the
+server, then start ``repro-worker --register server:port`` on each compute
+host — workers announce themselves, the server health-checks them with the
+wire's ``ping``, and batched searches fan their shards out over TCP with no
+static wiring.  (``--remote-worker host:port`` on the server still works
+for fixed fleets.)  Clients talk to the server with ``repro submit``.
 """
 
 from __future__ import annotations
@@ -40,10 +42,17 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                    help="seconds a cached report stays servable")
     p.add_argument("--remote-worker", action="append", default=[],
                    metavar="HOST:PORT",
-                   help="repro-worker endpoint; repeat for more hosts "
-                        "(shards of batched searches fan out across them)")
+                   help="static repro-worker endpoint; repeat for more "
+                        "hosts.  Without this flag the server accepts "
+                        "worker self-registration instead (workers run "
+                        "with --register) and health-checks the fleet")
     p.add_argument("--fallback-local", action="store_true",
-                   help="finish shards in-process if every worker dies")
+                   help="finish shards in-process if every worker dies "
+                        "(static fleets; auto-registered fleets always "
+                        "fall back)")
+    p.add_argument("--health-interval", type=float, default=10.0,
+                   help="seconds between health-check sweeps of "
+                        "auto-registered workers")
 
 
 def _add_submit(sub: argparse._SubParsersAction) -> None:
@@ -63,6 +72,12 @@ def _add_submit(sub: argparse._SubParsersAction) -> None:
                    help="explicit batch targets (with --batch)")
     p.add_argument("--seed", type=int, default=None,
                    help="seed for stochastic methods")
+    p.add_argument("--dtype", default=None, choices=["complex128", "complex64"],
+                   help="amplitude precision (complex64 halves shard memory "
+                        "at the documented tolerance)")
+    p.add_argument("--row-threads", type=int, default=None,
+                   help="threads across independent batch rows (results "
+                        "are bit-identical for any value)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-request deadline override in seconds")
     p.add_argument("--stats", action="store_true",
@@ -73,6 +88,12 @@ def _add_worker(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("worker", help="run a shard-execution worker")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=None)
+    p.add_argument("--register", default=None, metavar="SERVER:PORT",
+                   help="announce this worker to a running repro serve")
+    p.add_argument("--advertise", default=None, metavar="HOST:PORT",
+                   help="address the server should dial back")
+    p.add_argument("--register-interval", type=float, default=None,
+                   help="seconds between registration re-announcements")
     p.add_argument("-v", "--verbose", action="store_true")
 
 
@@ -89,13 +110,21 @@ def _cmd_serve(args) -> int:
 
     logging.basicConfig(level=logging.INFO,
                         format="%(asctime)s %(name)s %(levelname)s %(message)s")
-    executor = None
+    registry = None
     if args.remote_worker:
         from repro.service.executor import RemoteExecutor
 
         executor = RemoteExecutor(
             args.remote_worker, fallback_local=args.fallback_local
         )
+    else:
+        # Auto-discovery: workers announce themselves with --register and
+        # the server health-checks them; no static wiring needed.
+        from repro.service.executor import RegistryExecutor
+        from repro.service.registry import WorkerRegistry
+
+        registry = WorkerRegistry()
+        executor = RegistryExecutor(registry)
     engine = SearchEngine(executor=executor)
 
     async def run() -> None:
@@ -111,6 +140,8 @@ def _cmd_serve(args) -> int:
                 service,
                 args.host,
                 DEFAULT_PORT if args.port is None else args.port,
+                registry=registry,
+                health_interval=args.health_interval,
             )
             await server.start()
             print(f"repro serve ready on {server.address[0]}:"
@@ -157,9 +188,13 @@ def _report_to_json(report) -> dict:
 
 
 def _cmd_submit(args) -> int:
-    from repro.engine import SearchRequest
+    from repro.engine import ExecutionPolicy, SearchRequest
     from repro.service.server import DEFAULT_PORT, server_stats, submit_remote
 
+    policy = ExecutionPolicy(
+        dtype=args.dtype or "complex128",
+        row_threads=args.row_threads or 1,
+    )
     request = SearchRequest(
         n_items=args.n_items,
         n_blocks=args.n_blocks,
@@ -168,6 +203,7 @@ def _cmd_submit(args) -> int:
         epsilon=args.epsilon,
         target=args.target,
         rng=args.seed,
+        policy=policy,
     )
     address = (args.host, DEFAULT_PORT if args.port is None else args.port)
     report = submit_remote(
@@ -190,6 +226,12 @@ def _cmd_worker(args) -> int:
 
     argv = ["--host", args.host,
             "--port", str(DEFAULT_PORT if args.port is None else args.port)]
+    if args.register:
+        argv += ["--register", args.register]
+    if args.advertise:
+        argv += ["--advertise", args.advertise]
+    if args.register_interval is not None:
+        argv += ["--register-interval", str(args.register_interval)]
     if args.verbose:
         argv.append("--verbose")
     return worker_main(argv)

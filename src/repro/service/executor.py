@@ -11,7 +11,7 @@ payloads.  Any executor that runs every task exactly once therefore returns
 bit-identical results, whatever the host, scheduling order, or retry
 history.
 
-Two executors ship today:
+Three executors ship today:
 
 - :class:`LocalExecutor` — the in-process / process-pool fan-out
   (:func:`repro.util.parallel.parallel_map`), the default.
@@ -20,6 +20,12 @@ Two executors ship today:
   :mod:`repro.service.wire`, with per-shard timeouts and requeue-on-failure:
   a worker that dies mid-shard loses its connection, its shard goes back on
   the queue, and a surviving worker picks it up.
+- :class:`RegistryExecutor` — the auto-discovery form: resolves the worker
+  fleet from a live :class:`~repro.service.registry.WorkerRegistry` at
+  *each* ``run_shards`` call (workers announce themselves with the wire's
+  ``register`` message; the server health-checks them), building a
+  per-run :class:`RemoteExecutor` — or running locally while the registry
+  is empty.
 
 Future scaling work (new transports, cluster schedulers) plugs in here by
 subclassing :class:`ShardExecutor`; the engine and the method adapters do
@@ -43,6 +49,7 @@ __all__ = [
     "ShardExecutor",
     "LocalExecutor",
     "RemoteExecutor",
+    "RegistryExecutor",
     "ShardExecutionError",
     "WorkerUnavailable",
     "default_executor",
@@ -119,10 +126,11 @@ class RemoteExecutor(ShardExecutor):
     ``("result", value)`` reply.  Failure handling:
 
     - **transport failure** (connection refused/reset, worker death
-      mid-shard, per-shard timeout): the shard is requeued for the surviving
-      workers and the failed worker's lane shuts down.  Because tasks carry
-      their randomness, a requeued shard reproduces the exact result the
-      dead worker would have returned.
+      mid-shard, per-shard timeout, or an incompatible peer — wire-version
+      mismatch mid-rolling-upgrade, a stray service on the port): the shard
+      is requeued for the surviving workers and the failed worker's lane
+      shuts down.  Because tasks carry their randomness, a requeued shard
+      reproduces the exact result the dead worker would have returned.
     - **shard function error** (the worker ran the shard and it raised):
       deterministic — no retry; the whole run aborts with
       :class:`ShardExecutionError`.
@@ -216,9 +224,14 @@ class RemoteExecutor(ShardExecutor):
                     send_frame(sock, ("shard", func, state["tasks"][index],
                                       state["rngs"][index]))
                     reply = recv_frame(sock)
-                except (OSError, ConnectionClosed) as exc:
-                    # Worker death mid-shard, refused connection, or timeout:
-                    # requeue for the other lanes and retire this one.
+                except (OSError, WireError) as exc:
+                    # Worker death mid-shard, refused connection, timeout, or
+                    # a peer this process cannot talk to (wire-version
+                    # mismatch during a rolling upgrade, a stray service on
+                    # a stale registered port): requeue for the other lanes
+                    # and retire this one — an unusable worker must degrade
+                    # the fleet, never abort the batch.  (ConnectionClosed
+                    # is a WireError subclass.)
                     with state["lock"]:
                         state["requeued"] += 1
                         state["dead"].append(
@@ -242,8 +255,6 @@ class RemoteExecutor(ShardExecutor):
                 state["results"][index] = reply[1]
                 state["done"][index] = True
                 release(requeue=False)
-        except WireError as exc:
-            state["fatal"] = str(exc)
         finally:
             if sock is not None:
                 try:
@@ -311,6 +322,60 @@ class RemoteExecutor(ShardExecutor):
         return {
             "executor": "remote",
             "workers": [f"{h}:{p}" for h, p in self.addresses],
+            "timeout_s": self.timeout,
+        }
+
+
+class RegistryExecutor(ShardExecutor):
+    """Dispatch shards to whatever workers are *currently* registered.
+
+    The membership is read from a
+    :class:`~repro.service.registry.WorkerRegistry` at each
+    :meth:`run_shards` call, so ``repro serve`` no longer needs static
+    ``--remote-worker`` wiring: workers that announce themselves (the wire's
+    ``register`` message) serve the next batch, health-check evictions stop
+    routing to dead hosts, and an empty registry falls back to the local
+    executor instead of failing.  Remote dispatch always runs with
+    ``fallback_local=True`` — the registry's liveness view necessarily lags
+    reality, so a fleet that dies mid-batch must degrade, not abort.
+
+    Args:
+        registry: the live membership to resolve per run.
+        timeout: per-shard reply timeout handed to each
+            :class:`RemoteExecutor`.
+        connect_timeout: TCP connect timeout per worker.
+    """
+
+    def __init__(self, registry, *, timeout: float = 300.0,
+                 connect_timeout: float = 5.0):
+        self.registry = registry
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self._local = LocalExecutor()
+        #: Stats of the most recent run (addresses used, fallback flag).
+        self.last_run: dict = {}
+
+    def run_shards(self, func, tasks, *, workers: int = 1) -> list:
+        addresses = self.registry.snapshot()
+        if not addresses:
+            self.last_run = {"addresses": [], "local": True}
+            return self._local.run_shards(func, tasks, workers=workers)
+        remote = RemoteExecutor(
+            addresses,
+            timeout=self.timeout,
+            connect_timeout=self.connect_timeout,
+            fallback_local=True,
+        )
+        try:
+            return remote.run_shards(func, tasks, workers=workers)
+        finally:
+            self.last_run = {"addresses": addresses, "local": False,
+                             **remote.last_run}
+
+    def describe(self) -> dict:
+        return {
+            "executor": "registry",
+            "workers": self.registry.snapshot(),
             "timeout_s": self.timeout,
         }
 

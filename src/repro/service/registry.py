@@ -1,0 +1,92 @@
+"""Dynamic worker membership: registration, liveness, and lookup.
+
+PR 3's :class:`~repro.service.executor.RemoteExecutor` takes a *static*
+address list, which means every ``repro serve`` deployment had to be wired
+with ``--remote-worker host:port`` flags and restarted to change the fleet.
+The :class:`WorkerRegistry` removes that coupling:
+
+- workers **announce themselves** — ``repro-worker --register server:port``
+  sends one ``("register", "host:port")`` frame to the server, which adds
+  the address here;
+- the server **health-checks** the membership on a timer, reusing the
+  protocol's existing ``("ping",)`` message (see
+  :meth:`SearchServer._health_loop <repro.service.server.SearchServer>`),
+  and drops workers that stop answering;
+- batched searches dispatch through a
+  :class:`~repro.service.executor.RegistryExecutor`, which snapshots the
+  live membership *per run* — so a worker registered mid-traffic serves the
+  very next batch, and an empty registry degrades to local execution
+  instead of failing.
+
+The registry is a plain thread-safe set: the asyncio server mutates it from
+the event loop while executor threads snapshot it, and every operation is a
+single lock-held dict access.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["WorkerRegistry"]
+
+
+class WorkerRegistry:
+    """Thread-safe live-worker membership keyed by ``"host:port"``.
+
+    Attributes are intentionally minimal — the registry records *who is
+    alive*, not load or capability; shard scheduling stays the executor's
+    job.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        #: address -> registration metadata (monotonic stamps for stats).
+        self._workers: dict[str, dict] = {}
+        self.registrations = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._workers)
+
+    def add(self, address: str) -> bool:
+        """Register *address*; returns True when it is new (re-registration
+        of a live worker just refreshes its stamp)."""
+        address = str(address)
+        now = time.monotonic()
+        with self._lock:
+            fresh = address not in self._workers
+            self._workers[address] = {"registered_at": now, "last_seen": now}
+            self.registrations += 1
+            return fresh
+
+    def remove(self, address: str) -> bool:
+        """Evict *address* (a failed health check or explicit shutdown)."""
+        with self._lock:
+            if address in self._workers:
+                del self._workers[address]
+                self.evictions += 1
+                return True
+            return False
+
+    def mark_alive(self, address: str) -> None:
+        """Refresh the liveness stamp after a successful ping."""
+        now = time.monotonic()
+        with self._lock:
+            if address in self._workers:
+                self._workers[address]["last_seen"] = now
+
+    def snapshot(self) -> list[str]:
+        """The live addresses, sorted for deterministic dispatch order."""
+        with self._lock:
+            return sorted(self._workers)
+
+    def stats(self) -> dict:
+        """``{workers, registrations, evictions}`` for the stats surface."""
+        with self._lock:
+            return {
+                "workers": sorted(self._workers),
+                "registrations": self.registrations,
+                "evictions": self.evictions,
+            }

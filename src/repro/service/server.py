@@ -10,7 +10,17 @@ protocol and read one frame back:
   and retry), ``("timeout", msg)`` when the per-request deadline elapsed,
   or ``("error", msg)`` for anything else;
 - ``("stats",)`` -> ``("stats", snapshot_dict)``;
-- ``("ping",)`` -> ``("pong", {})``.
+- ``("ping",)`` -> ``("pong", {})``;
+- ``("register", "host:port")`` -> ``("registered", {"workers": [...]})`` —
+  a ``repro-worker`` announcing itself for shard dispatch (servers started
+  without a :class:`~repro.service.registry.WorkerRegistry` answer
+  ``("error", ...)``).
+
+Registered workers are **health-checked**: a background loop pings each one
+(the worker protocol's existing ``("ping",)`` message) every
+``health_interval`` seconds and evicts addresses that stop answering, so
+the :class:`~repro.service.executor.RegistryExecutor` only ever dispatches
+to a recently-live fleet — no static ``--remote-worker`` wiring required.
 
 Connections are persistent: a client may pipeline many submits over one
 socket; each is admitted, cached, and bounded independently by the service.
@@ -40,14 +50,29 @@ DEFAULT_PORT = 7736
 
 
 class SearchServer:
-    """Asyncio TCP server delegating every request to a *service*."""
+    """Asyncio TCP server delegating every request to a *service*.
+
+    Args:
+        service: the admission/caching scheduler every submit goes through.
+        host / port: bind address (port 0 picks a free one).
+        registry: optional :class:`~repro.service.registry.WorkerRegistry`;
+            when given, ``register`` frames are accepted and the health
+            loop keeps the membership live.
+        health_interval: seconds between health-check sweeps.
+        health_timeout: per-worker ping deadline within a sweep.
+    """
 
     def __init__(self, service: SearchService, host: str = "127.0.0.1",
-                 port: int = 0):
+                 port: int = 0, *, registry=None,
+                 health_interval: float = 10.0, health_timeout: float = 3.0):
         self.service = service
         self.host = host
         self.port = port
+        self.registry = registry
+        self.health_interval = health_interval
+        self.health_timeout = health_timeout
         self._server: asyncio.AbstractServer | None = None
+        self._health_task: asyncio.Task | None = None
 
     @property
     def address(self) -> tuple[str, int]:
@@ -60,14 +85,81 @@ class SearchServer:
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port
         )
+        if self.registry is not None:
+            self._health_task = asyncio.create_task(self._health_loop())
         log.info("repro serve listening on %s:%d", *self.address)
         return self
 
     async def stop(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+            self._health_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+
+    # -------------------------------------------------------- worker health
+    async def _ping_worker(self, address: str) -> bool:
+        """One liveness probe: connect, send the worker ``ping``, await
+        ``pong`` — all inside :attr:`health_timeout`."""
+        from repro.service.executor import _parse_address
+
+        try:
+            host, port = _parse_address(address)
+            reader, writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port),
+                timeout=self.health_timeout,
+            )
+        except (OSError, ValueError, asyncio.TimeoutError):
+            return False
+        try:
+            await asyncio.wait_for(
+                send_frame_async(writer, ("ping",)), timeout=self.health_timeout
+            )
+            reply = await asyncio.wait_for(
+                recv_frame_async(reader), timeout=self.health_timeout
+            )
+            return isinstance(reply, tuple) and bool(reply) and reply[0] == "pong"
+        except (OSError, WireError, asyncio.TimeoutError):
+            return False
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except OSError:
+                pass
+
+    async def check_workers_once(self) -> None:
+        """One health sweep: ping every registered worker, evict the dead.
+
+        Probes run concurrently — a rack of dead workers costs one
+        ping-timeout per sweep, not one per worker — so the sweep cadence
+        stays near :attr:`health_interval` however large the fleet.
+        Public so tests (and operators embedding the server) can force a
+        sweep instead of waiting out the interval.
+        """
+        if self.registry is None:
+            return
+        addresses = self.registry.snapshot()
+        alive = await asyncio.gather(
+            *(self._ping_worker(a) for a in addresses)
+        )
+        for address, ok in zip(addresses, alive):
+            if ok:
+                self.registry.mark_alive(address)
+            else:
+                log.warning("worker %s failed its health check; evicting", address)
+                self.registry.remove(address)
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval)
+            await self.check_workers_once()
 
     async def serve_forever(self) -> None:
         """Start (if needed) and serve until cancelled."""
@@ -104,7 +196,26 @@ class SearchServer:
         if kind == "ping":
             return ("pong", {})
         if kind == "stats":
-            return ("stats", self.service.stats_snapshot())
+            stats = self.service.stats_snapshot()
+            if self.registry is not None:
+                stats["worker_registry"] = self.registry.stats()
+            return ("stats", stats)
+        if kind == "register":
+            from repro.service.executor import _parse_address
+
+            if self.registry is None:
+                return ("error", "this server does not accept worker "
+                                 "registration (no registry configured)")
+            try:
+                _, address = message
+                _parse_address(str(address))
+            except (TypeError, ValueError):
+                return ("error",
+                        "register message must be (register, 'host:port')")
+            fresh = self.registry.add(str(address))
+            log.info("worker %s %s", address,
+                     "registered" if fresh else "re-registered")
+            return ("registered", {"workers": self.registry.snapshot()})
         if kind == "submit":
             try:
                 _, request, targets, batch, timeout = message

@@ -22,6 +22,18 @@ bit-exact state, which is what keeps remote shard execution bit-identical
 to the in-process path.  Pickle also means frames can execute code on the
 receiver — both ends of every connection must be trusted (see the package
 docstring).
+
+Version history
+---------------
+- **v1** — initial protocol: ``shard``/``ping`` (worker), ``submit`` /
+  ``stats``/``ping`` (server).
+- **v2** — shard task payloads and :class:`~repro.engine.SearchRequest`
+  frames carry an :class:`~repro.kernels.ExecutionPolicy` field (amplitude
+  dtype + row threads) that workers must honour; a v1 worker would unpack
+  the shard task tuple wrong, so the version bumps even though the frame
+  layout is unchanged.  Also adds the ``register`` message (workers
+  announce themselves to a server; see :mod:`repro.service.server`) — new
+  message types alone would not need a bump.
 """
 
 from __future__ import annotations
@@ -44,7 +56,7 @@ __all__ = [
 ]
 
 #: Protocol version — bump on any incompatible change (see module docstring).
-WIRE_VERSION = 1
+WIRE_VERSION = 2
 
 #: Frame magic: identifies the stream as the repro shard protocol.
 MAGIC = b"RPRO"

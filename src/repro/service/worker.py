@@ -20,7 +20,13 @@ Run one per host::
 
     repro-worker --host 0.0.0.0 --port 7737
 
-(or ``python -m repro.service.worker``).  Only expose workers to trusted
+(or ``python -m repro.service.worker``).  With ``--register SERVER:PORT``
+the worker **announces itself** to a running ``repro serve`` (one
+``("register", "host:port")`` frame, retried until the server is up), so
+the server's :class:`~repro.service.registry.WorkerRegistry` starts routing
+shards here with no ``--remote-worker`` wiring; ``--advertise HOST:PORT``
+overrides the announced address when the bind address is not what the
+server should dial (0.0.0.0 binds, NAT).  Only expose workers to trusted
 networks: frames are pickles and execute code by design.
 """
 
@@ -30,11 +36,16 @@ import argparse
 import logging
 import socket
 import threading
+import time
 import traceback
 
 from repro.service.wire import ConnectionClosed, WireError, recv_frame, send_frame
 
-__all__ = ["WorkerServer", "main"]
+__all__ = ["WorkerServer", "register_with_server", "start_reannounce_loop", "main"]
+
+#: Default seconds between registration re-announcements (see
+#: :func:`start_reannounce_loop`).
+DEFAULT_REANNOUNCE_INTERVAL = 30.0
 
 DEFAULT_PORT = 7737
 
@@ -184,6 +195,99 @@ class WorkerServer:
             pass
 
 
+def register_with_server(
+    server_address: str,
+    advertise_address: str,
+    *,
+    attempts: int = 10,
+    delay: float = 0.5,
+    timeout: float = 5.0,
+) -> dict:
+    """Announce *advertise_address* to a ``repro serve`` at *server_address*.
+
+    Sends one ``("register", advertise_address)`` frame and returns the
+    server's registration payload (the current fleet snapshot).  Connection
+    refusals are retried — workers routinely boot before their server —
+    but a server that answers with an error (no registry configured,
+    malformed address) fails immediately: retrying cannot help.
+
+    A wildcard advertise host (``0.0.0.0`` / ``::``, the bind address of a
+    multi-host worker) is not dialable, so it is replaced by the local
+    address of the registration socket itself — the interface this worker
+    actually reaches the server through, hence the one the server can dial
+    back.
+
+    Raises:
+        ValueError: a malformed server or advertise address.
+        RuntimeError: the server rejected the registration.
+        OSError: the server stayed unreachable through every attempt.
+    """
+    from repro.service.executor import _parse_address
+
+    host, port = _parse_address(server_address)
+    adv_host, adv_port = _parse_address(advertise_address)
+    last_exc: OSError | None = None
+    for attempt in range(attempts):
+        if attempt:
+            time.sleep(delay)
+        try:
+            with socket.create_connection((host, port), timeout=timeout) as sock:
+                sock.settimeout(timeout)
+                if adv_host in ("0.0.0.0", "::"):
+                    adv_host = sock.getsockname()[0]
+                advertise_address = f"{adv_host}:{adv_port}"
+                send_frame(sock, ("register", advertise_address))
+                reply = recv_frame(sock)
+        except (OSError, ConnectionClosed) as exc:
+            last_exc = exc if isinstance(exc, OSError) else OSError(str(exc))
+            continue
+        if isinstance(reply, tuple) and reply and reply[0] == "registered":
+            log.info("registered %s with %s", advertise_address, server_address)
+            return reply[1]
+        raise RuntimeError(f"server rejected registration: {reply!r}")
+    raise OSError(
+        f"could not reach {server_address} after {attempts} attempts: {last_exc}"
+    )
+
+
+def start_reannounce_loop(
+    server_address: str,
+    advertise_address: str,
+    *,
+    interval: float = DEFAULT_REANNOUNCE_INTERVAL,
+    stop_event: threading.Event | None = None,
+) -> threading.Thread:
+    """Re-announce this worker to the server every *interval* seconds.
+
+    Registration is otherwise one-shot at boot, while the server's health
+    loop evicts on a missed ping — one transient blip (network hiccup, a
+    long GIL-held shard, server restart) would silently and *permanently*
+    drop a live worker from the fleet.  Re-registration is idempotent
+    (re-adding a live address just refreshes its stamp), so this loop makes
+    membership self-healing: an evicted-but-alive worker reappears within
+    one interval, and a restarted server re-learns its fleet without anyone
+    restarting workers.  Failures are logged and retried next tick.
+
+    Returns the started daemon thread; set *stop_event* to end the loop.
+    """
+    stop = stop_event if stop_event is not None else threading.Event()
+
+    def loop() -> None:
+        while not stop.wait(interval):
+            try:
+                register_with_server(
+                    server_address, advertise_address, attempts=1
+                )
+            except (OSError, RuntimeError, ValueError) as exc:
+                log.warning("re-registration with %s failed (will retry): %s",
+                            server_address, exc)
+
+    thread = threading.Thread(target=loop, daemon=True,
+                              name="repro-worker-reannounce")
+    thread.start()
+    return thread
+
+
 def main(argv=None) -> int:
     """CLI entry point for ``repro-worker``."""
     parser = argparse.ArgumentParser(
@@ -193,6 +297,18 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+    parser.add_argument("--register", default=None, metavar="SERVER:PORT",
+                        help="announce this worker to a running repro serve "
+                             "(enables auto-discovery; no --remote-worker "
+                             "wiring needed on the server)")
+    parser.add_argument("--advertise", default=None, metavar="HOST:PORT",
+                        help="address the server should dial back "
+                             "(default: the bound host:port)")
+    parser.add_argument("--register-interval", type=float,
+                        default=DEFAULT_REANNOUNCE_INTERVAL,
+                        help="seconds between registration re-announcements "
+                             "(heals health-check evictions and server "
+                             "restarts; 0 disables)")
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
     logging.basicConfig(
@@ -203,6 +319,29 @@ def main(argv=None) -> int:
     # Announce readiness on stdout so harnesses can wait for the port.
     print(f"repro-worker ready on {server.address[0]}:{server.address[1]}",
           flush=True)
+    if args.register:
+        advertise = args.advertise or f"{server.address[0]}:{server.address[1]}"
+        keep_announcing = True
+        try:
+            register_with_server(args.register, advertise)
+            print(f"repro-worker registered with {args.register} as {advertise}",
+                  flush=True)
+        except OSError as exc:
+            # Server not up yet / transient network: keep serving (a static
+            # RemoteExecutor can still reach us) and let the re-announce
+            # loop establish the registration when the server appears.
+            log.error("registration with %s failed: %s", args.register, exc)
+        except (RuntimeError, ValueError) as exc:
+            # Malformed address or a server that rejects registration:
+            # deterministic — re-announcing would only repeat the error.
+            log.error("registration with %s failed permanently: %s",
+                      args.register, exc)
+            keep_announcing = False
+        if keep_announcing and args.register_interval > 0:
+            start_reannounce_loop(
+                args.register, advertise,
+                interval=args.register_interval, stop_event=server._stop,
+            )
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -1,4 +1,4 @@
-"""Process-pool map with deterministic per-task RNG streams.
+"""Process- and thread-pool maps with deterministic per-task RNG streams.
 
 Monte Carlo estimation of classical query counts (Appendix A) and batched
 partial-search trials are embarrassingly parallel.  In the absence of MPI we
@@ -7,23 +7,31 @@ use ``concurrent.futures`` workers; each task receives its own
 bit-reproducible regardless of worker count or scheduling order (the same
 discipline mpi4py programs use with per-rank seed sequences).
 
-This module is the *single-machine* substrate.  The engine dispatches
-batched shards through the :class:`repro.service.executor.ShardExecutor`
-seam instead of calling :func:`parallel_map` directly; the default
-:class:`~repro.service.executor.LocalExecutor` delegates here, and remote
-executors replace the transport while keeping the same ``func(task, rng)``
-task contract.
+This module is the *single-machine* substrate, with two seams:
+
+- :func:`parallel_map` — **process** fan-out for whole shards.  The engine
+  dispatches batched shards through the
+  :class:`repro.service.executor.ShardExecutor` seam instead of calling it
+  directly; the default :class:`~repro.service.executor.LocalExecutor`
+  delegates here, and remote executors replace the transport while keeping
+  the same ``func(task, rng)`` task contract.
+- :func:`thread_map` — **thread** fan-out for row slabs *inside* one shard.
+  The batched kernels are numpy reductions and fused elementwise passes,
+  which release the GIL, so independent row slabs of a shared ``(B, N)``
+  state matrix scale across cores with zero pickling or copying; this is
+  the substrate behind :func:`repro.kernels.map_row_slabs` and the
+  :class:`~repro.kernels.ExecutionPolicy` ``row_threads`` knob.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Sequence
 
 from repro.util.rng import spawn_rngs
 
-__all__ = ["default_workers", "parallel_map"]
+__all__ = ["default_workers", "parallel_map", "thread_map"]
 
 
 def default_workers() -> int:
@@ -66,3 +74,29 @@ def parallel_map(
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = [pool.submit(func, task, rng) for task, rng in zip(tasks, rngs)]
         return [f.result() for f in futures]
+
+
+def thread_map(func: Callable, tasks: Sequence, *, workers: int | None = None):
+    """Apply ``func(task)`` to every task on a shared-memory thread pool.
+
+    Unlike :func:`parallel_map` there is no RNG argument and no pickling:
+    this seam exists for GIL-releasing numpy work over *views of shared
+    arrays* (row slabs of a batch), where determinism comes from the tasks
+    being independent, not from seed discipline.
+
+    Args:
+        func: callable taking one task (need not be picklable).
+        tasks: sequence of task descriptions.
+        workers: pool size; ``None`` uses one thread per task.  ``workers=1``
+            or a single task runs serially in the calling thread.
+
+    Returns:
+        List of results in task order.
+    """
+    tasks = list(tasks)
+    if workers is None:
+        workers = len(tasks)
+    if workers <= 1 or len(tasks) <= 1:
+        return [func(task) for task in tasks]
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(func, tasks))

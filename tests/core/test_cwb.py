@@ -1,0 +1,105 @@
+"""The Choi–Walker–Braunstein sure-success family (quant-ph/0603136)."""
+
+import numpy as np
+import pytest
+
+from repro.core.cwb import plan_cwb, run_cwb_partial_search
+from repro.core.parameters import plan_schedule
+from repro.kernels import COMPLEX64_SUCCESS_ATOL, ExecutionPolicy
+from repro.oracle import SingleTargetDatabase
+
+
+class TestPlan:
+    def test_plan_is_target_independent(self):
+        plan = plan_cwb(256, 4)
+        assert plan.predicted_failure < 1e-20
+        assert len(plan.phases) == 4
+
+    def test_queries_constant_overhead(self):
+        # Certainty costs at most a constant (paper, Theorem 1 remark);
+        # the per-stage phase conditions land within 2 queries of plain GRK.
+        for n, k in [(256, 2), (1024, 4), (4096, 8), (729, 3)]:
+            base = plan_schedule(n, k)
+            plan = plan_cwb(n, k)
+            assert plan.base_queries == base.queries
+            assert plan.extra_queries == plan.queries - base.queries
+            assert 0 <= plan.extra_queries <= 2
+
+    def test_queries_property_consistent(self):
+        plan = plan_cwb(1024, 4)
+        assert plan.queries == plan.l1 + plan.l2 + 1
+
+    def test_block_size_one_rejected(self):
+        with pytest.raises(ValueError):
+            plan_cwb(16, 16)
+
+
+class TestRun:
+    @pytest.mark.parametrize(
+        "n,k,target",
+        [(256, 2, 100), (256, 4, 0), (1024, 4, 777), (729, 3, 400), (1000, 5, 999)],
+    )
+    def test_certainty(self, n, k, target):
+        db = SingleTargetDatabase(n, target)
+        res = run_cwb_partial_search(db, k)
+        assert res.success_probability == pytest.approx(1.0, abs=1e-9)
+        assert res.block_guess == db.reveal_target_block(k)
+
+    def test_queries_counted(self):
+        db = SingleTargetDatabase(1024, 5)
+        plan = plan_cwb(1024, 4)
+        res = run_cwb_partial_search(db, 4, plan=plan)
+        assert db.queries_used == res.queries == plan.queries
+
+    def test_reused_plan(self):
+        n, k = 512, 4
+        plan = plan_cwb(n, k)
+        for target in (0, 200, 511):
+            res = run_cwb_partial_search(
+                SingleTargetDatabase(n, target), k, plan=plan
+            )
+            assert res.success_probability == pytest.approx(1.0, abs=1e-9)
+
+    def test_plan_mismatch_rejected(self):
+        plan = plan_cwb(256, 4)
+        with pytest.raises(ValueError):
+            run_cwb_partial_search(SingleTargetDatabase(512, 1), 4, plan=plan)
+
+    def test_final_state_normalised(self):
+        res = run_cwb_partial_search(SingleTargetDatabase(256, 17), 4)
+        assert np.sum(np.abs(res.branches) ** 2) == pytest.approx(1.0, abs=1e-12)
+
+    def test_complex64_policy_within_tolerance(self):
+        n, k, t = 1024, 4, 99
+        plan = plan_cwb(n, k)
+        full = run_cwb_partial_search(SingleTargetDatabase(n, t), k, plan=plan)
+        fast = run_cwb_partial_search(
+            SingleTargetDatabase(n, t), k, plan=plan,
+            policy=ExecutionPolicy(dtype="complex64"),
+        )
+        assert fast.branches.dtype == np.complex64
+        assert fast.success_probability == pytest.approx(
+            full.success_probability, abs=COMPLEX64_SUCCESS_ATOL
+        )
+
+
+class TestEngineRegistration:
+    def test_registered_beside_sure_success(self):
+        from repro.engine import available_methods
+
+        assert "grk-cwb" in available_methods()
+        assert "grk-sure-success" in available_methods()
+
+    def test_engine_run_with_plan_option(self):
+        from repro.engine import SearchEngine, SearchRequest
+
+        plan = plan_cwb(256, 4)
+        report = SearchEngine().search(
+            SearchRequest(
+                n_items=256, n_blocks=4, method="grk-cwb", target=99,
+                options={"plan": plan},
+            )
+        )
+        assert report.success_probability == pytest.approx(1.0, abs=1e-9)
+        assert report.queries == plan.queries
+        assert report.schedule["extra_queries"] == plan.extra_queries

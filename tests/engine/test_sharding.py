@@ -7,6 +7,7 @@ from repro.core import plan_schedule
 from repro.core.batch import execute_batch_rows, run_partial_search_batch
 from repro.engine import (
     DEFAULT_SHARD_BYTES,
+    ExecutionPolicy,
     SearchEngine,
     SearchRequest,
     ShardPolicy,
@@ -149,6 +150,140 @@ class TestShardBoundaryBitIdentity:
             SearchRequest(n_items=64, n_blocks=4, shards=ShardPolicy(max_rows=5))
         )
         assert report.execution["shard_rows"] == 5
+
+
+class TestShardIdentityUnderPolicies:
+    """The tentpole contract: shard boundaries stay bit-invisible under
+    *every* :class:`ExecutionPolicy`, and the dtype scales the byte model."""
+
+    POLICIES = [
+        ExecutionPolicy(),
+        ExecutionPolicy(dtype="complex64"),
+        ExecutionPolicy(row_threads=3),
+        ExecutionPolicy(dtype="complex64", row_threads=2),
+    ]
+
+    @pytest.mark.parametrize("backend", ["kernels", "compiled"])
+    @pytest.mark.parametrize(
+        "policy", POLICIES, ids=lambda p: f"{p.dtype}-t{p.row_threads}"
+    )
+    def test_shard_sizes_invisible_under_policy(self, backend, policy):
+        n, k = 64, 4
+        engine = SearchEngine()
+        base = engine.search_batch(
+            SearchRequest(n_items=n, n_blocks=k, backend=backend, policy=policy,
+                          shards=ShardPolicy(max_rows=n))
+        )
+        assert base.execution["n_shards"] == 1
+        for rows in (1, 13, n):
+            got = engine.search_batch(
+                SearchRequest(n_items=n, n_blocks=k, backend=backend,
+                              policy=policy, shards=ShardPolicy(max_rows=rows))
+            )
+            np.testing.assert_array_equal(
+                got.success_probabilities, base.success_probabilities
+            )
+            np.testing.assert_array_equal(got.block_guesses, base.block_guesses)
+
+    def test_complex64_halves_row_bytes_doubles_chunk(self):
+        n = 4096
+        half = ExecutionPolicy(dtype="complex64")
+        for backend in ("kernels", "compiled"):
+            assert state_row_bytes(backend, n, half) == state_row_bytes(backend, n) // 2
+        budget = ShardPolicy(max_bytes=64 * state_row_bytes("kernels", n))
+        assert (
+            plan_shards(4096, n, "kernels", budget, half).shard_rows
+            == 2 * plan_shards(4096, n, "kernels", budget).shard_rows
+        )
+        # Stateless backends have no state to shrink.
+        assert state_row_bytes("classical", n, half) == state_row_bytes("classical", n)
+
+    def test_row_threads_bit_identical_to_serial(self):
+        n, k = 128, 4
+        engine = SearchEngine()
+        serial = engine.search_batch(SearchRequest(n_items=n, n_blocks=k))
+        for threads in (2, 5, 128):
+            got = engine.search_batch(
+                SearchRequest(n_items=n, n_blocks=k,
+                              policy=ExecutionPolicy(row_threads=threads))
+            )
+            np.testing.assert_array_equal(
+                got.success_probabilities, serial.success_probabilities
+            )
+            np.testing.assert_array_equal(got.block_guesses, serial.block_guesses)
+
+    def test_policy_in_execution_provenance(self):
+        report = SearchEngine().search_batch(
+            SearchRequest(n_items=64, n_blocks=4,
+                          policy=ExecutionPolicy(dtype="complex64", row_threads=2))
+        )
+        assert report.execution["dtype"] == "complex64"
+        assert report.execution["row_threads"] == 2
+
+    def test_process_fanout_with_policy_bit_identical(self):
+        n, k = 64, 4
+        policy = ExecutionPolicy(dtype="complex64", row_threads=2)
+        engine = SearchEngine()
+        serial = engine.search_batch(
+            SearchRequest(n_items=n, n_blocks=k, policy=policy)
+        )
+        fanned = engine.search_batch(
+            SearchRequest(n_items=n, n_blocks=k, policy=policy,
+                          shards=ShardPolicy(max_rows=16, workers=2))
+        )
+        np.testing.assert_array_equal(
+            fanned.success_probabilities, serial.success_probabilities
+        )
+        np.testing.assert_array_equal(fanned.block_guesses, serial.block_guesses)
+
+    def test_policy_blind_methods_normalise_the_policy(self):
+        # naive-blocks/grover-full/classical/subspace runners pin their own
+        # dtype, so a complex64 request must NOT halve the shard byte model
+        # (2x the budgeted memory for float64 state) nor stamp a dtype into
+        # the provenance that was never used.
+        engine = SearchEngine()
+        budget = ShardPolicy(max_bytes=8 * state_row_bytes("kernels", 64))
+        base = engine.search_batch(
+            SearchRequest(n_items=64, n_blocks=4, method="naive-blocks",
+                          rng=0, shards=budget),
+            targets=range(16),
+        )
+        fast = engine.search_batch(
+            SearchRequest(n_items=64, n_blocks=4, method="naive-blocks",
+                          rng=0, shards=budget,
+                          policy=ExecutionPolicy(dtype="complex64")),
+            targets=range(16),
+        )
+        assert fast.execution["shard_rows"] == base.execution["shard_rows"]
+        assert fast.execution["dtype"] == "complex128"
+        np.testing.assert_array_equal(
+            fast.success_probabilities, base.success_probabilities
+        )
+
+    def test_simplified_method_honours_policy(self):
+        n, k = 64, 4
+        engine = SearchEngine()
+        base = engine.search_batch(
+            SearchRequest(n_items=n, n_blocks=k, method="grk-simplified")
+        )
+        threaded = engine.search_batch(
+            SearchRequest(n_items=n, n_blocks=k, method="grk-simplified",
+                          policy=ExecutionPolicy(row_threads=4),
+                          shards=ShardPolicy(max_rows=13))
+        )
+        np.testing.assert_array_equal(
+            threaded.success_probabilities, base.success_probabilities
+        )
+        fast = engine.search_batch(
+            SearchRequest(n_items=n, n_blocks=k, method="grk-simplified",
+                          policy=ExecutionPolicy(dtype="complex64"))
+        )
+        from repro.kernels import COMPLEX64_SUCCESS_ATOL
+
+        np.testing.assert_allclose(
+            fast.success_probabilities, base.success_probabilities,
+            atol=COMPLEX64_SUCCESS_ATOL, rtol=0,
+        )
 
 
 class TestDeprecatedWrapper:

@@ -20,7 +20,7 @@ import numpy as np
 import pytest
 
 import repro
-from repro.engine import SearchEngine, SearchRequest, ShardPolicy
+from repro.engine import ExecutionPolicy, SearchEngine, SearchRequest, ShardPolicy
 from repro.service.executor import RemoteExecutor
 
 pytestmark = pytest.mark.service
@@ -99,3 +99,25 @@ class TestRemoteSmoke:
         assert np.array_equal(local.block_guesses, remote.block_guesses)
         assert np.array_equal(local.queries, remote.queries)
         assert remote.all_correct
+
+    def test_worker_honours_execution_policy(self, worker_addresses):
+        """The ExecutionPolicy rides the wire (protocol v2): a remote
+        complex64/threaded batch returns bit-identically to the local run
+        under the *same* policy — the worker really executed at that dtype,
+        it did not fall back to complex128."""
+        request = SearchRequest(
+            n_items=256, n_blocks=4,
+            policy=ExecutionPolicy(dtype="complex64", row_threads=2),
+            shards=ShardPolicy(max_rows=64),
+        )
+        local = SearchEngine().search_batch(request)
+        remote = SearchEngine(
+            executor=RemoteExecutor(worker_addresses)
+        ).search_batch(request)
+        assert np.array_equal(local.success_probabilities,
+                              remote.success_probabilities)
+        # And the fast dtype genuinely differs from the complex128 result.
+        full = SearchEngine().search_batch(request.replace(policy=ExecutionPolicy()))
+        assert not np.array_equal(full.success_probabilities,
+                                  remote.success_probabilities)
+        assert remote.execution["dtype"] == "complex64"

@@ -50,6 +50,51 @@ class TestKorepinGroverSimplified:
         assert simplified.predicted_success >= 1 - 2 / math.sqrt(n)
 
 
+class TestChoiWalkerBraunsteinSureSuccess:
+    """quant-ph/0603136: sure-success partial search via per-stage phase
+    conditions.  Certainty is reached within a *constant* number of extra
+    queries of the plain GRK schedule (0-2 at the representative
+    geometries), so the Section 3.1 query coefficients carry over to the
+    sure-success setting — unlike a naive repeat-until-sure strategy, whose
+    expected overhead grows with the failure probability's 1/sqrt(N)."""
+
+    PAPER_UPPER = {2: 0.555, 3: 0.592, 4: 0.615, 8: 0.664, 32: 0.725}
+
+    @pytest.mark.parametrize("k", sorted(PAPER_UPPER))
+    def test_certainty_at_table_coefficient(self, k):
+        from repro.core.cwb import plan_cwb
+
+        n = 4096 if k != 3 else 3**7  # power-of-K geometry for K=3
+        plan = plan_cwb(n, k)
+        assert plan.predicted_failure < 1e-20
+        assert plan.extra_queries <= 2
+        # Finite-N integer schedules sit within ~2/sqrt(N) of the
+        # asymptotic coefficient; certainty must not change that.
+        assert plan.queries / math.sqrt(n) <= self.PAPER_UPPER[k] + 2.5 / math.sqrt(n)
+
+    def test_exact_success_every_target(self):
+        from repro.core.cwb import plan_cwb, run_cwb_partial_search
+
+        n, k = 64, 4
+        plan = plan_cwb(n, k)
+        for target in range(n):
+            res = run_cwb_partial_search(
+                SingleTargetDatabase(n, target), k, plan=plan
+            )
+            assert res.success_probability == pytest.approx(1.0, abs=1e-10)
+            assert res.queries == plan.queries
+
+    def test_cheaper_than_long_style_tail_never_worse(self):
+        from repro.core.cwb import plan_cwb
+        from repro.core.sure_success import plan_sure_success
+
+        # The Long-style tail (Theorem 1 remark) always pays exactly +1;
+        # the CWB per-stage conditions pay 0-2 — never more than +1 extra
+        # over it at the paper's representative sizes.
+        for n, k in [(1024, 4), (4096, 4), (4096, 8)]:
+            assert plan_cwb(n, k).queries <= plan_sure_success(n, k).queries + 1
+
+
 class TestSection31Table:
     """The table in Section 3.1 (upper via optimisation, lower via Thm 2)."""
 
