@@ -1,0 +1,174 @@
+"""Cluster cache-peering benchmark: peer-fetch vs recompute latency.
+
+Boots two clustered ``SearchServer`` replicas on loopback (gossip-joined,
+cache peering on), drives a batch-request workload through replica A (cold:
+every request computes), then replays the identical workload through
+replica B (warm: every request should be served from A's cache over the
+peering protocol), and records:
+
+- the **cluster cache hit ratio** on the replayed workload,
+- median **recompute** latency (replica A, cold) vs median **peer-fetch**
+  latency (replica B, warm) with the speedup between them,
+- a digest/bit-identity check of every peered report against its original.
+
+Results merge into ``BENCH_simulator.json`` as a ``cluster`` section (the
+other sections are left untouched), with ``delta_vs_baseline`` expressing
+peer-fetch time against the recompute time it replaces — the quantity a
+serving fleet buys by federating its caches.
+
+Run from the repo root (``python benchmarks/bench_cluster.py``;
+``--quick`` shrinks the workload for CI smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import pathlib
+import statistics
+import time
+
+import numpy as np
+
+from repro.cluster import (
+    CachePeers,
+    ClusterCoordinator,
+    ClusterExecutor,
+    ClusterMembership,
+)
+from repro.engine import SearchEngine, SearchRequest
+from repro.service.registry import WorkerRegistry
+from repro.service.scheduler import SearchService
+from repro.service.server import SearchServer
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_simulator.json"
+
+CONFIGS = {
+    "full": {"n_items": 4096, "n_blocks": 4, "requests": 12},
+    "quick": {"n_items": 1024, "n_blocks": 4, "requests": 6},
+}
+
+
+class _Replica:
+    def __init__(self):
+        self.membership = ClusterMembership(suspicion_timeout=600.0)
+        self.registry = WorkerRegistry()
+        self.coordinator = ClusterCoordinator(
+            self.membership, gossip_interval=600.0
+        )
+        self.peering = CachePeers(self.membership, total_budget=120.0,
+                                  reply_timeout=120.0)
+        engine = SearchEngine(
+            executor=ClusterExecutor(self.membership, self.registry)
+        )
+        self.service = SearchService(engine, peering=self.peering,
+                                     request_timeout=600.0,
+                                     cache_size=1024)
+        self.server = SearchServer(self.service, registry=self.registry,
+                                   health_interval=600.0,
+                                   cluster=self.coordinator)
+
+    @property
+    def address(self) -> str:
+        host, port = self.server.address
+        return f"{host}:{port}"
+
+
+def _workload(config: dict) -> list[tuple[SearchRequest, np.ndarray]]:
+    """Distinct cacheable batch requests: disjoint target stripes of one
+    instance, so every request fingerprints (and computes) differently."""
+    n, k, m = config["n_items"], config["n_blocks"], config["requests"]
+    stripe = n // m
+    return [
+        (
+            SearchRequest(n_items=n, n_blocks=k),
+            np.arange(i * stripe, (i + 1) * stripe, dtype=np.intp),
+        )
+        for i in range(m)
+    ]
+
+
+async def _run_cluster(config: dict) -> dict:
+    a, b = _Replica(), _Replica()
+    await a.server.start()
+    await b.server.start()
+    try:
+        a.membership.seeds = (b.address,)
+        await a.coordinator.gossip_once()
+        await b.coordinator.gossip_once()
+        assert a.membership.peers() and b.membership.peers(), "join failed"
+
+        workload = _workload(config)
+        recompute_times, cold_reports = [], []
+        for request, targets in workload:
+            t0 = time.perf_counter()
+            report = await a.service.submit(request, targets=targets,
+                                            batch=True)
+            recompute_times.append(time.perf_counter() - t0)
+            cold_reports.append(report)
+
+        peer_times = []
+        for (request, targets), cold in zip(workload, cold_reports):
+            t0 = time.perf_counter()
+            report = await b.service.submit(request, targets=targets,
+                                            batch=True)
+            peer_times.append(time.perf_counter() - t0)
+            np.testing.assert_array_equal(
+                report.success_probabilities, cold.success_probabilities,
+                err_msg="peered report must be bit-identical to the original",
+            )
+
+        hits = b.service.stats.peer_hits
+        recompute_s = statistics.median(recompute_times)
+        peer_fetch_s = statistics.median(peer_times)
+        return {
+            "n_items": config["n_items"],
+            "n_blocks": config["n_blocks"],
+            "requests": len(workload),
+            "cluster_hit_ratio": hits / len(workload),
+            "peer_hits": hits,
+            "recompute_s": recompute_s,
+            "peer_fetch_s": peer_fetch_s,
+            "speedup_peer_fetch_vs_recompute": recompute_s / peer_fetch_s,
+            "outbound_peering": b.peering.stats(),
+            "delta_vs_baseline": {
+                "peer_fetch_vs_recompute_s": {
+                    "before_s": recompute_s,
+                    "after_s": peer_fetch_s,
+                    "ratio": peer_fetch_s / recompute_s,
+                },
+            },
+        }
+    finally:
+        await a.server.stop()
+        await b.server.stop()
+        a.service.close()
+        b.service.close()
+
+
+def main(mode: str = "full") -> dict:
+    config = CONFIGS[mode]
+    section = asyncio.run(_run_cluster(config))
+    section["mode"] = mode
+
+    # The hit ratio is the bench's acceptance: a replayed workload that is
+    # not (almost) fully served by peering means the fingerprint or the
+    # peer protocol regressed.
+    assert section["cluster_hit_ratio"] == 1.0, section
+    assert section["speedup_peer_fetch_vs_recompute"] > 1.0, section
+
+    existing = json.loads(OUTPUT.read_text()) if OUTPUT.exists() else {}
+    existing["cluster"] = section
+    OUTPUT.write_text(json.dumps(existing, indent=2) + "\n")
+    print(json.dumps(section, indent=2))
+    print(f"\nwrote cluster section -> {OUTPUT}")
+    return section
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced CI smoke configuration")
+    main("quick" if parser.parse_args().quick else "full")

@@ -1,0 +1,82 @@
+"""Cluster-wide shard scheduling over the gossiped worker fleet.
+
+The :class:`~repro.service.executor.RegistryExecutor` dispatches to the
+workers registered *at this replica*; a multi-server deployment would pin
+each worker to whichever server it happened to register with.  The
+:class:`ClusterExecutor` removes that coupling: membership gossip
+(:mod:`repro.cluster.membership`) propagates every member's registered
+workers (and its current load), so a worker that ran ``repro-worker
+--register`` against *any* replica serves batches submitted to *all* of
+them.
+
+Scheduling is least-loaded-first: candidate workers are ranked by their
+owning member's advertised load (this replica's own registry counts as load
+0 — local knowledge is current, gossiped knowledge is a round stale).  The
+dispatch mechanics are inherited from :class:`RegistryExecutor` — lanes
+capped at one per shard (trimmed from the tail, so they stay on the
+least-loaded members), per-run :class:`~repro.service.executor.RemoteExecutor`
+with ``fallback_local=True`` — because gossip necessarily lags reality, so
+a fleet that died since the last round degrades to local compute instead of
+aborting the batch.
+"""
+
+from __future__ import annotations
+
+from repro.service.executor import RegistryExecutor
+
+__all__ = ["ClusterExecutor"]
+
+
+class ClusterExecutor(RegistryExecutor):
+    """Dispatch shards across every worker known to the cluster.
+
+    Args:
+        membership: the gossip table advertising each member's workers/load.
+        registry: this replica's own :class:`~repro.service.registry.WorkerRegistry`
+            (consulted live — fresher than our own gossip entry); ``None``
+            for a replica that takes no direct registrations.
+        timeout: per-shard reply timeout handed to the remote dispatch.
+        connect_timeout: TCP connect timeout per worker.
+    """
+
+    def __init__(self, membership, registry=None, *, timeout: float = 300.0,
+                 connect_timeout: float = 5.0):
+        super().__init__(registry, timeout=timeout,
+                         connect_timeout=connect_timeout)
+        self.membership = membership
+
+    def _ranked_workers(self) -> list[str]:
+        """Cluster workers, least-loaded owner first, deduplicated.
+
+        Local registrations rank ahead of gossiped ones: the local
+        registry is read at call time while member entries are up to a
+        gossip round stale.  The gossiped tail comes from
+        :meth:`~repro.cluster.membership.ClusterMembership.cluster_workers`,
+        whose insertion order *is* the (load, address) ranking — one
+        implementation of the ordering, shared with the status surface.
+        """
+        ranked: list[str] = []
+        seen: set[str] = set()
+        if self.registry is not None:
+            for address in self.registry.snapshot():
+                if address not in seen:
+                    seen.add(address)
+                    ranked.append(address)
+        for address, owner in self.membership.cluster_workers().items():
+            if owner == self.membership.self_address:
+                continue  # our own workers came from the live registry
+            if address not in seen:
+                seen.add(address)
+                ranked.append(address)
+        return ranked
+
+    def _resolve_addresses(self, tasks: list) -> list[str]:
+        return self._ranked_workers()
+
+    def describe(self) -> dict:
+        return {
+            "executor": "cluster",
+            "workers": self._ranked_workers(),
+            "members": self.membership.peers(),
+            "timeout_s": self.timeout,
+        }

@@ -1,0 +1,257 @@
+"""Cache peering: serve a replica's cache miss from a sibling's cache.
+
+PR 3 gave each ``repro serve`` replica a TTL cache keyed by the structural
+request fingerprint and in-process single-flight coalescing.  With several
+replicas behind a load balancer that is not enough: the same sweep computed
+on replica A is recomputed from scratch on replica B.  Peering closes that
+gap — on a local miss the :class:`~repro.service.scheduler.SearchService`
+calls :meth:`CachePeers.fetch`, which asks each live cluster peer (from the
+gossip membership) for the fingerprint before computing:
+
+- ``("cache-peek", key, wait_s)`` -> ``("cache-found", payload, digest)``
+  when the peer holds the entry, else ``("cache-none",)``;
+- **cluster-wide single-flight**: a peer that is *currently computing* the
+  same fingerprint holds the probe for up to ``wait_s`` seconds and answers
+  with the finished report — so N replicas hit by the same thundering herd
+  still cost one execution, not N (the in-process coalescing rule, extended
+  over the wire);
+- **bit-identity verification**: the payload travels as the peer's pickled
+  bytes plus their SHA-256; the fetcher re-hashes what it received and
+  rejects any mismatch before unpickling.  Reports are shard/executor
+  invariant (pinned by the engine's tests), so a verified peer payload is
+  byte-for-byte the report this replica would have computed.
+
+Every failure path — dead peer, hung peer, digest mismatch, version skew —
+falls back to the next peer and finally to local compute: peering is an
+optimisation, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import socket
+import threading
+import time
+from concurrent.futures import CancelledError, ThreadPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+
+from repro.service.wire import WireError, recv_frame, send_frame
+
+__all__ = [
+    "PeerPayloadError",
+    "encode_cached_report",
+    "decode_cached_report",
+    "CachePeers",
+]
+
+
+class PeerPayloadError(RuntimeError):
+    """A peer's cache payload failed its digest check (corruption/skew)."""
+
+
+def encode_cached_report(report) -> tuple[bytes, str]:
+    """Pickle *report* and compute the SHA-256 the fetcher will verify."""
+    body = pickle.dumps(report, protocol=pickle.HIGHEST_PROTOCOL)
+    return body, hashlib.sha256(body).hexdigest()
+
+
+def decode_cached_report(body: bytes, digest: str):
+    """Verify *body* against *digest* and unpickle it.
+
+    Raises:
+        PeerPayloadError: the received bytes do not hash to the digest the
+            peer computed — the payload was corrupted or tampered with in
+            transit and must not be served.
+    """
+    actual = hashlib.sha256(bytes(body)).hexdigest()
+    if actual != digest:
+        raise PeerPayloadError(
+            f"peer cache payload digest mismatch: announced {digest[:12]}…, "
+            f"received bytes hash to {actual[:12]}…"
+        )
+    return pickle.loads(bytes(body))
+
+
+class CachePeers:
+    """Blocking cache-peer client resolving peers from the live membership.
+
+    One instance is shared by a replica's :class:`SearchService`; its
+    :meth:`fetch` runs on the service's thread pool (plain sockets, every
+    step bounded by a timeout), so a slow peer delays one request, never
+    the event loop.
+
+    Args:
+        membership: the :class:`~repro.cluster.membership.ClusterMembership`
+            whose live peers are probed (concurrently; the first verified
+            hit wins).
+        connect_timeout: TCP connect budget per peer.
+        reply_timeout: per-peer budget for the probe round trip *excluding*
+            the in-flight wait.
+        inflight_wait: how long a peer may hold the probe while it finishes
+            computing the same fingerprint (the cluster-wide single-flight
+            window).  ``0`` disables waiting — only finished entries hit.
+        total_budget: hard ceiling on one ``fetch`` across all peers, so a
+            rack of slow peers cannot stall a request longer than this.
+            ``None`` (default) derives it from the other knobs —
+            ``max(10, reply_timeout + inflight_wait)`` — so a long
+            ``inflight_wait`` is never silently truncated by a default
+            budget; pass an explicit value to cap fetches harder (an
+            explicit cap wins over the wait).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(self, membership, *, connect_timeout: float = 1.0,
+                 reply_timeout: float = 5.0, inflight_wait: float = 2.0,
+                 total_budget: float | None = None, clock=time.monotonic):
+        self.membership = membership
+        self.connect_timeout = connect_timeout
+        self.reply_timeout = reply_timeout
+        self.inflight_wait = inflight_wait
+        if total_budget is None:
+            total_budget = max(10.0, reply_timeout + inflight_wait)
+        self.total_budget = total_budget
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+        self.hits = 0
+        self.misses = 0
+        self.mismatches = 0
+        self.errors = 0
+
+    def _count(self, field: str) -> None:
+        with self._lock:
+            setattr(self, field, getattr(self, field) + 1)
+
+    def _probe_one(self, address: str, key: str, budget: float):
+        """One peer probe; returns the report or None.  Raises nothing."""
+        from repro.service.executor import _parse_address
+
+        try:
+            host, port = _parse_address(address)
+            with socket.create_connection(
+                (host, port), timeout=min(self.connect_timeout, budget)
+            ) as sock:
+                sock.settimeout(
+                    min(self.reply_timeout + self.inflight_wait, budget)
+                )
+                send_frame(sock, ("cache-peek", key, self.inflight_wait))
+                reply = recv_frame(sock)
+        except (OSError, WireError, ValueError):
+            # Dead, hung, or incompatible peer: its gossip entry will age
+            # out; this request just moves on.
+            self._count("errors")
+            return None
+        if isinstance(reply, tuple) and reply and reply[0] == "cache-found":
+            try:
+                _, body, digest = reply
+                report = decode_cached_report(body, digest)
+            except Exception:
+                # Digest mismatch, a malformed reply tuple, or an unpickle
+                # failure from a version-skewed peer (AttributeError /
+                # ModuleNotFoundError for a class this build lacks) — the
+                # probe contract is "raises nothing", so all of it counts
+                # as a mismatch and the fetch moves on.
+                self._count("mismatches")
+                return None
+            self._count("hits")
+            return report
+        return None
+
+    def fetch(self, key: str | None, budget: float | None = None):
+        """The report for *key* from the first peer that has it, or ``None``.
+
+        Live peers are probed **concurrently** (first hit wins) within the
+        budget — a serial scan would charge every cache-missing request
+        one connect/round-trip per peer before local compute could start.
+        Slow losers are abandoned, not awaited: their sockets carry their
+        own timeouts, so the threads retire on their own.  ``None``
+        (uncacheable request) short-circuits.
+
+        ``budget`` tightens ``total_budget`` for this call.  Callers that
+        abandon the fetch at a deadline (the service charges the probe at
+        most half the request deadline) pass their share here, so the
+        probe threads self-terminate with their waiter instead of
+        lingering for the full default budget.
+        """
+        if key is None or self._closed:
+            return None
+        total = self.total_budget if budget is None \
+            else min(self.total_budget, budget)
+        peers = self.membership.peers()
+        if not peers:
+            self._count("misses")
+            return None
+        if len(peers) == 1:
+            report = self._probe_one(peers[0], key, total)
+            if report is None:
+                self._count("misses")
+            return report
+        pool = self._probes()
+        if pool is None:  # closed (or closing) — a plain miss
+            self._count("misses")
+            return None
+        try:
+            futures = [
+                pool.submit(self._probe_one, address, key, total)
+                for address in peers
+            ]
+        except RuntimeError:  # close() shut the pool under us
+            self._count("misses")
+            return None
+        try:
+            for future in as_completed(futures, timeout=total):
+                try:
+                    report = future.result()
+                except CancelledError:  # close() cancelled queued probes
+                    continue
+                if report is not None:
+                    return report
+        except FuturesTimeoutError:
+            pass
+        finally:
+            for future in futures:
+                future.cancel()  # free the slots of not-yet-started losers
+        self._count("misses")
+        return None
+
+    def _probes(self) -> ThreadPoolExecutor | None:
+        """The shared probe pool (lazy — never created for 0–1 peers).
+
+        One bounded pool per :class:`CachePeers` instead of per fetch:
+        the serving hot path must not pay thread creation per cache miss.
+        Abandoned losers keep their worker until their socket timeout
+        fires, so a burst against hung peers degrades to queued probes
+        that expire through ``as_completed``'s budget — never to unbounded
+        threads.  Returns ``None`` once :meth:`close` ran, so a fetch
+        racing the shutdown cannot resurrect a pool nothing will close.
+        """
+        with self._lock:
+            if self._closed:
+                return None
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=8, thread_name_prefix="repro-cache-peer"
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the probe pool down, permanently (idempotent; in-flight
+        probes are abandoned to their socket timeouts and later fetches
+        miss without touching the network)."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def stats(self) -> dict:
+        """``{hits, misses, mismatches, errors}`` for the status surface."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "mismatches": self.mismatches,
+                "errors": self.errors,
+            }

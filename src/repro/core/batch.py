@@ -143,7 +143,7 @@ def execute_batch_rows(
         )
         return kernels.success_and_guesses(block_probs, t, spec.block_size)
 
-    return kernels.sweep_row_slabs(sweep, b, policy.row_threads)
+    return kernels.sweep_row_slabs(sweep, b, policy.effective_row_threads)
 
 
 def run_partial_search_batch(
@@ -261,7 +261,7 @@ def _execute_rows_on_circuit_backend(
         def run_slab(sl: slice) -> np.ndarray:
             return program.run_multi_target(targets[sl], dtype=dtype)
 
-        parts = kernels.map_row_slabs(run_slab, b, policy.row_threads)
+        parts = kernels.map_row_slabs(run_slab, b, policy.effective_row_threads)
         final = parts[0] if len(parts) == 1 else np.concatenate(parts)
     else:  # "naive" — validate_backend already rejected everything else
         final = np.empty((b, 2 * spec.n_items), dtype=dtype)

@@ -358,4 +358,4 @@ def execute_simplified_batch_rows(
         block_probs = kernels.block_measurement_rows(a, n_blocks)
         return kernels.success_and_guesses(block_probs, t, spec.block_size)
 
-    return kernels.sweep_row_slabs(sweep, b, policy.row_threads)
+    return kernels.sweep_row_slabs(sweep, b, policy.effective_row_threads)

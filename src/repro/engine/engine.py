@@ -232,7 +232,7 @@ class SearchEngine:
             "n_blocks": request.n_blocks,
             "method": request.method,
             "epsilon": request.epsilon,
-            "policy": request.policy,
+            "policy": plan.policy,  # "auto" row_threads resolved by the plan
             "options": dict(request.options),
         }
         # One independent stream per *target*, spawned before sharding, so

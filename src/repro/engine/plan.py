@@ -139,6 +139,10 @@ def plan_shards(
         policy = ShardPolicy()
     if execution is None:
         execution = ExecutionPolicy()
+    # Pin row_threads="auto" to this host's concrete count here, once, so
+    # every shard of the batch — local or remote — runs at the same width
+    # and the plan's provenance records the resolved value.
+    execution = execution.resolve()
     row_bytes = state_row_bytes(backend, n_items, execution)
     rows = max(1, policy.max_bytes // row_bytes)
     if policy.max_rows is not None:
@@ -201,6 +205,7 @@ def run_grk_batch_sharded(
     plan = plan_shards(
         targets.size, schedule.spec.n_items, backend, policy, execution
     )
+    execution = plan.policy  # "auto" resolved by the planner
     tasks = [(schedule, targets[sl], backend, execution) for sl in plan.slices()]
     if executor is None:
         executor = default_executor()
@@ -246,6 +251,7 @@ def run_simplified_batch_sharded(
     plan = plan_shards(
         targets.size, schedule.spec.n_items, KERNEL_BACKEND, policy, execution
     )
+    execution = plan.policy  # "auto" resolved by the planner
     tasks = [(schedule, targets[sl], execution) for sl in plan.slices()]
     if executor is None:
         executor = default_executor()

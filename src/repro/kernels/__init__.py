@@ -23,7 +23,10 @@ implements oracle or diffusion math.
 from repro.kernels.policy import (
     COMPLEX64_SUCCESS_ATOL,
     DTYPE_NAMES,
+    MAX_AUTO_ROW_THREADS,
+    ROW_THREADS_AUTO,
     ExecutionPolicy,
+    auto_row_threads,
     row_slabs,
 )
 from repro.kernels.primitives import (
@@ -54,6 +57,9 @@ from repro.kernels.batched import (
 __all__ = [
     "COMPLEX64_SUCCESS_ATOL",
     "DTYPE_NAMES",
+    "ROW_THREADS_AUTO",
+    "MAX_AUTO_ROW_THREADS",
+    "auto_row_threads",
     "ExecutionPolicy",
     "row_slabs",
     "uniform_state",

@@ -33,6 +33,7 @@ run at the default.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,6 +41,9 @@ import numpy as np
 __all__ = [
     "DTYPE_NAMES",
     "COMPLEX64_SUCCESS_ATOL",
+    "ROW_THREADS_AUTO",
+    "MAX_AUTO_ROW_THREADS",
+    "auto_row_threads",
     "ExecutionPolicy",
     "row_slabs",
 ]
@@ -59,6 +63,29 @@ COMPLEX64_SUCCESS_ATOL = 1e-3
 _REAL = {"complex128": np.dtype(np.float64), "complex64": np.dtype(np.float32)}
 _COMPLEX = {"complex128": np.dtype(np.complex128), "complex64": np.dtype(np.complex64)}
 
+#: Sentinel ``row_threads`` value: resolve to a cpu-count-aware default.
+ROW_THREADS_AUTO = "auto"
+
+#: Ceiling on the resolved ``"auto"`` thread count.  The slab sweeps are
+#: memory-bandwidth bound (see module docstring): past a handful of cores
+#: they saturate the memory controllers and extra threads only add
+#: scheduling overhead, so "auto" never claims the whole socket.
+MAX_AUTO_ROW_THREADS = 8
+
+
+def auto_row_threads() -> int:
+    """The cpu-count-aware thread default ``row_threads="auto"`` resolves to.
+
+    Counts the cpus this *process* may actually run on (its affinity mask —
+    container quotas and ``taskset`` bind tighter than the machine's core
+    count) and caps at :data:`MAX_AUTO_ROW_THREADS`.
+    """
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux or restricted platform
+        cores = os.cpu_count() or 1
+    return max(1, min(cores, MAX_AUTO_ROW_THREADS))
+
 
 @dataclass(frozen=True)
 class ExecutionPolicy:
@@ -68,20 +95,28 @@ class ExecutionPolicy:
         dtype: logical amplitude precision, ``"complex128"`` (default) or
             ``"complex64"`` (half the memory, tolerance-validated results).
         row_threads: number of contiguous row slabs independent batch rows
-            are fanned across (``1`` = the plain serial sweep).  Results are
+            are fanned across (``1`` = the plain serial sweep), or the
+            string ``"auto"`` for a cpu-count-aware default
+            (:func:`auto_row_threads`; the planner resolves it before
+            shards ship, so workers receive a concrete count).  Results are
             bit-identical for any value — rows never interact.
     """
 
     dtype: str = "complex128"
-    row_threads: int = 1
+    row_threads: int | str = 1
 
     def __post_init__(self):
         if self.dtype not in DTYPE_NAMES:
             raise ValueError(
                 f"dtype={self.dtype!r} must be one of {', '.join(DTYPE_NAMES)}"
             )
-        if not isinstance(self.row_threads, int) or self.row_threads < 1:
-            raise ValueError(f"row_threads={self.row_threads!r} must be an int >= 1")
+        if self.row_threads != ROW_THREADS_AUTO and (
+            not isinstance(self.row_threads, int) or self.row_threads < 1
+        ):
+            raise ValueError(
+                f"row_threads={self.row_threads!r} must be an int >= 1 "
+                f"or {ROW_THREADS_AUTO!r}"
+            )
 
     @property
     def real_dtype(self) -> np.dtype:
@@ -102,6 +137,25 @@ class ExecutionPolicy:
     def is_default(self) -> bool:
         """True for the stock policy (complex128, single-threaded rows)."""
         return self.dtype == "complex128" and self.row_threads == 1
+
+    @property
+    def effective_row_threads(self) -> int:
+        """The concrete thread count (``"auto"`` resolved on this host)."""
+        if self.row_threads == ROW_THREADS_AUTO:
+            return auto_row_threads()
+        return self.row_threads
+
+    def resolve(self) -> "ExecutionPolicy":
+        """This policy with ``row_threads="auto"`` pinned to a concrete int.
+
+        The planner resolves once, on the driver, before tasks are built —
+        so every shard of a batch runs at the same width whatever host it
+        lands on, and the provenance records the count that actually ran.
+        """
+        if self.row_threads == ROW_THREADS_AUTO:
+            return ExecutionPolicy(dtype=self.dtype,
+                                   row_threads=auto_row_threads())
+        return self
 
     def describe(self) -> dict:
         """Provenance record merged into execution metadata."""

@@ -22,9 +22,16 @@ Two layers grow the single-machine engine into a serving system:
    fingerprint, exposed over TCP by :class:`SearchServer` and driven by the
    ``repro serve`` / ``repro submit`` CLI (:mod:`repro.service.cli`).
 
+Above both sits :mod:`repro.cluster`: gossip membership that federates
+several ``repro serve`` replicas (``--join``), cache peering between their
+TTL caches, and cluster-wide scheduling over every member's registered
+workers.
+
 Trust model: frames carry pickled payloads, so workers and servers must only
 be exposed to trusted hosts (a cluster-internal network), never the open
-internet.  The wire format is versioned — see :data:`repro.service.wire.WIRE_VERSION`.
+internet.  The wire format is versioned and negotiates across one version of
+skew — see :data:`repro.service.wire.WIRE_VERSION` and
+:data:`repro.service.wire.MIN_WIRE_VERSION`.
 """
 
 from repro.service.cache import TTLCache, request_fingerprint
@@ -38,9 +45,14 @@ from repro.service.executor import (
 )
 from repro.service.registry import WorkerRegistry
 from repro.service.scheduler import SearchService, ServiceOverloaded, ServiceStats
-from repro.service.server import SearchServer, submit_remote
+from repro.service.server import SearchServer, cluster_status, submit_remote
 from repro.service.worker import WorkerServer, register_with_server
-from repro.service.wire import WIRE_VERSION, ConnectionClosed, WireError
+from repro.service.wire import (
+    MIN_WIRE_VERSION,
+    WIRE_VERSION,
+    ConnectionClosed,
+    WireError,
+)
 
 __all__ = [
     "TTLCache",
@@ -57,9 +69,11 @@ __all__ = [
     "ServiceStats",
     "SearchServer",
     "submit_remote",
+    "cluster_status",
     "WorkerServer",
     "register_with_server",
     "WIRE_VERSION",
+    "MIN_WIRE_VERSION",
     "WireError",
     "ConnectionClosed",
 ]

@@ -59,8 +59,23 @@ def request_fingerprint(request, targets=None) -> str | None:
     """
     if isinstance(request.rng, np.random.Generator):
         return None
+    dtype = request.policy.dtype
+    try:
+        from repro.engine.registry import get_method
+
+        # Methods that ignore the ExecutionPolicy have it normalised away
+        # by the engine before execution (engine.py), so a complex64
+        # request and a complex128 request produce the identical run —
+        # fingerprint them identically too, or provably equal requests
+        # would split the cache and defeat coalescing/peering.  Unknown
+        # methods fall back to the raw dtype (the engine would reject the
+        # request anyway).
+        if not get_method(request.method).honours_policy:
+            dtype = "complex128"
+    except Exception:
+        pass
     parts = [
-        "fingerprint-v2",
+        "fingerprint-v3",
         f"n_items={request.n_items}",
         f"n_blocks={request.n_blocks}",
         f"method={request.method}",
@@ -71,8 +86,9 @@ def request_fingerprint(request, targets=None) -> str | None:
         f"rng={request.rng!r}",
         # Only the dtype is structural: row_threads (like the shard policy)
         # is bit-invisible in the output, but complex64 results genuinely
-        # differ from complex128 and must not share a cache entry.
-        f"dtype={request.policy.dtype}",
+        # differ from complex128 and must not share a cache entry —
+        # except for policy-blind methods, normalised above.
+        f"dtype={dtype}",
         f"options={_stable(dict(request.options))}",
         "targets=<all>" if targets is None else f"targets={_stable(np.asarray(targets))}",
     ]
@@ -141,6 +157,27 @@ class TTLCache:
                 return default
             self._entries.move_to_end(key)
             self.hits += 1
+            return value
+
+    def peek(self, key: str | None, default=None):
+        """Like :meth:`get`, but invisible: no LRU promotion, no counters.
+
+        Cache *peering* (:mod:`repro.cluster.peering`) probes this replica
+        on behalf of a remote one; those probes must not distort the local
+        hit/miss statistics or keep entries alive that local traffic has
+        stopped touching.  Expired entries still miss (but are left for the
+        next mutating operation to purge).
+        """
+        if key is None or self.maxsize == 0:
+            return default
+        now = self._clock()
+        with self._lock:
+            entry = self._entries.get(key, _MISSING)
+            if entry is _MISSING:
+                return default
+            stamp, value = entry
+            if now - stamp >= self.ttl:
+                return default
             return value
 
     def put(self, key: str | None, value) -> None:

@@ -2,10 +2,11 @@
 
 Subcommands::
 
-    repro serve    # run the async SearchService behind a TCP endpoint
-    repro submit   # send one request to a running server, print the report
-    repro worker   # run a shard-execution worker (alias of repro-worker)
-    repro methods  # list the method registry (name, backends, description)
+    repro serve           # run the async SearchService behind a TCP endpoint
+    repro submit          # send one request to a running server, print the report
+    repro worker          # run a shard-execution worker (alias of repro-worker)
+    repro methods         # list the method registry (name, backends, description)
+    repro cluster status  # print a replica's membership/peering/fleet status
 
 Two-host quickstart (see README "Serving & distribution"): start the
 server, then start ``repro-worker --register server:port`` on each compute
@@ -13,6 +14,12 @@ host — workers announce themselves, the server health-checks them with the
 wire's ``ping``, and batched searches fan their shards out over TCP with no
 static wiring.  (``--remote-worker host:port`` on the server still works
 for fixed fleets.)  Clients talk to the server with ``repro submit``.
+
+Cluster quickstart (README "Cluster"): start several replicas with
+``repro serve --join`` pointing at each other (or at any shared seed) —
+gossip membership federates them, cache entries are served across replicas
+by structural fingerprint, and a worker registered to *any* replica
+executes shards for *all* of them.
 """
 
 from __future__ import annotations
@@ -23,6 +30,18 @@ import json
 import sys
 
 __all__ = ["main"]
+
+
+def _row_threads_arg(value: str):
+    """argparse type for ``--row-threads``: an int >= 1 or ``'auto'``."""
+    if value == "auto":
+        return value
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer or 'auto', got {value!r}"
+        ) from None
 
 
 def _add_serve(sub: argparse._SubParsersAction) -> None:
@@ -53,6 +72,28 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--health-interval", type=float, default=10.0,
                    help="seconds between health-check sweeps of "
                         "auto-registered workers")
+    p.add_argument("--join", action="append", default=[],
+                   metavar="HOST:PORT",
+                   help="seed address of a sibling repro serve replica; "
+                        "repeat for more seeds.  Enables cluster mode: "
+                        "gossip membership, cache peering by request "
+                        "fingerprint, and cluster-wide worker scheduling.  "
+                        "A seed that is not up yet is retried every gossip "
+                        "round, so replicas may point at each other and "
+                        "boot in any order")
+    p.add_argument("--cluster-advertise", default=None, metavar="HOST:PORT",
+                   help="address sibling replicas should dial this one at "
+                        "(default: the bound host:port; set it when binding "
+                        "0.0.0.0 or behind NAT)")
+    p.add_argument("--gossip-interval", type=float, default=2.0,
+                   help="seconds between gossip rounds (cluster mode)")
+    p.add_argument("--suspicion-timeout", type=float, default=30.0,
+                   help="seconds without a heartbeat before a cluster "
+                        "member is declared dead and dropped")
+    p.add_argument("--peer-wait", type=float, default=2.0,
+                   help="seconds a cache-peering probe may wait on a peer "
+                        "that is mid-computing the same request "
+                        "(cluster-wide single-flight window; 0 disables)")
 
 
 def _add_submit(sub: argparse._SubParsersAction) -> None:
@@ -75,8 +116,9 @@ def _add_submit(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--dtype", default=None, choices=["complex128", "complex64"],
                    help="amplitude precision (complex64 halves shard memory "
                         "at the documented tolerance)")
-    p.add_argument("--row-threads", type=int, default=None,
-                   help="threads across independent batch rows (results "
+    p.add_argument("--row-threads", type=_row_threads_arg, default=None,
+                   help="threads across independent batch rows: an integer "
+                        "or 'auto' for a cpu-count-aware default (results "
                         "are bit-identical for any value)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-request deadline override in seconds")
@@ -101,6 +143,18 @@ def _add_methods(sub: argparse._SubParsersAction) -> None:
     sub.add_parser("methods", help="list the registered search methods")
 
 
+def _add_cluster(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("cluster", help="inspect a clustered repro serve")
+    csub = p.add_subparsers(dest="cluster_command", required=True)
+    status = csub.add_parser(
+        "status",
+        help="print a replica's membership table, cluster-wide worker "
+             "fleet, and cache-peering counters as JSON",
+    )
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, default=None)
+
+
 def _cmd_serve(args) -> int:
     import logging
 
@@ -111,7 +165,36 @@ def _cmd_serve(args) -> int:
     logging.basicConfig(level=logging.INFO,
                         format="%(asctime)s %(name)s %(levelname)s %(message)s")
     registry = None
-    if args.remote_worker:
+    cluster = None
+    peering = None
+    if args.join and args.remote_worker:
+        print("repro serve: --join (cluster mode) and --remote-worker "
+              "(static fleet) are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.join:
+        # Cluster mode: gossip membership + cache peering + cluster-wide
+        # scheduling over every member's registered workers.
+        from repro.cluster import (
+            CachePeers,
+            ClusterCoordinator,
+            ClusterExecutor,
+            ClusterMembership,
+        )
+        from repro.service.registry import WorkerRegistry
+
+        registry = WorkerRegistry()
+        membership = ClusterMembership(
+            args.cluster_advertise, seeds=args.join,
+            suspicion_timeout=args.suspicion_timeout,
+        )
+        cluster = ClusterCoordinator(
+            membership, gossip_interval=args.gossip_interval
+        )
+        # CachePeers derives its total budget from the wait, so a long
+        # --peer-wait is honoured rather than truncated.
+        peering = CachePeers(membership, inflight_wait=args.peer_wait)
+        executor = ClusterExecutor(membership, registry)
+    elif args.remote_worker:
         from repro.service.executor import RemoteExecutor
 
         executor = RemoteExecutor(
@@ -135,6 +218,7 @@ def _cmd_serve(args) -> int:
             request_timeout=args.request_timeout,
             cache_size=args.cache_size,
             cache_ttl=args.cache_ttl,
+            peering=peering,
         ) as service:
             server = SearchServer(
                 service,
@@ -142,6 +226,7 @@ def _cmd_serve(args) -> int:
                 DEFAULT_PORT if args.port is None else args.port,
                 registry=registry,
                 health_interval=args.health_interval,
+                cluster=cluster,
             )
             await server.start()
             print(f"repro serve ready on {server.address[0]}:"
@@ -193,7 +278,7 @@ def _cmd_submit(args) -> int:
 
     policy = ExecutionPolicy(
         dtype=args.dtype or "complex128",
-        row_threads=args.row_threads or 1,
+        row_threads=1 if args.row_threads is None else args.row_threads,
     )
     request = SearchRequest(
         n_items=args.n_items,
@@ -246,11 +331,21 @@ def _cmd_methods(_args) -> int:
     return 0
 
 
+def _cmd_cluster(args) -> int:
+    from repro.service.server import DEFAULT_PORT, cluster_status
+
+    address = (args.host, DEFAULT_PORT if args.port is None else args.port)
+    json.dump(cluster_status(address), sys.stdout, indent=2)
+    print()
+    return 0
+
+
 _COMMANDS = {
     "serve": _cmd_serve,
     "submit": _cmd_submit,
     "worker": _cmd_worker,
     "methods": _cmd_methods,
+    "cluster": _cmd_cluster,
 }
 
 
@@ -264,6 +359,7 @@ def main(argv=None) -> int:
     _add_submit(sub)
     _add_worker(sub)
     _add_methods(sub)
+    _add_cluster(sub)
     args = parser.parse_args(argv)
     return _COMMANDS[args.command](args)
 

@@ -355,8 +355,18 @@ class RegistryExecutor(ShardExecutor):
         #: Stats of the most recent run (addresses used, fallback flag).
         self.last_run: dict = {}
 
+    def _resolve_addresses(self, tasks: list) -> list[str]:
+        """The worker fleet for this run — the seam subclasses override
+        (e.g. :class:`repro.cluster.ClusterExecutor` ranks the gossiped
+        cluster-wide fleet here)."""
+        return self.registry.snapshot()
+
     def run_shards(self, func, tasks, *, workers: int = 1) -> list:
-        addresses = self.registry.snapshot()
+        tasks = list(tasks)
+        # One lane per shard is the useful maximum: extra lanes would only
+        # hold idle connections (and, for ranked fleets, trimming from the
+        # tail keeps the lanes on the best-ranked workers).
+        addresses = self._resolve_addresses(tasks)[: max(1, len(tasks))]
         if not addresses:
             self.last_run = {"addresses": [], "local": True}
             return self._local.run_shards(func, tasks, workers=workers)

@@ -70,6 +70,29 @@ class WorkerRegistry:
                 return True
             return False
 
+    def remove_if_stale(self, address: str, cutoff: float) -> bool:
+        """Evict *address* only if it has not re-announced since *cutoff*.
+
+        Health sweeps are slow relative to registrations: the sweep
+        snapshots the membership, pings every worker (seconds), and only
+        then evicts the failures.  A worker that re-registers *during* that
+        window — typically one that just restarted, so the ping hit its dead
+        predecessor — must not be evicted on the stale probe result.  The
+        sweep therefore passes its start time as *cutoff* and the eviction
+        is skipped whenever the registration stamp is newer.
+
+        Returns True when the address was actually removed.
+        """
+        with self._lock:
+            meta = self._workers.get(address)
+            if meta is None:
+                return False
+            if meta["last_seen"] > cutoff or meta["registered_at"] > cutoff:
+                return False  # re-announced mid-sweep: the probe was stale
+            del self._workers[address]
+            self.evictions += 1
+            return True
+
     def mark_alive(self, address: str) -> None:
         """Refresh the liveness stamp after a successful ping."""
         now = time.monotonic()

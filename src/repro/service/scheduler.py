@@ -35,11 +35,14 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import logging
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from threading import Lock
 
 __all__ = ["SearchService", "ServiceOverloaded", "ServiceStats"]
+
+log = logging.getLogger("repro.service.scheduler")
 
 
 class ServiceOverloaded(RuntimeError):
@@ -56,6 +59,8 @@ class ServiceStats:
     rejected: int = 0
     timeouts: int = 0
     cache_hits: int = 0
+    peer_hits: int = 0
+    peer_misses: int = 0
     coalesced: int = 0
     in_flight: int = 0
     cache: dict = field(default_factory=dict)
@@ -68,6 +73,8 @@ class ServiceStats:
             "rejected": self.rejected,
             "timeouts": self.timeouts,
             "cache_hits": self.cache_hits,
+            "peer_hits": self.peer_hits,
+            "peer_misses": self.peer_misses,
             "coalesced": self.coalesced,
             "in_flight": self.in_flight,
             "cache": dict(self.cache),
@@ -86,6 +93,11 @@ class SearchService:
         request_timeout: default per-request deadline in seconds.
         cache_size: TTL-cache entry bound (``0`` disables caching).
         cache_ttl: seconds a cached report stays servable.
+        peering: optional :class:`~repro.cluster.peering.CachePeers` —
+            when set, a local cache miss consults the cluster's sibling
+            replicas (keyed by the same structural fingerprint) before
+            computing; every peering failure mode falls back to local
+            compute.
 
     Use as an async context manager (or call :meth:`close`) so the worker
     pool shuts down deterministically.
@@ -100,6 +112,7 @@ class SearchService:
         request_timeout: float = 60.0,
         cache_size: int = 256,
         cache_ttl: float = 300.0,
+        peering=None,
     ):
         from repro.engine import SearchEngine
         from repro.service.cache import TTLCache
@@ -114,8 +127,14 @@ class SearchService:
         self.max_pending = max_pending
         self.request_timeout = request_timeout
         self.cache = TTLCache(maxsize=cache_size, ttl=cache_ttl)
+        self.peering = peering
         self.stats = ServiceStats()
         self._inflight_jobs: dict[str, asyncio.Future] = {}
+        # Keys whose engine execution has actually *started* (not merely
+        # probing peers).  Only these are exposed to cluster cache-peeks:
+        # two replicas probing each other for the same fresh key must each
+        # get a fast miss, not hold each other's probes.
+        self._computing: set[str] = set()
         self._admission = Lock()
         self._slots = asyncio.Semaphore(max_workers)
         self._pool = ThreadPoolExecutor(
@@ -131,10 +150,12 @@ class SearchService:
         self.close()
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool (and the peering client) down (idempotent)."""
         if not self._closed:
             self._closed = True
             self._pool.shutdown(wait=True, cancel_futures=True)
+            if self.peering is not None and hasattr(self.peering, "close"):
+                self.peering.close()
 
     # -------------------------------------------------------------- serving
     def _admit(self) -> None:
@@ -229,6 +250,42 @@ class SearchService:
                 promise = loop.create_future()
                 self._inflight_jobs[key] = promise
             try:
+                # Cache peering: before spending a worker slot, ask the
+                # cluster's sibling replicas for this fingerprint.  The
+                # promise is already registered, so concurrent identical
+                # locals coalesce onto this fetch too.  The probe is capped
+                # at *half* the remaining deadline — peering is an
+                # optimisation, never a correctness dependency, so a hung
+                # peer must cost a bounded wait and a local compute with
+                # real deadline left, not a failed request.  The time the
+                # probe does spend is charged against the deadline (no
+                # doubling); any failure degrades to local compute.
+                if promise is not None and self.peering is not None:
+                    started = loop.time()
+                    share = deadline / 2
+                    fetched = None
+                    try:
+                        # The share is passed INTO the fetch (its budget)
+                        # so the probe threads self-terminate with their
+                        # waiter; the wait_for is only a backstop.
+                        fetched = await asyncio.wait_for(
+                            asyncio.to_thread(self.peering.fetch, key, share),
+                            share + 1.0,
+                        )
+                    except (asyncio.TimeoutError, TimeoutError):
+                        pass  # probe overran its share: a peer miss
+                    except Exception:
+                        log.exception("cache peering failed; computing locally")
+                    if fetched is not None:
+                        self.stats.peer_hits += 1
+                        promise.set_result(fetched)
+                        self.cache.put(key, fetched)
+                        self.stats.completed += 1
+                        return fetched
+                    self.stats.peer_misses += 1
+                    deadline = max(0.001, deadline - (loop.time() - started))
+                if key is not None:
+                    self._computing.add(key)
                 await self._slots.acquire()
                 slot_held = True
                 try:
@@ -269,6 +326,7 @@ class SearchService:
             finally:
                 if key is not None:
                     self._inflight_jobs.pop(key, None)
+                    self._computing.discard(key)
                 if promise is not None and not promise.done():
                     promise.cancel()  # primary cancelled mid-run
             self.cache.put(key, result)
@@ -291,6 +349,21 @@ class SearchService:
             loop.call_soon_threadsafe(self._slots.release)
         except RuntimeError:
             pass  # loop already closed: the service is shutting down
+
+    def inflight_future(self, key: str | None) -> asyncio.Future | None:
+        """The in-flight future for *key*, if its *execution* started here.
+
+        The cluster cache-peek handler awaits this (bounded) to extend
+        single-flight coalescing across replicas: a peer probing a key this
+        service is mid-computing gets the finished report instead of a
+        miss.  Keys that are admitted but still probing *their own* peers
+        return ``None`` — otherwise two replicas missing the same key at
+        once would hold each other's probes and both stall for the full
+        peer-wait before computing anyway.
+        """
+        if key is None or key not in self._computing:
+            return None
+        return self._inflight_jobs.get(key)
 
     def stats_snapshot(self) -> dict:
         """Counters plus current cache occupancy."""

@@ -14,7 +14,15 @@ protocol and read one frame back:
 - ``("register", "host:port")`` -> ``("registered", {"workers": [...]})`` —
   a ``repro-worker`` announcing itself for shard dispatch (servers started
   without a :class:`~repro.service.registry.WorkerRegistry` answer
-  ``("error", ...)``).
+  ``("error", ...)``);
+- ``("gossip", sender, table)`` / ``("cache-peek", key, wait_s)`` /
+  ``("cluster-status",)`` — the cluster messages (wire v3), routed to the
+  attached :class:`~repro.cluster.ClusterCoordinator`; servers started
+  without one answer ``("error", ...)``.
+
+Replies are sent **at the version each request arrived in** (see the
+negotiation rule in :mod:`repro.service.wire`), so a v2 client keeps
+working against a v3 server.
 
 Registered workers are **health-checked**: a background loop pings each one
 (the worker protocol's existing ``("ping",)`` message) every
@@ -31,18 +39,21 @@ from __future__ import annotations
 import asyncio
 import logging
 import socket
+import time
 
 from repro.service.scheduler import SearchService, ServiceOverloaded
 from repro.service.wire import (
+    MIN_WIRE_VERSION,
     ConnectionClosed,
     WireError,
     recv_frame,
     recv_frame_async,
+    recv_frame_async_ex,
     send_frame,
     send_frame_async,
 )
 
-__all__ = ["SearchServer", "submit_remote", "server_stats"]
+__all__ = ["SearchServer", "submit_remote", "server_stats", "cluster_status"]
 
 log = logging.getLogger("repro.service.server")
 
@@ -60,17 +71,23 @@ class SearchServer:
             loop keeps the membership live.
         health_interval: seconds between health-check sweeps.
         health_timeout: per-worker ping deadline within a sweep.
+        cluster: optional :class:`~repro.cluster.ClusterCoordinator`; when
+            given, the server joins its gossip membership at start and
+            routes the cluster messages (``gossip`` / ``cache-peek`` /
+            ``cluster-status``) to it.
     """
 
     def __init__(self, service: SearchService, host: str = "127.0.0.1",
                  port: int = 0, *, registry=None,
-                 health_interval: float = 10.0, health_timeout: float = 3.0):
+                 health_interval: float = 10.0, health_timeout: float = 3.0,
+                 cluster=None):
         self.service = service
         self.host = host
         self.port = port
         self.registry = registry
         self.health_interval = health_interval
         self.health_timeout = health_timeout
+        self.cluster = cluster
         self._server: asyncio.AbstractServer | None = None
         self._health_task: asyncio.Task | None = None
 
@@ -87,10 +104,20 @@ class SearchServer:
         )
         if self.registry is not None:
             self._health_task = asyncio.create_task(self._health_loop())
+        if self.cluster is not None:
+            # Bind the advertised address now that the port is known (an
+            # address set earlier — --cluster-advertise — wins) and start
+            # the gossip loop.
+            host, port = self.address
+            self.cluster.attach(f"{host}:{port}", registry=self.registry,
+                                service=self.service)
+            await self.cluster.start()
         log.info("repro serve listening on %s:%d", *self.address)
         return self
 
     async def stop(self) -> None:
+        if self.cluster is not None:
+            await self.cluster.stop()
         if self._health_task is not None:
             self._health_task.cancel()
             try:
@@ -145,6 +172,10 @@ class SearchServer:
         """
         if self.registry is None:
             return
+        # Sweep start time: a worker that re-registers while the (slow)
+        # pings run must not be evicted on the stale probe result — the
+        # probe answered for its dead predecessor, not the fresh process.
+        cutoff = time.monotonic()
         addresses = self.registry.snapshot()
         alive = await asyncio.gather(
             *(self._ping_worker(a) for a in addresses)
@@ -152,9 +183,11 @@ class SearchServer:
         for address, ok in zip(addresses, alive):
             if ok:
                 self.registry.mark_alive(address)
+            elif self.registry.remove_if_stale(address, cutoff):
+                log.warning("worker %s failed its health check; evicted", address)
             else:
-                log.warning("worker %s failed its health check; evicting", address)
-                self.registry.remove(address)
+                log.info("worker %s failed its health check but re-announced "
+                         "mid-sweep; kept", address)
 
     async def _health_loop(self) -> None:
         while True:
@@ -173,13 +206,21 @@ class SearchServer:
         try:
             while True:
                 try:
-                    message = await recv_frame_async(reader)
+                    message, version = await recv_frame_async_ex(reader)
                 except ConnectionClosed:
                     return
                 except WireError as exc:
-                    await send_frame_async(writer, ("error", str(exc)))
+                    # The offending frame's version is unknown here, so
+                    # reply at MIN_WIRE_VERSION — the one version every
+                    # supported peer (v2 exact-match or v3 range) decodes.
+                    await send_frame_async(writer, ("error", str(exc)),
+                                           version=MIN_WIRE_VERSION)
                     return
-                await send_frame_async(writer, await self._dispatch(message))
+                # Negotiation: answer at the version the request arrived
+                # in, so a v2 dialer keeps decoding a v3 server's replies.
+                await send_frame_async(
+                    writer, await self._dispatch(message), version=version
+                )
         except (OSError, ConnectionResetError):
             return
         finally:
@@ -199,7 +240,14 @@ class SearchServer:
             stats = self.service.stats_snapshot()
             if self.registry is not None:
                 stats["worker_registry"] = self.registry.stats()
+            if self.cluster is not None:
+                stats["cluster"] = self.cluster.status()
             return ("stats", stats)
+        if kind in ("gossip", "cache-peek", "cluster-status"):
+            if self.cluster is None:
+                return ("error", "this server is not part of a cluster "
+                                 "(start it with repro serve --join)")
+            return await self.cluster.dispatch(message)
         if kind == "register":
             from repro.service.executor import _parse_address
 
@@ -288,4 +336,20 @@ def server_stats(address: tuple[str, int], *, connect_timeout: float = 5.0) -> d
     )
     if not (isinstance(reply, tuple) and reply and reply[0] == "stats"):
         raise RuntimeError(f"unexpected stats reply: {reply!r}")
+    return reply[1]
+
+
+def cluster_status(address: tuple[str, int], *, connect_timeout: float = 5.0) -> dict:
+    """Fetch a clustered replica's membership/peering status.
+
+    Raises ``RuntimeError`` when the server is not running in cluster mode
+    (started without ``--join``).
+    """
+    reply = _roundtrip(
+        address, ("cluster-status",),
+        connect_timeout=connect_timeout, reply_timeout=30.0,
+    )
+    if not (isinstance(reply, tuple) and reply and reply[0] == "cluster-status"):
+        detail = reply[1] if isinstance(reply, tuple) and len(reply) > 1 else reply
+        raise RuntimeError(f"cluster status unavailable: {detail!r}")
     return reply[1]

@@ -14,8 +14,17 @@ on the *first* message rather than by a mid-stream unpickling crash.
 message types are fine (unknown types get an ``("error", ...)`` reply),
 but changed header layout, changed payload encoding, or changed semantics
 of an existing message type are not — MUST bump :data:`WIRE_VERSION`.
-Peers reject frames whose version differs from their own; there is no
-cross-version negotiation (redeploy workers and servers together).
+
+**Negotiation rule (since v3):** a receiver accepts any frame whose version
+lies in ``[MIN_WIRE_VERSION, WIRE_VERSION]``, and an *acceptor* (server,
+worker, cluster peer) answers each request **at the version the request
+arrived in** (:func:`recv_frame_ex` exposes it; :func:`send_frame` takes
+``version=``), so an old dialer keeps decoding the replies.  A dialer sends
+at its own :data:`WIRE_VERSION` by default, which an older acceptor rejects
+— hence the cluster upgrade order: **acceptors first, dialers second**
+(upgrade servers/workers before the clients and drivers that dial them).
+A new dialer that must talk to a legacy fleet mid-upgrade can pin
+``version=2`` explicitly for the legacy message types.
 
 Payloads are pickles: compact, and numpy generators/arrays round-trip with
 bit-exact state, which is what keeps remote shard execution bit-identical
@@ -32,8 +41,15 @@ Version history
   dtype + row threads) that workers must honour; a v1 worker would unpack
   the shard task tuple wrong, so the version bumps even though the frame
   layout is unchanged.  Also adds the ``register`` message (workers
-  announce themselves to a server; see :mod:`repro.service.server`) — new
-  message types alone would not need a bump.
+  announce themselves to a server; see :mod:`repro.service.server`).
+- **v3** — cross-version negotiation: receivers accept the whole
+  ``[MIN_WIRE_VERSION, WIRE_VERSION]`` range instead of exact equality,
+  and acceptors echo the requester's version in replies.  That semantic
+  change to frame acceptance is itself the bump.  v3 peers additionally
+  speak the cluster messages (``gossip``/``cache-peek``/``cluster-status``,
+  see :mod:`repro.cluster`), which v2 servers answer with ``("error", ...)``
+  as the rule above allows.  v1 peers remain rejected:
+  :data:`MIN_WIRE_VERSION` is 2.
 """
 
 from __future__ import annotations
@@ -46,17 +62,24 @@ import struct
 
 __all__ = [
     "WIRE_VERSION",
+    "MIN_WIRE_VERSION",
     "MAX_FRAME_BYTES",
     "WireError",
     "ConnectionClosed",
     "send_frame",
     "recv_frame",
+    "recv_frame_ex",
     "send_frame_async",
     "recv_frame_async",
+    "recv_frame_async_ex",
 ]
 
 #: Protocol version — bump on any incompatible change (see module docstring).
-WIRE_VERSION = 2
+WIRE_VERSION = 3
+
+#: Oldest peer version this build still decodes (and will answer in kind).
+#: v1 frames predate the ExecutionPolicy shard payload and are rejected.
+MIN_WIRE_VERSION = 2
 
 #: Frame magic: identifies the stream as the repro shard protocol.
 MAGIC = b"RPRO"
@@ -77,27 +100,39 @@ class ConnectionClosed(WireError):
     """The peer closed the stream (mid-frame or between frames)."""
 
 
-def _encode(payload: object) -> bytes:
+def _check_version(version: int | None) -> int:
+    if version is None:
+        return WIRE_VERSION
+    if not MIN_WIRE_VERSION <= version <= WIRE_VERSION:
+        raise ValueError(
+            f"cannot speak wire version {version}: this build supports "
+            f"v{MIN_WIRE_VERSION}..v{WIRE_VERSION}"
+        )
+    return version
+
+
+def _encode(payload: object, version: int | None = None) -> bytes:
     body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
     if len(body) > MAX_FRAME_BYTES:
         raise WireError(f"frame payload of {len(body)} bytes exceeds the "
                         f"{MAX_FRAME_BYTES}-byte bound")
-    return _HEADER.pack(MAGIC, WIRE_VERSION, len(body)) + body
+    return _HEADER.pack(MAGIC, _check_version(version), len(body)) + body
 
 
-def _check_header(header: bytes) -> int:
+def _check_header(header: bytes) -> tuple[int, int]:
     magic, version, length = _HEADER.unpack(header)
     if magic != MAGIC:
         raise WireError(f"bad frame magic {magic!r} (not a repro peer?)")
-    if version != WIRE_VERSION:
+    if not MIN_WIRE_VERSION <= version <= WIRE_VERSION:
         raise WireError(
             f"wire version mismatch: peer speaks v{version}, this process "
-            f"speaks v{WIRE_VERSION} (redeploy so both ends match)"
+            f"speaks v{MIN_WIRE_VERSION}..v{WIRE_VERSION} (upgrade the "
+            f"older end; acceptors before dialers)"
         )
     if length > MAX_FRAME_BYTES:
         raise WireError(f"frame announces {length} bytes, above the "
                         f"{MAX_FRAME_BYTES}-byte bound")
-    return length
+    return version, length
 
 
 def _decode(body: bytes) -> object:
@@ -106,9 +141,15 @@ def _decode(body: bytes) -> object:
 
 # ------------------------------------------------------------- blocking I/O
 
-def send_frame(sock: socket.socket, payload: object) -> None:
-    """Serialise *payload* and write one frame to a blocking socket."""
-    sock.sendall(_encode(payload))
+def send_frame(sock: socket.socket, payload: object,
+               *, version: int | None = None) -> None:
+    """Serialise *payload* and write one frame to a blocking socket.
+
+    ``version`` pins the frame's announced wire version (``None`` = this
+    build's :data:`WIRE_VERSION`); acceptors pass the version the request
+    arrived in so old dialers can decode the reply.
+    """
+    sock.sendall(_encode(payload, version))
 
 
 def _recv_exact(sock: socket.socket, n: int) -> bytes:
@@ -125,30 +166,46 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
     return buf.getvalue()
 
 
-def recv_frame(sock: socket.socket) -> object:
-    """Read one frame from a blocking socket and return its payload.
+def recv_frame_ex(sock: socket.socket) -> tuple[object, int]:
+    """Read one frame from a blocking socket: ``(payload, frame_version)``.
+
+    The version is what the *peer* announced (within the supported range) —
+    acceptors reply at this version so both ends of a mixed-version pair
+    keep decoding each other.
 
     Raises:
         ConnectionClosed: the peer hung up (cleanly or mid-frame).
-        WireError: bad magic, version mismatch, or oversized frame.
+        WireError: bad magic, unsupported version, or oversized frame.
     """
-    length = _check_header(_recv_exact(sock, _HEADER.size))
-    return _decode(_recv_exact(sock, length))
+    version, length = _check_header(_recv_exact(sock, _HEADER.size))
+    return _decode(_recv_exact(sock, length)), version
+
+
+def recv_frame(sock: socket.socket) -> object:
+    """Read one frame from a blocking socket and return its payload."""
+    return recv_frame_ex(sock)[0]
 
 
 # -------------------------------------------------------------- asyncio I/O
 
-async def send_frame_async(writer: asyncio.StreamWriter, payload: object) -> None:
+async def send_frame_async(writer: asyncio.StreamWriter, payload: object,
+                           *, version: int | None = None) -> None:
     """Write one frame to an asyncio stream and drain."""
-    writer.write(_encode(payload))
+    writer.write(_encode(payload, version))
     await writer.drain()
+
+
+async def recv_frame_async_ex(reader: asyncio.StreamReader) -> tuple[object, int]:
+    """Read one frame from an asyncio stream: ``(payload, frame_version)``."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+        version, length = _check_header(header)
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ConnectionClosed("peer closed the connection mid-frame") from exc
+    return _decode(body), version
 
 
 async def recv_frame_async(reader: asyncio.StreamReader) -> object:
     """Read one frame from an asyncio stream and return its payload."""
-    try:
-        header = await reader.readexactly(_HEADER.size)
-        body = await reader.readexactly(_check_header(header))
-    except asyncio.IncompleteReadError as exc:
-        raise ConnectionClosed("peer closed the connection mid-frame") from exc
-    return _decode(body)
+    return (await recv_frame_async_ex(reader))[0]

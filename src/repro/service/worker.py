@@ -39,7 +39,14 @@ import threading
 import time
 import traceback
 
-from repro.service.wire import ConnectionClosed, WireError, recv_frame, send_frame
+from repro.service.wire import (
+    MIN_WIRE_VERSION,
+    ConnectionClosed,
+    WireError,
+    recv_frame,
+    recv_frame_ex,
+    send_frame,
+)
 
 __all__ = ["WorkerServer", "register_with_server", "start_reannounce_loop", "main"]
 
@@ -136,7 +143,7 @@ class WorkerServer:
         try:
             while not self._stop.is_set():
                 try:
-                    message = recv_frame(conn)
+                    message, version = recv_frame_ex(conn)
                 except ConnectionClosed:
                     return
                 except WireError as exc:
@@ -147,7 +154,8 @@ class WorkerServer:
                 if reply is None:  # injected crash: vanish mid-stream
                     self.stop()
                     return
-                send_frame(conn, reply)
+                # Reply at the request's version (wire negotiation rule).
+                send_frame(conn, reply, version=version)
         except OSError:
             return
         finally:
@@ -189,8 +197,11 @@ class WorkerServer:
 
     @staticmethod
     def _best_effort_send(conn: socket.socket, payload) -> None:
+        # Sent when the *incoming* frame was undecodable, so the peer's
+        # version is unknown: MIN_WIRE_VERSION is the one version every
+        # supported peer (v2 exact-match or v3 range) can decode.
         try:
-            send_frame(conn, payload)
+            send_frame(conn, payload, version=MIN_WIRE_VERSION)
         except OSError:
             pass
 

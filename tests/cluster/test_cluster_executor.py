@@ -1,0 +1,87 @@
+"""ClusterExecutor: cluster-wide worker resolution, least-loaded ranking,
+and local fallback when the fleet is empty or gone."""
+
+import socket
+
+from repro.cluster import ClusterExecutor, ClusterMembership
+from repro.service._testing import echo_shard
+from repro.service.registry import WorkerRegistry
+from repro.service.worker import WorkerServer
+
+
+def _addr(worker: WorkerServer) -> str:
+    return f"{worker.address[0]}:{worker.address[1]}"
+
+
+class TestWorkerResolution:
+    def test_empty_cluster_runs_locally(self):
+        ex = ClusterExecutor(ClusterMembership("a:1"), WorkerRegistry())
+        assert ex.run_shards(echo_shard, [1, 2, 3]) == [1, 2, 3]
+        assert ex.last_run == {"addresses": [], "local": True}
+        assert ex.describe()["executor"] == "cluster"
+
+    def test_local_registry_workers_are_used(self):
+        reg = WorkerRegistry()
+        ex = ClusterExecutor(ClusterMembership("a:1"), reg, timeout=30.0)
+        with WorkerServer() as worker:
+            reg.add(_addr(worker))
+            assert ex.run_shards(echo_shard, list(range(4))) == list(range(4))
+            assert worker.shards_served == 4
+            assert ex.last_run["local"] is False
+
+    def test_gossiped_workers_of_other_members_are_used(self):
+        """The acceptance-path half: a worker registered at a *different*
+        replica (known only through membership state) executes shards
+        submitted here."""
+        membership = ClusterMembership("a:1")
+        with WorkerServer() as worker:
+            membership.merge({
+                "b:1": {"heartbeat": 1, "workers": [_addr(worker)], "load": 0}
+            })
+            ex = ClusterExecutor(membership, WorkerRegistry(), timeout=30.0)
+            assert ex.run_shards(echo_shard, [5, 6]) == [5, 6]
+            assert worker.shards_served == 2
+            assert ex.last_run["addresses"] == [_addr(worker)]
+
+    def test_ranking_least_loaded_member_first_and_capped_at_shards(self):
+        membership = ClusterMembership("a:1")
+        membership.merge({
+            "busy:1": {"heartbeat": 1, "workers": ["w:90", "w:91"], "load": 9},
+            "idle:1": {"heartbeat": 1, "workers": ["w:10", "w:11"], "load": 0},
+        })
+        ex = ClusterExecutor(membership, None)
+        assert ex._ranked_workers() == ["w:10", "w:11", "w:90", "w:91"]
+        # With fewer shards than workers, only the least-loaded lanes open.
+        with WorkerServer() as worker:
+            membership.merge({
+                "idle:1": {"heartbeat": 2, "workers": [_addr(worker)],
+                           "load": 0},
+                "busy:1": {"heartbeat": 2, "workers": ["127.0.0.1:9"],
+                           "load": 9},
+            })
+            ex = ClusterExecutor(membership, None, timeout=30.0)
+            assert ex.run_shards(echo_shard, [1]) == [1]
+            assert ex.last_run["addresses"] == [_addr(worker)]
+            assert worker.shards_served == 1
+
+    def test_local_registry_ranks_ahead_of_gossip_and_dedupes(self):
+        reg = WorkerRegistry()
+        reg.add("w:1")
+        membership = ClusterMembership("a:1")
+        membership.bump(workers=["w:1"], load=0)  # own entry repeats w:1
+        membership.merge({
+            "b:1": {"heartbeat": 1, "workers": ["w:1", "w:2"], "load": 0}
+        })
+        ex = ClusterExecutor(membership, reg)
+        assert ex._ranked_workers() == ["w:1", "w:2"]
+
+    def test_dead_fleet_degrades_to_local_compute(self):
+        probe = socket.create_server(("127.0.0.1", 0))
+        dead = f"127.0.0.1:{probe.getsockname()[1]}"
+        probe.close()
+        membership = ClusterMembership("a:1")
+        membership.merge({"b:1": {"heartbeat": 1, "workers": [dead], "load": 0}})
+        ex = ClusterExecutor(membership, None, timeout=5.0,
+                             connect_timeout=0.5)
+        assert ex.run_shards(echo_shard, [7, 8]) == [7, 8]
+        assert ex.last_run["local_fallback_shards"] == 2

@@ -72,3 +72,65 @@ class TestRowSlabs:
     def test_rejects_empty(self):
         with pytest.raises(ValueError):
             row_slabs(0, 2)
+
+
+class TestAutoRowThreads:
+    """``row_threads="auto"`` — the cpu-count-aware default of the ROADMAP
+    cost-model item: accepted by the policy, resolved to a concrete int by
+    the planner before any shard ships."""
+
+    def test_auto_is_accepted_and_resolves_to_cpu_aware_int(self):
+        from repro.kernels import (
+            MAX_AUTO_ROW_THREADS,
+            ROW_THREADS_AUTO,
+            auto_row_threads,
+        )
+
+        policy = ExecutionPolicy(row_threads=ROW_THREADS_AUTO)
+        assert policy.row_threads == "auto"
+        assert not policy.is_default
+        resolved = policy.resolve()
+        assert isinstance(resolved.row_threads, int)
+        assert 1 <= resolved.row_threads <= MAX_AUTO_ROW_THREADS
+        assert resolved.row_threads == auto_row_threads()
+        assert resolved.dtype == policy.dtype
+        assert policy.effective_row_threads == resolved.row_threads
+
+    def test_concrete_policies_resolve_to_themselves(self):
+        policy = ExecutionPolicy(dtype="complex64", row_threads=3)
+        assert policy.resolve() is policy
+        assert policy.effective_row_threads == 3
+
+    def test_other_strings_rejected(self):
+        with pytest.raises(ValueError, match="row_threads"):
+            ExecutionPolicy(row_threads="fast")
+
+    def test_auto_policy_pickles_and_hashes(self):
+        import pickle
+
+        policy = ExecutionPolicy(row_threads="auto")
+        assert pickle.loads(pickle.dumps(policy)) == policy
+        assert policy in {policy}
+
+    def test_planner_ships_resolved_policy(self):
+        from repro.engine.plan import plan_shards
+
+        plan = plan_shards(16, 64, "kernels",
+                           execution=ExecutionPolicy(row_threads="auto"))
+        assert isinstance(plan.policy.row_threads, int)
+        assert plan.policy.row_threads >= 1
+
+    def test_auto_batch_bit_identical_to_default(self):
+        from repro.engine import SearchEngine, SearchRequest
+
+        engine = SearchEngine()
+        base = engine.search_batch(SearchRequest(n_items=64, n_blocks=4))
+        auto = engine.search_batch(SearchRequest(
+            n_items=64, n_blocks=4,
+            policy=ExecutionPolicy(row_threads="auto"),
+        ))
+        np.testing.assert_array_equal(
+            base.success_probabilities, auto.success_probabilities
+        )
+        np.testing.assert_array_equal(base.block_guesses, auto.block_guesses)
+        assert isinstance(auto.execution["row_threads"], int)

@@ -138,3 +138,43 @@ class TestRequestFingerprint:
     def test_live_generator_uncacheable(self):
         req = SearchRequest(**self.REQ, rng=np.random.default_rng(3))
         assert request_fingerprint(req) is None
+
+
+class TestPolicyFingerprintNormalisation:
+    """The dtype is structural only for methods that honour the policy:
+    the engine normalises the ExecutionPolicy away for policy-blind
+    methods before execution, so their fingerprints must coincide too —
+    otherwise provably identical runs split the cache and defeat
+    coalescing and cluster cache peering."""
+
+    def test_policy_blind_method_ignores_dtype(self):
+        from repro.kernels import ExecutionPolicy
+
+        base = request_fingerprint(
+            SearchRequest(n_items=64, n_blocks=4, method="classical")
+        )
+        fast = request_fingerprint(
+            SearchRequest(n_items=64, n_blocks=4, method="classical",
+                          policy=ExecutionPolicy(dtype="complex64"))
+        )
+        assert base == fast
+
+    def test_policy_honouring_method_keeps_dtype_structural(self):
+        from repro.kernels import ExecutionPolicy
+
+        base = request_fingerprint(SearchRequest(n_items=64, n_blocks=4))
+        fast = request_fingerprint(
+            SearchRequest(n_items=64, n_blocks=4,
+                          policy=ExecutionPolicy(dtype="complex64"))
+        )
+        assert base != fast
+
+    def test_row_threads_never_structural(self):
+        from repro.kernels import ExecutionPolicy
+
+        base = request_fingerprint(SearchRequest(n_items=64, n_blocks=4))
+        threaded = request_fingerprint(
+            SearchRequest(n_items=64, n_blocks=4,
+                          policy=ExecutionPolicy(row_threads="auto"))
+        )
+        assert base == threaded

@@ -342,3 +342,70 @@ class TestWorkerSelfRegistration:
             register_with_server(
                 f"127.0.0.1:{port}", "127.0.0.1:1", attempts=2, delay=0.05,
             )
+
+
+class TestEvictionReregistrationRace:
+    """Regression: a worker that re-announces while a health sweep is in
+    flight must not be evicted on the sweep's stale probe result.
+
+    The failure mode: the sweep snapshots the fleet, pings (slow — up to
+    ``health_timeout`` per dead address), and then evicts failures.  A
+    worker that restarted and re-registered inside that window answered the
+    registration but not the ping (the probe hit its dead predecessor);
+    the unconditional ``remove`` dropped the *fresh* registration."""
+
+    def test_remove_if_stale_spares_mid_sweep_reregistration(self):
+        import time
+
+        reg = WorkerRegistry()
+        reg.add("127.0.0.1:7737")
+        cutoff = time.monotonic()  # the sweep starts here
+        # ... the ping to the old incarnation fails, and meanwhile the
+        # restarted worker re-announces:
+        reg.add("127.0.0.1:7737")
+        assert reg.remove_if_stale("127.0.0.1:7737", cutoff) is False
+        assert reg.snapshot() == ["127.0.0.1:7737"]
+        assert reg.stats()["evictions"] == 0
+
+    def test_remove_if_stale_evicts_genuinely_dead_workers(self):
+        import time
+
+        reg = WorkerRegistry()
+        reg.add("127.0.0.1:7737")
+        cutoff = time.monotonic()
+        assert reg.remove_if_stale("127.0.0.1:7737", cutoff) is True
+        assert reg.snapshot() == []
+        assert reg.remove_if_stale("127.0.0.1:7737", cutoff) is False
+
+    def test_health_sweep_keeps_worker_that_reregisters_mid_sweep(self):
+        """End-to-end: the server's sweep pings a dead address; the worker
+        re-registers while the ping is timing out; the sweep must keep it."""
+
+        async def scenario():
+            registry = WorkerRegistry()
+            async with SearchService(SearchEngine()) as service:
+                server = SearchServer(service, registry=registry,
+                                      health_interval=60.0, health_timeout=1.0)
+                await server.start()
+                # A dead address: nothing listens here, so the probe fails.
+                probe = socket.create_server(("127.0.0.1", 0))
+                dead = f"127.0.0.1:{probe.getsockname()[1]}"
+                probe.close()
+                registry.add(dead)
+
+                real_ping = server._ping_worker
+
+                async def ping_then_reregister(address):
+                    ok = await real_ping(address)
+                    # The worker restarts and re-announces after the probe
+                    # concluded but before the sweep's eviction pass.
+                    registry.add(dead)
+                    return ok
+
+                server._ping_worker = ping_then_reregister
+                await server.check_workers_once()
+                assert registry.snapshot() == [dead]  # kept, not dropped
+                assert registry.stats()["evictions"] == 0
+                await server.stop()
+
+        run(scenario())

@@ -157,3 +157,96 @@ class TestAsyncio:
         got, reply = aio.run(main())
         assert got == [{"q": 1}]
         assert reply == ("ack", {"q": 1})
+
+
+class TestNegotiation:
+    """v3 cross-version negotiation: receivers accept the supported range
+    and expose the frame version so acceptors can answer in kind."""
+
+    def test_supported_range_is_v2_to_v3(self):
+        assert wire.MIN_WIRE_VERSION == 2
+        assert wire.WIRE_VERSION == 3
+
+    def test_v2_frame_accepted_and_version_exposed(self):
+        a, b = _socketpair()
+        try:
+            wire.send_frame(a, ("ping",), version=wire.MIN_WIRE_VERSION)
+            payload, version = wire.recv_frame_ex(b)
+            assert payload == ("ping",)
+            assert version == wire.MIN_WIRE_VERSION
+        finally:
+            a.close()
+            b.close()
+
+    def test_default_send_is_current_version(self):
+        a, b = _socketpair()
+        try:
+            wire.send_frame(a, ("ping",))
+            assert wire.recv_frame_ex(b) == (("ping",), wire.WIRE_VERSION)
+        finally:
+            a.close()
+            b.close()
+
+    def test_v1_frame_rejected(self):
+        a, b = _socketpair()
+        try:
+            a.sendall(struct.pack(">4sHI", b"RPRO", 1, 4) + b"ABCD")
+            with pytest.raises(wire.WireError, match="version mismatch"):
+                wire.recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+    def test_cannot_send_unsupported_version(self):
+        a, b = _socketpair()
+        try:
+            with pytest.raises(ValueError, match="wire version"):
+                wire.send_frame(a, ("ping",), version=1)
+            with pytest.raises(ValueError, match="wire version"):
+                wire.send_frame(a, ("ping",), version=wire.WIRE_VERSION + 1)
+        finally:
+            a.close()
+            b.close()
+
+    def test_server_replies_at_the_request_version(self):
+        """The acceptor half of the negotiation rule: a v2 dialer gets v2
+        replies from a v3 server, so mixed-version pairs keep talking."""
+        import asyncio
+
+        from repro.engine import SearchEngine
+        from repro.service.scheduler import SearchService
+        from repro.service.server import SearchServer
+
+        async def scenario():
+            async with SearchService(SearchEngine()) as service:
+                server = SearchServer(service)
+                await server.start()
+
+                def old_client():
+                    with socket.create_connection(server.address,
+                                                  timeout=5.0) as sock:
+                        sock.settimeout(5.0)
+                        wire.send_frame(sock, ("ping",),
+                                        version=wire.MIN_WIRE_VERSION)
+                        return wire.recv_frame_ex(sock)
+
+                reply, version = await asyncio.to_thread(old_client)
+                await server.stop()
+                return reply, version
+
+        import asyncio as aio
+
+        reply, version = aio.run(scenario())
+        assert reply == ("pong", {})
+        assert version == wire.MIN_WIRE_VERSION
+
+    def test_worker_replies_at_the_request_version(self):
+        from repro.service.worker import WorkerServer
+
+        with WorkerServer() as worker:
+            with socket.create_connection(worker.address, timeout=5.0) as sock:
+                sock.settimeout(5.0)
+                wire.send_frame(sock, ("ping",), version=wire.MIN_WIRE_VERSION)
+                reply, version = wire.recv_frame_ex(sock)
+        assert reply[0] == "pong"
+        assert version == wire.MIN_WIRE_VERSION
