@@ -16,6 +16,14 @@ other sections are left untouched), with ``delta_vs_baseline`` expressing
 peer-fetch time against the recompute time it replaces — the quantity a
 serving fleet buys by federating its caches.
 
+``--chaos`` runs the resilience-overhead benchmark instead: the same
+sharded batch through two loopback workers fault-free (full resilience
+stack enabled — retry policy, breaker registry, deadline plumbing), then
+under a seeded crash-loop ``FaultPlan``, asserting the chaos report stays
+bit-identical to the local run, plus a breaker-gate microbenchmark.
+Results land as a ``resilience`` section with ``delta_vs_baseline``
+expressing the chaos run against the fault-free dispatch it degrades.
+
 Run from the repo root (``python benchmarks/bench_cluster.py``;
 ``--quick`` shrinks the workload for CI smoke).
 """
@@ -148,6 +156,123 @@ async def _run_cluster(config: dict) -> dict:
         b.service.close()
 
 
+CHAOS_CONFIGS = {
+    "full": {"n_items": 1024, "n_blocks": 4, "max_rows": 64, "repeats": 5},
+    "quick": {"n_items": 256, "n_blocks": 4, "max_rows": 16, "repeats": 3},
+}
+
+
+def _run_chaos(config: dict) -> dict:
+    """Resilience overhead: fault-free dispatch with the full stack on vs a
+    seeded crash-loop chaos run, both bit-identical to the local run."""
+    from repro.core.parameters import plan_schedule
+    from repro.engine import ShardPolicy
+    from repro.engine.plan import run_grk_batch_sharded
+    from repro.resilience import (
+        BreakerRegistry,
+        CircuitBreaker,
+        FaultPlan,
+        RetryPolicy,
+    )
+    from repro.service.executor import LocalExecutor, RemoteExecutor
+    from repro.service.worker import WorkerServer
+
+    schedule = plan_schedule(config["n_items"], config["n_blocks"])
+    targets = np.arange(config["n_items"])
+    policy = ShardPolicy(max_rows=config["max_rows"])
+
+    def run(executor):
+        t0 = time.perf_counter()
+        result = run_grk_batch_sharded(schedule, targets, "kernels", policy,
+                                       executor=executor)
+        return time.perf_counter() - t0, result
+
+    def fleet_executor(*addresses):
+        return RemoteExecutor(
+            list(addresses),
+            retry=RetryPolicy(max_attempts=4, base_delay=0.01, max_delay=0.1),
+            breakers=BreakerRegistry(),
+        )
+
+    _, (success, guesses, _) = run(LocalExecutor())
+
+    fault_free_times = []
+    for _ in range(config["repeats"]):
+        with WorkerServer() as w1, WorkerServer() as w2:
+            elapsed, (r_success, r_guesses, _) = run(
+                fleet_executor(w1.address, w2.address)
+            )
+        np.testing.assert_array_equal(r_success, success)
+        np.testing.assert_array_equal(r_guesses, guesses)
+        fault_free_times.append(elapsed)
+
+    chaos_times, faults_fired, requeued = [], 0, 0
+    for seed in range(config["repeats"]):
+        plan = FaultPlan.worker_crash(2, seed=seed)
+        with WorkerServer(chaos=plan) as dying, WorkerServer() as survivor:
+            ex = fleet_executor(dying.address, survivor.address)
+            elapsed, (r_success, r_guesses, _) = run(ex)
+        np.testing.assert_array_equal(
+            r_success, success,
+            err_msg="chaos report must be bit-identical to the local run",
+        )
+        np.testing.assert_array_equal(r_guesses, guesses)
+        chaos_times.append(elapsed)
+        faults_fired += plan.fired("worker.shard")
+        requeued += ex.last_run.get("requeued", 0)
+
+    # The per-dispatch cost of the breaker gate every lane pays even when
+    # nothing is failing: one allow() claim + one record_success().
+    breaker, gate_rounds = CircuitBreaker(), 100_000
+    t0 = time.perf_counter()
+    for _ in range(gate_rounds):
+        breaker.allow()
+        breaker.record_success()
+    breaker_gate_ns = (time.perf_counter() - t0) / gate_rounds * 1e9
+
+    fault_free_s = statistics.median(fault_free_times)
+    chaos_s = statistics.median(chaos_times)
+    return {
+        "n_items": config["n_items"],
+        "n_blocks": config["n_blocks"],
+        "shard_rows": config["max_rows"],
+        "repeats": config["repeats"],
+        "fault_free_dispatch_s": fault_free_s,
+        "chaos_crash_loop_s": chaos_s,
+        "chaos_overhead_ratio": chaos_s / fault_free_s,
+        "faults_fired": faults_fired,
+        "shards_requeued": requeued,
+        "bit_identical_under_chaos": True,
+        "breaker_gate_ns_per_dispatch": breaker_gate_ns,
+        "delta_vs_baseline": {
+            "chaos_vs_fault_free_s": {
+                "before_s": fault_free_s,
+                "after_s": chaos_s,
+                "ratio": chaos_s / fault_free_s,
+            },
+        },
+    }
+
+
+def main_chaos(mode: str = "full") -> dict:
+    config = CHAOS_CONFIGS[mode]
+    section = _run_chaos(config)
+    section["mode"] = mode
+
+    # Every chaos run crashed a worker mid-shard (the plan fired) and the
+    # executor requeued the lost shard — otherwise the bench measured
+    # nothing.  Bit-identity is asserted inline above.
+    assert section["faults_fired"] == config["repeats"], section
+    assert section["shards_requeued"] >= config["repeats"], section
+
+    existing = json.loads(OUTPUT.read_text()) if OUTPUT.exists() else {}
+    existing["resilience"] = section
+    OUTPUT.write_text(json.dumps(existing, indent=2) + "\n")
+    print(json.dumps(section, indent=2))
+    print(f"\nwrote resilience section -> {OUTPUT}")
+    return section
+
+
 def main(mode: str = "full") -> dict:
     config = CONFIGS[mode]
     section = asyncio.run(_run_cluster(config))
@@ -171,4 +296,10 @@ if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--quick", action="store_true",
                         help="reduced CI smoke configuration")
-    main("quick" if parser.parse_args().quick else "full")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run the resilience-overhead benchmark "
+                             "(writes the 'resilience' section) instead of "
+                             "the cache-peering one")
+    args = parser.parse_args()
+    mode = "quick" if args.quick else "full"
+    main_chaos(mode) if args.chaos else main(mode)

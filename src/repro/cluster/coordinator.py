@@ -59,15 +59,23 @@ class ClusterCoordinator:
         gossip_interval: seconds between gossip rounds.
         gossip_timeout: per-peer budget for one exchange (connect + round
             trip).
+        breakers: shared :class:`~repro.resilience.BreakerRegistry` — a
+            quarantined member is skipped (no dial) until its breaker
+            half-opens, and exchange outcomes feed the same breakers the
+            executor and cache peering use.  ``None`` disables it.
+        chaos: optional :class:`~repro.resilience.FaultPlan` consulted at
+            the ``gossip.exchange`` site (``refuse`` / ``slow`` / ``drop``).
     """
 
     def __init__(self, membership, *, gossip_interval: float = 2.0,
-                 gossip_timeout: float = 3.0):
+                 gossip_timeout: float = 3.0, breakers=None, chaos=None):
         if gossip_interval <= 0:
             raise ValueError(f"gossip_interval={gossip_interval} must be positive")
         self.membership = membership
         self.gossip_interval = gossip_interval
         self.gossip_timeout = gossip_timeout
+        self.breakers = breakers
+        self.chaos = chaos
         self.registry = None
         self.service = None
         self._task: asyncio.Task | None = None
@@ -78,6 +86,7 @@ class ClusterCoordinator:
         self._encoded: "OrderedDict[str, tuple]" = OrderedDict()
         self.rounds = 0
         self.failed_exchanges = 0
+        self.skipped_exchanges = 0
         self.peeks_served = 0
         self.peek_hits = 0
 
@@ -142,12 +151,35 @@ class ClusterCoordinator:
         self.rounds += 1
 
     async def _exchange(self, address: str) -> None:
-        """One push–pull exchange; failures are counted, never raised."""
-        from repro.service.executor import _parse_address
+        """One push–pull exchange; failures are counted, never raised.
 
+        A quarantined member (open breaker) is skipped without dialing —
+        its table entry keeps ageing toward suspicion, and the half-open
+        probe is what re-establishes contact.  Outcomes feed the shared
+        breaker so gossip evidence protects the serving paths too.
+        """
+        from repro.service.address import parse_address
+
+        breaker = self.breakers.get(address) if self.breakers is not None \
+            else None
+        if breaker is not None and not breaker.allow():
+            self.skipped_exchanges += 1
+            return
+        if self.chaos is not None:
+            spec = self.chaos.visit("gossip.exchange")
+            if spec is not None:
+                if spec.kind == "slow":
+                    await asyncio.sleep(spec.delay_s)
+                elif spec.kind in ("refuse", "drop"):
+                    self.failed_exchanges += 1
+                    if breaker is not None:
+                        breaker.record_failure()
+                    log.debug("gossip with %s failed: chaos %s",
+                              address, spec.kind)
+                    return
         writer = None
         try:
-            host, port = _parse_address(address)
+            host, port = parse_address(address)
             reader, writer = await asyncio.wait_for(
                 asyncio.open_connection(host, port),
                 timeout=self.gossip_timeout,
@@ -166,6 +198,8 @@ class ClusterCoordinator:
                 # The ack came straight from *address*: its own entry is
                 # direct contact (clears any tombstone for it).
                 self.membership.merge(reply[1], direct_from=address)
+                if breaker is not None:
+                    breaker.record_success()
             else:
                 raise WireError(f"unexpected gossip reply: {reply!r}")
         except asyncio.CancelledError:
@@ -177,6 +211,8 @@ class ClusterCoordinator:
             # and the serving path are unaffected.  Deliberately broad: an
             # exchange must never kill the gossip task.
             self.failed_exchanges += 1
+            if breaker is not None:
+                breaker.record_failure()
             log.debug("gossip with %s failed: %s", address, exc)
         finally:
             if writer is not None:
@@ -274,12 +310,15 @@ class ClusterCoordinator:
                 "interval_s": self.gossip_interval,
                 "rounds": self.rounds,
                 "failed_exchanges": self.failed_exchanges,
+                "skipped_exchanges": self.skipped_exchanges,
             },
             "cache_peering": {
                 "peeks_served": self.peeks_served,
                 "peek_hits": self.peek_hits,
             },
         }
+        if self.breakers is not None:
+            info["breakers"] = self.breakers.snapshot()
         if self.service is not None and self.service.peering is not None:
             info["cache_peering"]["outbound"] = self.service.peering.stats()
         return info

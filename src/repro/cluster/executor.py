@@ -11,10 +11,13 @@ them.
 
 Scheduling is least-loaded-first: candidate workers are ranked by their
 owning member's advertised load (this replica's own registry counts as load
-0 — local knowledge is current, gossiped knowledge is a round stale).  The
+0 — local knowledge is current, gossiped knowledge is a round stale), with
+circuit-breaker state as a final tiebreak layer: half-open endpoints (just
+out of quarantine, still earning trust) sink to the tail of the ranking,
+and open ones are filtered out entirely by the inherited dispatch.  The
 dispatch mechanics are inherited from :class:`RegistryExecutor` — lanes
 capped at one per shard (trimmed from the tail, so they stay on the
-least-loaded members), per-run :class:`~repro.service.executor.RemoteExecutor`
+best-ranked workers), per-run :class:`~repro.service.executor.RemoteExecutor`
 with ``fallback_local=True`` — because gossip necessarily lags reality, so
 a fleet that died since the last round degrades to local compute instead of
 aborting the batch.
@@ -37,12 +40,20 @@ class ClusterExecutor(RegistryExecutor):
             for a replica that takes no direct registrations.
         timeout: per-shard reply timeout handed to the remote dispatch.
         connect_timeout: TCP connect timeout per worker.
+        retry: transient-failure policy for the per-run remote dispatch.
+        breakers: shared :class:`~repro.resilience.BreakerRegistry` —
+            open endpoints are quarantined out of dispatch and half-open
+            ones rank behind every closed endpoint.
+        chaos: optional :class:`~repro.resilience.FaultPlan` for the
+            per-run remote dispatch.
     """
 
     def __init__(self, membership, registry=None, *, timeout: float = 300.0,
-                 connect_timeout: float = 5.0):
+                 connect_timeout: float = 5.0, retry=None, breakers=None,
+                 chaos=None):
         super().__init__(registry, timeout=timeout,
-                         connect_timeout=connect_timeout)
+                         connect_timeout=connect_timeout, retry=retry,
+                         breakers=breakers, chaos=chaos)
         self.membership = membership
 
     def _ranked_workers(self) -> list[str]:
@@ -54,6 +65,11 @@ class ClusterExecutor(RegistryExecutor):
         :meth:`~repro.cluster.membership.ClusterMembership.cluster_workers`,
         whose insertion order *is* the (load, address) ranking — one
         implementation of the ordering, shared with the status surface.
+
+        Breaker state is applied last: endpoints not currently ``closed``
+        (half-open probation, or open-but-about-to-expire) sink to the
+        tail in their original relative order, so lane trimming prefers
+        workers with a clean recent record.
         """
         ranked: list[str] = []
         seen: set[str] = set()
@@ -68,7 +84,11 @@ class ClusterExecutor(RegistryExecutor):
             if address not in seen:
                 seen.add(address)
                 ranked.append(address)
-        return ranked
+        # Stable two-pass split, not a sort: load order within each class
+        # is preserved.
+        trusted = [a for a in ranked if self.breakers.state(a) == "closed"]
+        probation = [a for a in ranked if self.breakers.state(a) != "closed"]
+        return trusted + probation
 
     def _resolve_addresses(self, tasks: list) -> list[str]:
         return self._ranked_workers()

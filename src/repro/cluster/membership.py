@@ -75,7 +75,10 @@ class ClusterMembership:
         seeds: addresses gossiped to even while unconfirmed — the join
             list.  A seed that answers becomes a live member; one that
             never answers costs one failed exchange per round, nothing
-            else.
+            else.  Every seed is validated and normalised through
+            :func:`repro.service.address.parse_address` at construction —
+            a typo'd ``--join`` fails at boot with a pointed error, not as
+            an eternally-failing exchange.
         suspicion_timeout: local seconds without a heartbeat advance before
             a member is declared dead and dropped.
         clock: monotonic time source (injectable for tests).
@@ -99,8 +102,14 @@ class ClusterMembership:
         # to us) or a higher heartbeat clears it.
         self._tombstones: dict[str, tuple[int, float]] = {}
         self._clock = clock
+        from repro.service.address import format_address, parse_address
+
+        if self_address is not None:
+            self_address = format_address(*parse_address(self_address))
         self.self_address = self_address
-        self.seeds: tuple[str, ...] = tuple(str(s) for s in seeds)
+        self.seeds: tuple[str, ...] = tuple(
+            format_address(*parse_address(s)) for s in seeds
+        )
         self.suspicion_timeout = suspicion_timeout
         self._heartbeat = 0
         self.merges = 0
@@ -109,9 +118,11 @@ class ClusterMembership:
     # ------------------------------------------------------------- identity
     def bind(self, address: str) -> None:
         """Set this replica's advertised address (idempotent first-wins)."""
+        from repro.service.address import format_address, parse_address
+
         with self._lock:
             if self.self_address is None:
-                self.self_address = str(address)
+                self.self_address = format_address(*parse_address(address))
             # A stale entry for our own address learned before binding
             # (e.g. relayed by a peer) must not shadow the live self entry.
             self._members.pop(self.self_address, None)

@@ -36,6 +36,7 @@ import time
 from concurrent.futures import CancelledError, ThreadPoolExecutor, as_completed
 from concurrent.futures import TimeoutError as FuturesTimeoutError
 
+from repro.resilience import FaultPlan
 from repro.service.wire import WireError, recv_frame, send_frame
 
 __all__ = [
@@ -44,6 +45,10 @@ __all__ = [
     "decode_cached_report",
     "CachePeers",
 ]
+
+
+#: Sentinel distinguishing "probe never completed" from a ``None`` reply.
+_FAILED = object()
 
 
 class PeerPayloadError(RuntimeError):
@@ -98,12 +103,19 @@ class CachePeers:
             ``inflight_wait`` is never silently truncated by a default
             budget; pass an explicit value to cap fetches harder (an
             explicit cap wins over the wait).
+        breakers: shared :class:`~repro.resilience.BreakerRegistry` —
+            quarantined peers are skipped without dialing (a fast miss),
+            and probe outcomes feed the same breakers the shard executor
+            and gossip use.  ``None`` disables breaker participation.
+        chaos: optional :class:`~repro.resilience.FaultPlan` consulted at
+            the ``peer.probe`` site (``refuse`` / ``slow`` / ``drop``).
         clock: monotonic time source (injectable for tests).
     """
 
     def __init__(self, membership, *, connect_timeout: float = 1.0,
                  reply_timeout: float = 5.0, inflight_wait: float = 2.0,
-                 total_budget: float | None = None, clock=time.monotonic):
+                 total_budget: float | None = None, breakers=None,
+                 chaos=None, clock=time.monotonic):
         self.membership = membership
         self.connect_timeout = connect_timeout
         self.reply_timeout = reply_timeout
@@ -111,6 +123,8 @@ class CachePeers:
         if total_budget is None:
             total_budget = max(10.0, reply_timeout + inflight_wait)
         self.total_budget = total_budget
+        self.breakers = breakers
+        self.chaos = chaos
         self._clock = clock
         self._lock = threading.Lock()
         self._pool: ThreadPoolExecutor | None = None
@@ -125,24 +139,56 @@ class CachePeers:
             setattr(self, field, getattr(self, field) + 1)
 
     def _probe_one(self, address: str, key: str, budget: float):
-        """One peer probe; returns the report or None.  Raises nothing."""
-        from repro.service.executor import _parse_address
+        """One peer probe; returns the report or None.  Raises nothing.
 
-        try:
-            host, port = _parse_address(address)
-            with socket.create_connection(
-                (host, port), timeout=min(self.connect_timeout, budget)
-            ) as sock:
-                sock.settimeout(
-                    min(self.reply_timeout + self.inflight_wait, budget)
-                )
-                send_frame(sock, ("cache-peek", key, self.inflight_wait))
-                reply = recv_frame(sock)
-        except (OSError, WireError, ValueError):
-            # Dead, hung, or incompatible peer: its gossip entry will age
-            # out; this request just moves on.
+        A quarantined peer (open breaker) is skipped without dialing.  One
+        transient failure gets one immediate retry while the budget allows
+        — a blip must not cost this request its only shot at a peer hit —
+        and both failures are reported to the shared breaker.
+        """
+        from repro.service.address import parse_address
+
+        breaker = self.breakers.get(address) if self.breakers is not None \
+            else None
+        if breaker is not None and not breaker.allow():
             self._count("errors")
             return None
+        started = self._clock()
+        reply = _FAILED
+        for attempt in range(2):
+            if self.chaos is not None:
+                spec = FaultPlan.apply(self.chaos.visit("peer.probe"),
+                                       what="peer probe")
+                if spec is not None and spec.kind in ("refuse", "drop"):
+                    if breaker is not None:
+                        breaker.record_failure()
+                    continue
+            remaining = budget - (self._clock() - started)
+            if remaining <= 0:
+                break
+            try:
+                host, port = parse_address(address)
+                with socket.create_connection(
+                    (host, port), timeout=min(self.connect_timeout, remaining)
+                ) as sock:
+                    sock.settimeout(
+                        min(self.reply_timeout + self.inflight_wait, remaining)
+                    )
+                    send_frame(sock, ("cache-peek", key, self.inflight_wait))
+                    reply = recv_frame(sock)
+                break
+            except (OSError, WireError, ValueError):
+                # Dead, hung, or incompatible peer: its gossip entry will
+                # age out; this probe retries once, then moves on.  Each
+                # failed attempt feeds the breaker; the stats count one
+                # error per failed *probe*, whatever the attempt count.
+                if breaker is not None:
+                    breaker.record_failure()
+        if reply is _FAILED:
+            self._count("errors")
+            return None
+        if breaker is not None:
+            breaker.record_success()
         if isinstance(reply, tuple) and reply and reply[0] == "cache-found":
             try:
                 _, body, digest = reply

@@ -1,0 +1,120 @@
+"""Backoff policies and retry budgets for transient network failures.
+
+Two pieces, deliberately separate:
+
+- :class:`RetryPolicy` decides **how long to wait** between attempts —
+  exponential backoff with *decorrelated jitter* (each delay is drawn
+  uniformly from ``[base, 3 * previous]`` and capped), the shape that
+  spreads a thundering herd of retriers instead of re-synchronising them
+  the way plain exponential backoff does.
+- :class:`RetryBudget` decides **whether another retry is affordable at
+  all** — a per-request token pool shared by every lane/probe serving that
+  request, so a fleet-wide outage costs a bounded number of retries per
+  request rather than ``lanes x attempts`` (the retry-storm amplifier).
+
+What counts as retriable is the *caller's* decision and follows one rule
+everywhere in this repo: transport failures (refused/reset connections,
+timeouts, undecodable frames) are transient and retriable; a shard function
+that raised is deterministic and must never be retried
+(:class:`~repro.service.executor.ShardExecutionError`).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+__all__ = ["RetryPolicy", "RetryBudget"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with decorrelated jitter.
+
+    Attributes:
+        max_attempts: attempts per operation, first try included (``1``
+            disables retries entirely).
+        base_delay: floor of every backoff interval, seconds.
+        max_delay: ceiling of every backoff interval, seconds.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts={self.max_attempts} must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError(
+                f"need 0 <= base_delay <= max_delay, got "
+                f"{self.base_delay}..{self.max_delay}"
+            )
+
+    def next_delay(self, previous: float, rng: random.Random) -> float:
+        """The sleep before the next attempt, given the *previous* sleep.
+
+        Decorrelated jitter (the AWS architecture-blog variant):
+        ``min(max_delay, uniform(base_delay, 3 * previous))``, seeded from
+        *rng* so test runs are reproducible.  Pass ``previous=0`` for the
+        first retry.
+        """
+        upper = max(self.base_delay, 3.0 * previous)
+        return min(self.max_delay, rng.uniform(self.base_delay, upper))
+
+    def delays(self, rng: random.Random):
+        """Yield the full backoff sequence: ``max_attempts - 1`` delays."""
+        previous = 0.0
+        for _ in range(self.max_attempts - 1):
+            previous = self.next_delay(previous, rng)
+            yield previous
+
+    def describe(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_s": self.base_delay,
+            "max_delay_s": self.max_delay,
+        }
+
+
+class RetryBudget:
+    """A thread-safe pool of retry tokens shared across one request.
+
+    Every lane or probe serving the same request draws from one budget:
+    :meth:`take` claims a token (``False`` once the pool is dry, at which
+    point the caller must fail over or give up instead of retrying).  The
+    pool never refills — a budget lives exactly as long as the request it
+    bounds.
+
+    Args:
+        budget: total retries the request may spend, across all lanes.
+    """
+
+    def __init__(self, budget: int):
+        if budget < 0:
+            raise ValueError(f"budget={budget} must be >= 0")
+        self._lock = threading.Lock()
+        self._initial = int(budget)
+        self._remaining = int(budget)
+
+    def take(self) -> bool:
+        """Claim one retry token; ``False`` when the budget is exhausted."""
+        with self._lock:
+            if self._remaining <= 0:
+                return False
+            self._remaining -= 1
+            return True
+
+    @property
+    def remaining(self) -> int:
+        with self._lock:
+            return self._remaining
+
+    @property
+    def spent(self) -> int:
+        with self._lock:
+            return self._initial - self._remaining
+
+    def __repr__(self) -> str:  # debugging/stats aid
+        return f"RetryBudget({self.remaining}/{self._initial})"

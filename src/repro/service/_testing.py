@@ -4,13 +4,25 @@ The wire protocol ships shard functions by reference (module + qualname),
 so test doubles must live in an importable module — test files collected by
 pytest's importlib mode are not.  These helpers are tiny, deterministic,
 and used only by the test suite and docs examples.
+
+Worker-side *fault* doubles used to live here too; those are now expressed
+as :class:`repro.resilience.FaultPlan` specs handed to the worker (``chaos=``
+or ``--chaos-plan``), which keeps fault injection deterministic and seeded
+instead of baked into shard code.  The doubles below model shard *behaviour*
+(payloads, deterministic failures, slowness), which the plan cannot.
 """
 
 from __future__ import annotations
 
 import time
 
-__all__ = ["echo_shard", "double_shard", "raise_shard", "slow_shard"]
+__all__ = [
+    "echo_shard",
+    "double_shard",
+    "raise_shard",
+    "slow_shard",
+    "deadline_probe_shard",
+]
 
 
 def echo_shard(task, rng):
@@ -32,3 +44,18 @@ def slow_shard(task, rng):
     """Sleep ``task`` seconds, then return it (timeout checks)."""
     time.sleep(float(task))
     return task
+
+
+def deadline_probe_shard(task, rng):
+    """Return ``(task, had_deadline, remaining_s)`` — propagation checks.
+
+    A worker executing a wire-v4 shard rebuilds the request deadline and
+    scopes the compute with it, so this shard observes a finite, positive
+    remaining budget; a legacy (v3) dispatch observes ``None``.
+    """
+    from repro.resilience import current_deadline
+
+    deadline = current_deadline()
+    if deadline is None:
+        return (task, False, None)
+    return (task, True, deadline.remaining())

@@ -1,0 +1,79 @@
+"""One address grammar for every endpoint the stack dials or advertises.
+
+Worker endpoints, server registrations, cluster seeds, and advertise
+addresses were all parsed by the executor's private helper, which rejected
+bracketed IPv6 and let portless strings produce confusing errors deep in
+the dial path.  This module is the single shared parser:
+
+- ``"host:port"`` — plain hostname or IPv4;
+- ``"[v6addr]:port"`` — IPv6 literals **must** be bracketed (an unbracketed
+  ``::1:9000`` is ambiguous and rejected with a pointed error);
+- ``(host, port)`` tuples pass through (brackets stripped from the host).
+
+Everything that accepts an address — ``RemoteExecutor``, worker
+registration, ``repro serve --join/--cluster-advertise``, gossip seeds —
+parses it here, so a typo fails at configuration time with one clear
+message instead of surfacing as a mid-batch dial error.
+"""
+
+from __future__ import annotations
+
+__all__ = ["parse_address", "format_address"]
+
+
+def parse_address(address) -> tuple[str, int]:
+    """``"host:port"``, ``"[v6]:port"``, or ``(host, port)`` -> ``(host, port)``.
+
+    Raises:
+        ValueError: portless strings, empty hosts, non-numeric or
+            out-of-range ports, and unbracketed IPv6 literals.
+    """
+    if not isinstance(address, str):
+        try:
+            host, port = address
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"address {address!r} is not 'host:port' or a (host, port) pair"
+            ) from None
+        return _strip_brackets(str(host)), _check_port(port, address)
+    host, sep, port = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"address {address!r} has no port; expected 'host:port' "
+            f"(or '[v6addr]:port' for IPv6)"
+        )
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+        if not host:
+            raise ValueError(f"address {address!r} has an empty host")
+    elif ":" in host:
+        raise ValueError(
+            f"address {address!r} is ambiguous: bracket IPv6 hosts as "
+            f"'[{host}]:{port}'"
+        )
+    return host, _check_port(port, address)
+
+
+def _strip_brackets(host: str) -> str:
+    if host.startswith("[") and host.endswith("]"):
+        return host[1:-1]
+    return host
+
+
+def _check_port(port, address) -> int:
+    try:
+        value = int(port)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"address {address!r} has a non-numeric port {port!r}"
+        ) from None
+    if not 0 <= value <= 65535:
+        raise ValueError(f"address {address!r} port {value} is out of range")
+    return value
+
+
+def format_address(host: str, port: int) -> str:
+    """The dialable string form, bracketing IPv6 hosts."""
+    if ":" in host:
+        return f"[{host}]:{port}"
+    return f"{host}:{port}"

@@ -94,6 +94,17 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                    help="seconds a cache-peering probe may wait on a peer "
                         "that is mid-computing the same request "
                         "(cluster-wide single-flight window; 0 disables)")
+    p.add_argument("--retry-attempts", type=int, default=3,
+                   help="transient-failure attempts per worker lane before "
+                        "it is retired (exponential backoff with "
+                        "decorrelated jitter between attempts)")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   help="consecutive endpoint failures before its circuit "
+                        "breaker opens (quarantining it from dispatch, "
+                        "peering, and gossip)")
+    p.add_argument("--breaker-reset", type=float, default=15.0,
+                   help="seconds an open breaker waits before letting one "
+                        "half-open trial request through")
 
 
 def _add_submit(sub: argparse._SubParsersAction) -> None:
@@ -136,6 +147,13 @@ def _add_worker(sub: argparse._SubParsersAction) -> None:
                    help="address the server should dial back")
     p.add_argument("--register-interval", type=float, default=None,
                    help="seconds between registration re-announcements")
+    p.add_argument("--chaos-plan", default=None, metavar="PLAN",
+                   help="deterministic fault-injection plan (JSON text or a "
+                        "path to a JSON file) applied at this worker's "
+                        "chaos sites — see repro.resilience.chaos")
+    p.add_argument("--drain-timeout", type=float, default=30.0,
+                   help="seconds SIGTERM waits for in-flight shards before "
+                        "the worker stops")
     p.add_argument("-v", "--verbose", action="store_true")
 
 
@@ -159,6 +177,8 @@ def _cmd_serve(args) -> int:
     import logging
 
     from repro.engine import SearchEngine
+    from repro.resilience import BreakerRegistry, RetryPolicy
+    from repro.service.address import parse_address
     from repro.service.scheduler import SearchService
     from repro.service.server import DEFAULT_PORT, SearchServer
 
@@ -171,6 +191,26 @@ def _cmd_serve(args) -> int:
         print("repro serve: --join (cluster mode) and --remote-worker "
               "(static fleet) are mutually exclusive", file=sys.stderr)
         return 2
+    # Validate every dialable address up front: a typo'd --join or
+    # --remote-worker should fail at boot with a pointed error, not as an
+    # endpoint that fails every dial forever.
+    for flag, values in (("--join", args.join),
+                         ("--remote-worker", args.remote_worker),
+                         ("--cluster-advertise",
+                          [args.cluster_advertise] if args.cluster_advertise
+                          else [])):
+        for value in values:
+            try:
+                parse_address(value)
+            except ValueError as exc:
+                print(f"repro serve: {flag} {exc}", file=sys.stderr)
+                return 2
+    # One breaker registry and retry policy shared by every outbound path
+    # (shard dispatch, cache peering, gossip) — evidence gathered on one
+    # path protects the others.
+    breakers = BreakerRegistry(failure_threshold=args.breaker_threshold,
+                               reset_timeout=args.breaker_reset)
+    retry = RetryPolicy(max_attempts=args.retry_attempts)
     if args.join:
         # Cluster mode: gossip membership + cache peering + cluster-wide
         # scheduling over every member's registered workers.
@@ -182,23 +222,27 @@ def _cmd_serve(args) -> int:
         )
         from repro.service.registry import WorkerRegistry
 
-        registry = WorkerRegistry()
+        registry = WorkerRegistry(breakers=breakers)
         membership = ClusterMembership(
             args.cluster_advertise, seeds=args.join,
             suspicion_timeout=args.suspicion_timeout,
         )
         cluster = ClusterCoordinator(
-            membership, gossip_interval=args.gossip_interval
+            membership, gossip_interval=args.gossip_interval,
+            breakers=breakers,
         )
         # CachePeers derives its total budget from the wait, so a long
         # --peer-wait is honoured rather than truncated.
-        peering = CachePeers(membership, inflight_wait=args.peer_wait)
-        executor = ClusterExecutor(membership, registry)
+        peering = CachePeers(membership, inflight_wait=args.peer_wait,
+                             breakers=breakers)
+        executor = ClusterExecutor(membership, registry, retry=retry,
+                                   breakers=breakers)
     elif args.remote_worker:
         from repro.service.executor import RemoteExecutor
 
         executor = RemoteExecutor(
-            args.remote_worker, fallback_local=args.fallback_local
+            args.remote_worker, fallback_local=args.fallback_local,
+            retry=retry, breakers=breakers,
         )
     else:
         # Auto-discovery: workers announce themselves with --register and
@@ -206,8 +250,8 @@ def _cmd_serve(args) -> int:
         from repro.service.executor import RegistryExecutor
         from repro.service.registry import WorkerRegistry
 
-        registry = WorkerRegistry()
-        executor = RegistryExecutor(registry)
+        registry = WorkerRegistry(breakers=breakers)
+        executor = RegistryExecutor(registry, retry=retry, breakers=breakers)
     engine = SearchEngine(executor=executor)
 
     async def run() -> None:
@@ -317,6 +361,9 @@ def _cmd_worker(args) -> int:
         argv += ["--advertise", args.advertise]
     if args.register_interval is not None:
         argv += ["--register-interval", str(args.register_interval)]
+    if args.chaos_plan:
+        argv += ["--chaos-plan", args.chaos_plan]
+    argv += ["--drain-timeout", str(args.drain_timeout)]
     if args.verbose:
         argv.append("--verbose")
     return worker_main(argv)

@@ -17,15 +17,18 @@ Three executors ship today:
   (:func:`repro.util.parallel.parallel_map`), the default.
 - :class:`RemoteExecutor` — fans shards out to ``repro-worker`` processes
   (:mod:`repro.service.worker`) over the length-prefixed TCP protocol of
-  :mod:`repro.service.wire`, with per-shard timeouts and requeue-on-failure:
-  a worker that dies mid-shard loses its connection, its shard goes back on
-  the queue, and a surviving worker picks it up.
+  :mod:`repro.service.wire`, with requeue-on-failure plus the resilience
+  layer (:mod:`repro.resilience`): transient transport failures are
+  retried with backoff under a per-run retry budget, per-endpoint circuit
+  breakers quarantine flapping workers, and the request deadline — read
+  from :func:`repro.resilience.current_deadline` or passed explicitly —
+  rides each shard frame and bounds each reply wait.
 - :class:`RegistryExecutor` — the auto-discovery form: resolves the worker
   fleet from a live :class:`~repro.service.registry.WorkerRegistry` at
   *each* ``run_shards`` call (workers announce themselves with the wire's
-  ``register`` message; the server health-checks them), building a
-  per-run :class:`RemoteExecutor` — or running locally while the registry
-  is empty.
+  ``register`` message; the server health-checks them), filters out
+  breaker-quarantined endpoints, and builds a per-run
+  :class:`RemoteExecutor` — or runs locally while the registry is empty.
 
 Future scaling work (new transports, cluster schedulers) plugs in here by
 subclassing :class:`ShardExecutor`; the engine and the method adapters do
@@ -34,14 +37,33 @@ not change.
 
 from __future__ import annotations
 
+import collections
 import queue
+import random
+import re
 import socket
 import threading
 import time
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
-from repro.service.wire import ConnectionClosed, WireError, recv_frame, send_frame
+from repro.resilience import (
+    BreakerRegistry,
+    Deadline,
+    DeadlineExceeded,
+    RetryBudget,
+    RetryPolicy,
+    current_deadline,
+)
+from repro.service.address import format_address, parse_address
+from repro.service.wire import (
+    MIN_WIRE_VERSION,
+    WIRE_VERSION,
+    ConnectionClosed,
+    WireError,
+    recv_frame,
+    send_frame,
+)
 from repro.util.parallel import parallel_map
 from repro.util.rng import spawn_rngs
 
@@ -55,24 +77,43 @@ __all__ = [
     "default_executor",
 ]
 
+# Shared by worker registration, server handlers, peering, and gossip —
+# kept importable under the old private name for compatibility.
+_parse_address = parse_address
+
 
 class ShardExecutionError(RuntimeError):
     """A shard function raised on a worker — retrying cannot help."""
 
 
 class WorkerUnavailable(RuntimeError):
-    """No worker could complete the remaining shards (dead/unreachable)."""
+    """No worker could complete the remaining shards (dead/unreachable).
+
+    Attributes:
+        attempt_history: per-shard list of ``{"address", "error"}`` dicts
+            for the shards that exhausted their attempt bound (a poison
+            shard's paper trail), when that is why the run failed.
+    """
+
+    def __init__(self, message: str, *, attempt_history=None):
+        super().__init__(message)
+        self.attempt_history = attempt_history or {}
 
 
 class ShardExecutor(ABC):
     """Strategy for executing a list of independent shard tasks."""
 
     @abstractmethod
-    def run_shards(self, func: Callable, tasks: Sequence, *, workers: int = 1) -> list:
+    def run_shards(self, func: Callable, tasks: Sequence, *, workers: int = 1,
+                   deadline: Deadline | None = None) -> list:
         """Run ``func(task, rng)`` for every task; results in task order.
 
         ``workers`` is the plan's parallelism hint; executors with their own
         notion of width (e.g. one lane per remote worker) may ignore it.
+        ``deadline`` bounds the whole call (``None`` reads the ambient
+        :func:`repro.resilience.current_deadline`); executors raise
+        :class:`~repro.resilience.DeadlineExceeded` rather than start work
+        nobody will wait for.
         """
 
     def describe(self) -> dict:
@@ -95,7 +136,12 @@ class LocalExecutor(ShardExecutor):
     def __init__(self, use_processes: bool = True):
         self.use_processes = use_processes
 
-    def run_shards(self, func, tasks, *, workers: int = 1) -> list:
+    def run_shards(self, func, tasks, *, workers: int = 1,
+                   deadline: Deadline | None = None) -> list:
+        if deadline is None:
+            deadline = current_deadline()
+        if deadline is not None:
+            deadline.raise_if_expired("batch")
         return parallel_map(
             func,
             tasks,
@@ -107,47 +153,85 @@ class LocalExecutor(ShardExecutor):
         return {"executor": "local"}
 
 
-def _parse_address(address) -> tuple[str, int]:
-    """``"host:port"`` or ``(host, port)`` -> ``(host, port)``."""
-    if isinstance(address, str):
-        host, _, port = address.rpartition(":")
-        if not host or not port.isdigit():
-            raise ValueError(f"worker address {address!r} is not 'host:port'")
-        return host, int(port)
-    host, port = address
-    return str(host), int(port)
+#: Parses "this process speaks v2..v3" out of a peer's version-mismatch
+#: error reply — the negotiation hook a newer dialer downgrades through.
+_PEER_MAX_VERSION = re.compile(r"speaks v\d+\.\.v(\d+)")
+
+
+def _is_permanent_transport(exc: Exception) -> bool:
+    """True for transport failures retrying cannot fix: a peer that is not
+    speaking the repro protocol at all (bad magic — a stray service on a
+    stale registered port), or one announcing a *newer* wire version than
+    this build decodes.  Undecodable payloads and closed connections stay
+    retriable — they can be transient (corruption, a worker restart)."""
+    if not isinstance(exc, WireError) or isinstance(exc, ConnectionClosed):
+        return False
+    text = str(exc)
+    return "bad frame magic" in text or "wire version mismatch" in text
+
+
+def _downgrade_version(error_message: str) -> int | None:
+    """The peer's maximum wire version, if *error_message* is the standard
+    version-mismatch reply; ``None`` for any other error."""
+    match = _PEER_MAX_VERSION.search(str(error_message))
+    if match is None:
+        return None
+    peer_max = int(match.group(1))
+    if MIN_WIRE_VERSION <= peer_max < WIRE_VERSION:
+        return peer_max
+    return None
 
 
 class RemoteExecutor(ShardExecutor):
     """Fan shards out to ``repro-worker`` processes over TCP.
 
     One dispatch thread per worker address pulls shards off a shared queue,
-    ships each as a ``("shard", func, task, rng)`` frame, and waits for the
-    ``("result", value)`` reply.  Failure handling:
+    ships each as a ``("shard", func, task, rng, meta)`` frame (``meta``
+    carries the remaining deadline budget; legacy v2/v3 lanes fall back to
+    the 4-tuple form), and waits for the ``("result", value)`` reply.
+    Failure handling:
 
     - **transport failure** (connection refused/reset, worker death
-      mid-shard, per-shard timeout, or an incompatible peer — wire-version
-      mismatch mid-rolling-upgrade, a stray service on the port): the shard
-      is requeued for the surviving workers and the failed worker's lane
-      shuts down.  Because tasks carry their randomness, a requeued shard
-      reproduces the exact result the dead worker would have returned.
+      mid-shard, per-shard timeout, an undecodable frame, or a draining
+      worker's ``unavailable`` reply): the shard is requeued immediately so
+      any lane can pick it up, the endpoint's circuit breaker records the
+      failure, and the lane retries *its own* worker with decorrelated-
+      jitter backoff while the per-run :class:`~repro.resilience.RetryBudget`
+      lasts — then retires.  Because tasks carry their randomness, a
+      requeued shard reproduces the exact result the dead worker would
+      have returned.
     - **shard function error** (the worker ran the shard and it raised):
       deterministic — no retry; the whole run aborts with
       :class:`ShardExecutionError`.
+    - **deadline exhaustion**: dispatch stops and the run raises
+      :class:`~repro.resilience.DeadlineExceeded` (workers likewise skip
+      shards whose shipped budget arrives spent).
 
-    A shard is attempted at most ``max_attempts`` times (default: once per
-    configured worker).  If every worker lane dies with shards outstanding,
-    the run falls back to in-process execution when ``fallback_local=True``,
-    else raises :class:`WorkerUnavailable`.
+    A shard is attempted at most ``max_attempts`` times; a shard that
+    exceeds the bound (a *poison* shard crashing worker after worker) fails
+    the run with :class:`WorkerUnavailable` carrying the full per-attempt
+    history instead of cycling forever.  If every worker lane dies with
+    shards outstanding, the run falls back to in-process execution when
+    ``fallback_local=True``, else raises :class:`WorkerUnavailable`.
 
     Args:
-        addresses: worker endpoints, each ``"host:port"`` or ``(host, port)``.
-        timeout: per-shard reply timeout in seconds (covers send + compute +
-            receive on one worker).
+        addresses: worker endpoints, each ``"host:port"``, ``"[v6]:port"``,
+            or ``(host, port)``.
+        timeout: per-shard reply ceiling in seconds (covers send + compute +
+            receive on one worker); the live deadline can only tighten it.
         connect_timeout: TCP connect timeout per worker.
-        max_attempts: per-shard attempt bound; ``None`` = one try per worker.
+        max_attempts: per-shard attempt bound; ``None`` = one try per worker
+            plus the retry headroom (``len(addresses) + retry.max_attempts``).
         fallback_local: run leftover shards in-process instead of raising
             when every worker is gone.
+        retry: transient-failure :class:`~repro.resilience.RetryPolicy`
+            (``None`` = the default policy).
+        retry_budget: retry tokens per :meth:`run_shards` call shared by all
+            lanes; ``None`` sizes it as ``max(4, len(tasks))``.
+        breakers: shared :class:`~repro.resilience.BreakerRegistry`
+            (``None`` = a private registry, scoped to this executor).
+        chaos: optional :class:`~repro.resilience.FaultPlan` consulted at
+            ``executor.connect`` (dial faults for tests).
     """
 
     def __init__(
@@ -158,32 +242,89 @@ class RemoteExecutor(ShardExecutor):
         connect_timeout: float = 5.0,
         max_attempts: int | None = None,
         fallback_local: bool = False,
+        retry: RetryPolicy | None = None,
+        retry_budget: int | None = None,
+        breakers: BreakerRegistry | None = None,
+        chaos=None,
     ):
-        self.addresses = [_parse_address(a) for a in addresses]
+        self.addresses = [parse_address(a) for a in addresses]
         if not self.addresses:
             raise ValueError("RemoteExecutor needs at least one worker address")
         self.timeout = timeout
         self.connect_timeout = connect_timeout
-        self.max_attempts = max_attempts or len(self.addresses)
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.retry_budget = retry_budget
+        self.breakers = breakers if breakers is not None else BreakerRegistry()
+        self.chaos = chaos
+        self.max_attempts = max_attempts or (
+            len(self.addresses) + self.retry.max_attempts
+        )
         self.fallback_local = fallback_local
-        #: Stats of the most recent :meth:`run_shards` call (requeues, deaths).
+        #: Stats of the most recent :meth:`run_shards` call (requeues,
+        #: deaths, retries, breaker skips).
         self.last_run: dict = {}
 
     # ------------------------------------------------------------ internals
     def _connect(self, address: tuple[str, int]) -> socket.socket:
+        if self.chaos is not None:
+            spec = self.chaos.apply(self.chaos.visit("executor.connect"))
+            if spec is not None and spec.kind == "refuse":
+                raise ConnectionRefusedError(
+                    f"chaos: connection to {format_address(*address)} refused"
+                )
         sock = socket.create_connection(address, timeout=self.connect_timeout)
         sock.settimeout(self.timeout)
         return sock
 
+    def _record_failure(self, state, index, endpoint, exc) -> None:
+        with state["lock"]:
+            state["requeued"] += 1
+            state["history"][index].append(
+                {"address": endpoint, "error": f"{type(exc).__name__}: {exc}"}
+            )
+
     def _serve_lane(self, address, func, state) -> None:
         """One worker lane: pull shards until every shard is done or the
-        worker fails.  Any transport failure requeues the in-flight shard
-        and ends the lane (the worker is assumed gone or wedged).  An idle
-        lane keeps waiting while another lane has a shard in flight — that
-        shard may yet be requeued and need picking up."""
+        worker fails permanently.  A transport failure requeues the
+        in-flight shard immediately (any lane may pick it up), records it
+        on the endpoint's breaker, and — while the run's retry budget
+        lasts — backs off and retries this worker; once the lane's
+        consecutive failures reach the retry policy's bound, or the budget
+        is dry, the lane retires.  An idle lane keeps waiting while
+        another lane has a shard in flight — that shard may yet be
+        requeued and need picking up."""
+        endpoint = format_address(*address)
+        breaker = self.breakers.get(endpoint)
+        deadline: Deadline | None = state["deadline"]
+        jitter = random.Random(hash((endpoint, len(state["tasks"]))))
+        lane_version: int | None = None  # None = this build's WIRE_VERSION
+        lane_failures = 0
+        lane_error: str | None = None  # last unrecovered transport failure
+        last_delay = 0.0
         sock = None
+
+        if not breaker.allow():
+            with state["lock"]:
+                state["breaker_skips"].append(endpoint)
+            return
+
+        def halt(reason_key, value) -> None:
+            with state["lock"]:
+                if state[reason_key] is None:
+                    state[reason_key] = value
+
+        def mark_dead() -> None:
+            # A lane that *ends* in a failing state goes on the dead list
+            # (a failure recovered by a later success does not).
+            if lane_error is not None:
+                with state["lock"]:
+                    state["dead"].append(
+                        {"address": endpoint, "error": lane_error}
+                    )
+
         try:
-            while not state["fatal"]:
+            while state["fatal"] is None and state["poisoned"] is None \
+                    and not state["expired"]:
                 # Pop and mark in-flight under ONE lock hold: a sibling
                 # lane's idle check (queue empty AND nothing in flight)
                 # must never interleave between the two, or it could retire
@@ -195,6 +336,10 @@ class RemoteExecutor(ShardExecutor):
                         if state["in_flight"] == 0:
                             # Nothing queued and nothing in flight anywhere:
                             # either all done, or no lane will requeue again.
+                            if lane_error is not None:
+                                state["dead"].append(
+                                    {"address": endpoint, "error": lane_error}
+                                )
                             return
                         index = None
                     else:
@@ -214,59 +359,139 @@ class RemoteExecutor(ShardExecutor):
                             state["pending"].put(index)
 
                 if exhausted:
-                    # Over-tried shard: give it back and end the lane so the
-                    # run can fail with a coherent report.
+                    # Poison shard: it has crashed or timed out every
+                    # attempt it was given.  Fail the run with its history
+                    # — requeueing again would cycle forever.
+                    halt("poisoned", index)
+                    release(requeue=False)
+                    return
+                if deadline is not None and deadline.expired:
+                    halt("expired", True)
                     release(requeue=True)
                     return
                 try:
                     if sock is None:
                         sock = self._connect(address)
-                    send_frame(sock, ("shard", func, state["tasks"][index],
-                                      state["rngs"][index]))
+                    message = self._shard_message(
+                        func, state["tasks"][index], state["rngs"][index],
+                        deadline, lane_version,
+                    )
+                    if deadline is not None:
+                        sock.settimeout(
+                            min(self.timeout, deadline.budget(0.001))
+                        )
+                    send_frame(sock, message, version=lane_version)
                     reply = recv_frame(sock)
                 except (OSError, WireError) as exc:
-                    # Worker death mid-shard, refused connection, timeout, or
-                    # a peer this process cannot talk to (wire-version
-                    # mismatch during a rolling upgrade, a stray service on
-                    # a stale registered port): requeue for the other lanes
-                    # and retire this one — an unusable worker must degrade
-                    # the fleet, never abort the batch.  (ConnectionClosed
-                    # is a WireError subclass.)
+                    # Worker death mid-shard, refused connection, timeout,
+                    # or an undecodable/corrupt frame: requeue for any lane
+                    # (this one included), tell the breaker, and retry this
+                    # worker with backoff while the run's budget lasts — an
+                    # unusable worker must degrade the fleet, never abort
+                    # the batch.  (ConnectionClosed is a WireError subclass.)
+                    self._close(sock)
+                    sock = None
+                    breaker.record_failure()
+                    self._record_failure(state, index, endpoint, exc)
+                    release(requeue=True)
+                    lane_failures += 1
+                    lane_error = f"{type(exc).__name__}: {exc}"
+                    if _is_permanent_transport(exc) \
+                            or lane_failures >= self.retry.max_attempts \
+                            or not breaker.allow() \
+                            or not state["budget"].take():
+                        mark_dead()
+                        return
+                    with state["lock"]:
+                        state["retries"] += 1
+                    last_delay = self.retry.next_delay(last_delay, jitter)
+                    if deadline is not None:
+                        last_delay = min(last_delay, deadline.budget(0.0))
+                    time.sleep(last_delay)
+                    continue
+                if not isinstance(reply, tuple) or not reply:
+                    halt("fatal", f"malformed worker reply: {reply!r}")
+                    release(requeue=True)
+                    return
+                if reply[0] == "unavailable":
+                    # The worker is draining: requeue elsewhere and retire
+                    # this lane without charging the breaker — a graceful
+                    # goodbye is not a failure.
                     with state["lock"]:
                         state["requeued"] += 1
                         state["dead"].append(
-                            {"address": f"{address[0]}:{address[1]}",
-                             "error": f"{type(exc).__name__}: {exc}"}
+                            {"address": endpoint,
+                             "error": f"draining: {reply[1] if len(reply) > 1 else ''}"}
                         )
                     release(requeue=True)
                     return
-                if not isinstance(reply, tuple) or not reply:
-                    state["fatal"] = f"malformed worker reply: {reply!r}"
+                if reply[0] == "expired":
+                    # The worker refused a shard whose budget arrived spent
+                    # — the whole run is past its deadline.
+                    halt("expired", True)
                     release(requeue=True)
                     return
                 if reply[0] == "error":
-                    state["fatal"] = reply[1]
+                    peer_max = _downgrade_version(
+                        reply[1] if len(reply) > 1 else ""
+                    )
+                    if peer_max is not None and lane_version is None:
+                        # A legacy (v2/v3) acceptor rejected our v4 frame:
+                        # pin the lane to the peer's maximum and resend in
+                        # the legacy shard form.  Deadline enforcement for
+                        # this lane degrades to the dialer-side timeout.
+                        lane_version = peer_max
+                        self._close(sock)
+                        sock = None
+                        with state["lock"]:
+                            state["downgraded"][endpoint] = peer_max
+                        release(requeue=True)
+                        continue
+                    halt("fatal", reply[1] if len(reply) > 1 else "error")
                     release(requeue=True)
                     return
                 if reply[0] != "result":
-                    state["fatal"] = f"unexpected reply type {reply[0]!r}"
+                    halt("fatal", f"unexpected reply type {reply[0]!r}")
                     release(requeue=True)
                     return
                 state["results"][index] = reply[1]
                 state["done"][index] = True
                 release(requeue=False)
+                breaker.record_success()
+                lane_failures = 0
+                lane_error = None
+                last_delay = 0.0
         finally:
-            if sock is not None:
-                try:
-                    sock.close()
-                except OSError:
-                    pass
+            self._close(sock)
+
+    @staticmethod
+    def _shard_message(func, task, rng, deadline, lane_version) -> tuple:
+        """The shard frame: v4 ships the remaining budget in a meta dict;
+        lanes pinned to a legacy peer send the pre-deadline 4-tuple."""
+        if lane_version is not None and lane_version < 4:
+            return ("shard", func, task, rng)
+        meta = {}
+        if deadline is not None:
+            meta["deadline_s"] = deadline.remaining()
+        return ("shard", func, task, rng, meta)
+
+    @staticmethod
+    def _close(sock) -> None:
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
 
     # -------------------------------------------------------------- public
-    def run_shards(self, func, tasks, *, workers: int = 1) -> list:
+    def run_shards(self, func, tasks, *, workers: int = 1,
+                   deadline: Deadline | None = None) -> list:
         tasks = list(tasks)
         if not tasks:
             return []
+        if deadline is None:
+            deadline = current_deadline()
+        budget = self.retry_budget
         state = {
             "tasks": tasks,
             # Mirror parallel_map's per-task generator argument; shard
@@ -276,12 +501,22 @@ class RemoteExecutor(ShardExecutor):
             "results": [None] * len(tasks),
             "done": [False] * len(tasks),
             "attempts": [0] * len(tasks),
+            "history": collections.defaultdict(list),
             "pending": queue.Queue(),
             "lock": threading.Lock(),
             "in_flight": 0,
             "requeued": 0,
+            "retries": 0,
             "dead": [],
+            "breaker_skips": [],
+            "downgraded": {},
             "fatal": None,
+            "poisoned": None,
+            "expired": False,
+            "deadline": deadline,
+            "budget": RetryBudget(
+                max(4, len(tasks)) if budget is None else budget
+            ),
         }
         for i in range(len(tasks)):
             state["pending"].put(i)
@@ -299,19 +534,40 @@ class RemoteExecutor(ShardExecutor):
 
         self.last_run = {
             "requeued": state["requeued"],
+            "retries": state["retries"],
             "dead_workers": list(state["dead"]),
+            "breaker_skips": list(state["breaker_skips"]),
+            "downgraded_lanes": dict(state["downgraded"]),
             "local_fallback_shards": 0,
         }
-        if state["fatal"]:
+        if state["fatal"] is not None:
             raise ShardExecutionError(
                 f"shard function failed on a worker: {state['fatal']}"
             )
+        if state["poisoned"] is not None:
+            index = state["poisoned"]
+            history = {i: list(h) for i, h in state["history"].items()}
+            raise WorkerUnavailable(
+                f"shard {index} exhausted its {self.max_attempts}-attempt "
+                f"bound (a poison shard?); attempts: {history.get(index, [])}",
+                attempt_history=history,
+            )
+        if state["expired"] or (deadline is not None and deadline.expired):
+            unfinished = sum(1 for ok in state["done"] if not ok)
+            if unfinished:
+                raise DeadlineExceeded(
+                    f"request deadline exhausted with {unfinished} shard(s) "
+                    f"undispatched"
+                )
         leftover = [i for i, ok in enumerate(state["done"]) if not ok]
         if leftover:
             if not self.fallback_local:
                 raise WorkerUnavailable(
                     f"{len(leftover)} shard(s) unfinished after all worker "
-                    f"lanes failed: {state['dead']}"
+                    f"lanes failed: {state['dead'] or state['breaker_skips']}",
+                    attempt_history={
+                        i: list(h) for i, h in state["history"].items()
+                    },
                 )
             for i in leftover:
                 state["results"][i] = func(tasks[i], state["rngs"][i])
@@ -321,8 +577,9 @@ class RemoteExecutor(ShardExecutor):
     def describe(self) -> dict:
         return {
             "executor": "remote",
-            "workers": [f"{h}:{p}" for h, p in self.addresses],
+            "workers": [format_address(h, p) for h, p in self.addresses],
             "timeout_s": self.timeout,
+            "retry": self.retry.describe(),
         }
 
 
@@ -335,22 +592,36 @@ class RegistryExecutor(ShardExecutor):
     ``--remote-worker`` wiring: workers that announce themselves (the wire's
     ``register`` message) serve the next batch, health-check evictions stop
     routing to dead hosts, and an empty registry falls back to the local
-    executor instead of failing.  Remote dispatch always runs with
-    ``fallback_local=True`` — the registry's liveness view necessarily lags
-    reality, so a fleet that dies mid-batch must degrade, not abort.
+    executor instead of failing.  The executor's
+    :class:`~repro.resilience.BreakerRegistry` persists across runs — a
+    worker that kept failing is quarantined out of the candidate fleet
+    until its half-open probe readmits it — and remote dispatch always runs
+    with ``fallback_local=True``: the registry's liveness view necessarily
+    lags reality, so a fleet that dies mid-batch must degrade, not abort.
 
     Args:
         registry: the live membership to resolve per run.
         timeout: per-shard reply timeout handed to each
             :class:`RemoteExecutor`.
         connect_timeout: TCP connect timeout per worker.
+        retry: transient-failure policy for the per-run remote executors.
+        breakers: shared breaker registry (``None`` = one private to this
+            executor, still persistent across runs).
+        chaos: optional :class:`~repro.resilience.FaultPlan` handed to the
+            per-run remote executors.
     """
 
     def __init__(self, registry, *, timeout: float = 300.0,
-                 connect_timeout: float = 5.0):
+                 connect_timeout: float = 5.0,
+                 retry: RetryPolicy | None = None,
+                 breakers: BreakerRegistry | None = None,
+                 chaos=None):
         self.registry = registry
         self.timeout = timeout
         self.connect_timeout = connect_timeout
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breakers = breakers if breakers is not None else BreakerRegistry()
+        self.chaos = chaos
         self._local = LocalExecutor()
         #: Stats of the most recent run (addresses used, fallback flag).
         self.last_run: dict = {}
@@ -361,25 +632,40 @@ class RegistryExecutor(ShardExecutor):
         cluster-wide fleet here)."""
         return self.registry.snapshot()
 
-    def run_shards(self, func, tasks, *, workers: int = 1) -> list:
+    def run_shards(self, func, tasks, *, workers: int = 1,
+                   deadline: Deadline | None = None) -> list:
         tasks = list(tasks)
+        if deadline is None:
+            deadline = current_deadline()
+        candidates = self._resolve_addresses(tasks)
+        # Quarantined endpoints are filtered out before lanes are built:
+        # an open breaker means "recently kept failing", and half-open
+        # endpoints stay dialable so they can earn their way back in.
+        addresses, quarantined = self.breakers.partition(candidates)
         # One lane per shard is the useful maximum: extra lanes would only
         # hold idle connections (and, for ranked fleets, trimming from the
         # tail keeps the lanes on the best-ranked workers).
-        addresses = self._resolve_addresses(tasks)[: max(1, len(tasks))]
+        addresses = addresses[: max(1, len(tasks))]
         if not addresses:
-            self.last_run = {"addresses": [], "local": True}
-            return self._local.run_shards(func, tasks, workers=workers)
+            self.last_run = {"addresses": [], "local": True,
+                             "quarantined": quarantined}
+            return self._local.run_shards(func, tasks, workers=workers,
+                                          deadline=deadline)
         remote = RemoteExecutor(
             addresses,
             timeout=self.timeout,
             connect_timeout=self.connect_timeout,
             fallback_local=True,
+            retry=self.retry,
+            breakers=self.breakers,
+            chaos=self.chaos,
         )
         try:
-            return remote.run_shards(func, tasks, workers=workers)
+            return remote.run_shards(func, tasks, workers=workers,
+                                     deadline=deadline)
         finally:
             self.last_run = {"addresses": addresses, "local": False,
+                             "quarantined": quarantined,
                              **remote.last_run}
 
     def describe(self) -> dict:

@@ -39,12 +39,17 @@ class WorkerRegistry:
     job.
     """
 
-    def __init__(self):
+    def __init__(self, *, breakers=None):
         self._lock = threading.Lock()
         #: address -> registration metadata (monotonic stamps for stats).
         self._workers: dict[str, dict] = {}
         self.registrations = 0
         self.evictions = 0
+        #: Optional shared :class:`~repro.resilience.BreakerRegistry` —
+        #: the registry does not consult it (scheduling stays the
+        #: executor's job); it is attached purely so the stats surface can
+        #: report breaker state next to the membership it quarantines.
+        self.breakers = breakers
 
     def __len__(self) -> int:
         with self._lock:
@@ -106,10 +111,14 @@ class WorkerRegistry:
             return sorted(self._workers)
 
     def stats(self) -> dict:
-        """``{workers, registrations, evictions}`` for the stats surface."""
+        """``{workers, registrations, evictions[, breakers]}`` for the
+        stats surface."""
         with self._lock:
-            return {
+            stats = {
                 "workers": sorted(self._workers),
                 "registrations": self.registrations,
                 "evictions": self.evictions,
             }
+        if self.breakers is not None:
+            stats["breakers"] = self.breakers.snapshot()
+        return stats

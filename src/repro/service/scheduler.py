@@ -40,6 +40,8 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from threading import Lock
 
+from repro.resilience import Deadline, deadline_scope
+
 __all__ = ["SearchService", "ServiceOverloaded", "ServiceStats"]
 
 log = logging.getLogger("repro.service.scheduler")
@@ -141,6 +143,7 @@ class SearchService:
             max_workers=max_workers, thread_name_prefix="repro-service"
         )
         self._closed = False
+        self._draining = False
 
     # ------------------------------------------------------------ lifecycle
     async def __aenter__(self) -> "SearchService":
@@ -157,9 +160,28 @@ class SearchService:
             if self.peering is not None and hasattr(self.peering, "close"):
                 self.peering.close()
 
+    def drain(self) -> None:
+        """Stop admitting new requests; in-flight ones finish normally.
+
+        New submits are rejected with :class:`ServiceOverloaded` (the
+        backpressure signal clients already retry on — against another
+        replica, for a draining one).  Idempotent; :meth:`close` still
+        performs the actual shutdown once the in-flight count reaches zero.
+        """
+        self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     # -------------------------------------------------------------- serving
     def _admit(self) -> None:
         with self._admission:
+            if self._draining:
+                self.stats.rejected += 1
+                raise ServiceOverloaded(
+                    "service is draining; retry against another replica"
+                )
             if self.stats.in_flight >= self.max_pending:
                 self.stats.rejected += 1
                 raise ServiceOverloaded(
@@ -293,7 +315,14 @@ class SearchService:
                     # timeout the asyncio wrapper gets cancelled and reports
                     # done immediately, but only the concurrent future
                     # completes when the pool thread actually ends.
-                    job_future = self._pool.submit(job)
+                    # The remaining budget becomes an ambient Deadline inside
+                    # the pool thread: the engine reads it per shard batch
+                    # (repro.resilience.current_deadline) and the executors
+                    # ship it to workers, so a deadline overrun stops
+                    # dispatching instead of computing shards nobody awaits.
+                    job_future = self._pool.submit(
+                        self._run_with_deadline, job, Deadline.after(deadline)
+                    )
                     try:
                         result = await asyncio.wait_for(
                             asyncio.wrap_future(job_future, loop=loop), deadline
@@ -334,6 +363,18 @@ class SearchService:
             return result
         finally:
             self._release()
+
+    @staticmethod
+    def _run_with_deadline(job, deadline):
+        """Pool-thread entry: run *job* under an ambient request deadline.
+
+        A :class:`~repro.resilience.DeadlineExceeded` raised by the engine
+        is a ``TimeoutError`` subclass, so it flows into the existing
+        timeout accounting (and the server's ``("timeout", ...)`` reply)
+        without a separate failure path.
+        """
+        with deadline_scope(deadline):
+            return job()
 
     def _reap_abandoned(self, loop, job_future) -> None:
         """Release the worker slot of a timed-out job once its thread ends.

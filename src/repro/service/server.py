@@ -15,6 +15,9 @@ protocol and read one frame back:
   a ``repro-worker`` announcing itself for shard dispatch (servers started
   without a :class:`~repro.service.registry.WorkerRegistry` answer
   ``("error", ...)``);
+- ``("deregister", "host:port")`` -> ``("deregistered", {...})`` — a
+  draining worker withdrawing itself (wire v4), so routing stops
+  immediately instead of waiting out a health-check eviction;
 - ``("gossip", sender, table)`` / ``("cache-peek", key, wait_s)`` /
   ``("cluster-status",)`` — the cluster messages (wire v3), routed to the
   attached :class:`~repro.cluster.ClusterCoordinator`; servers started
@@ -108,12 +111,29 @@ class SearchServer:
             # Bind the advertised address now that the port is known (an
             # address set earlier — --cluster-advertise — wins) and start
             # the gossip loop.
+            from repro.service.address import format_address
+
             host, port = self.address
-            self.cluster.attach(f"{host}:{port}", registry=self.registry,
+            self.cluster.attach(format_address(host, port),
+                                registry=self.registry,
                                 service=self.service)
             await self.cluster.start()
         log.info("repro serve listening on %s:%d", *self.address)
         return self
+
+    async def drain(self, *, timeout: float = 30.0) -> None:
+        """Graceful shutdown: stop admitting, let in-flight requests finish
+        (bounded by *timeout*), then :meth:`stop`.
+
+        New submits get the ``("overloaded", ...)`` backpressure reply
+        while the drain runs, so load balancers and retrying clients move
+        to another replica instead of erroring.
+        """
+        self.service.drain()
+        cutoff = time.monotonic() + timeout
+        while time.monotonic() < cutoff and self.service.stats.in_flight > 0:
+            await asyncio.sleep(0.05)
+        await self.stop()
 
     async def stop(self) -> None:
         if self.cluster is not None:
@@ -134,10 +154,10 @@ class SearchServer:
     async def _ping_worker(self, address: str) -> bool:
         """One liveness probe: connect, send the worker ``ping``, await
         ``pong`` — all inside :attr:`health_timeout`."""
-        from repro.service.executor import _parse_address
+        from repro.service.address import parse_address
 
         try:
-            host, port = _parse_address(address)
+            host, port = parse_address(address)
             reader, writer = await asyncio.wait_for(
                 asyncio.open_connection(host, port),
                 timeout=self.health_timeout,
@@ -248,18 +268,24 @@ class SearchServer:
                 return ("error", "this server is not part of a cluster "
                                  "(start it with repro serve --join)")
             return await self.cluster.dispatch(message)
-        if kind == "register":
-            from repro.service.executor import _parse_address
+        if kind in ("register", "deregister"):
+            from repro.service.address import parse_address
 
             if self.registry is None:
                 return ("error", "this server does not accept worker "
                                  "registration (no registry configured)")
             try:
                 _, address = message
-                _parse_address(str(address))
+                parse_address(str(address))
             except (TypeError, ValueError):
                 return ("error",
-                        "register message must be (register, 'host:port')")
+                        f"{kind} message must be ({kind}, 'host:port')")
+            if kind == "deregister":
+                removed = self.registry.remove(str(address))
+                log.info("worker %s deregistered%s", address,
+                         "" if removed else " (was not registered)")
+                return ("deregistered", {"workers": self.registry.snapshot(),
+                                         "removed": removed})
             fresh = self.registry.add(str(address))
             log.info("worker %s %s", address,
                      "registered" if fresh else "re-registered")

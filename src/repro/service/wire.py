@@ -50,6 +50,27 @@ Version history
   see :mod:`repro.cluster`), which v2 servers answer with ``("error", ...)``
   as the rule above allows.  v1 peers remain rejected:
   :data:`MIN_WIRE_VERSION` is 2.
+- **v4** — deadline propagation: the worker ``shard`` message grows a
+  fifth element, a metadata dict carrying the request's **remaining
+  budget** in seconds (``{"deadline_s": float}``; monotonic clocks do not
+  transfer between hosts, so the absolute deadline never crosses the
+  wire).  Workers rebuild a local :class:`~repro.resilience.Deadline`
+  from it and answer ``("expired", msg)`` for shards that arrive already
+  dead.  A v2/v3 worker would unpack the 5-tuple wrong, hence the bump;
+  v4 workers still accept the 4-tuple form from older dialers.  Adds the
+  ``deregister`` message (a draining worker withdrawing its
+  registration) and the ``unavailable`` reply (a draining worker
+  refusing new shards — the dialer requeues elsewhere, like a transport
+  failure, instead of aborting the batch).
+
+  **v3 -> v4 upgrade rule:** the negotiation rule above still governs —
+  upgrade **acceptors first** (workers/servers, which keep answering v2–v3
+  dialers in kind), **dialers second**.  A v4 dialer that reaches a
+  not-yet-upgraded v3 acceptor gets the standard version-mismatch
+  ``("error", ...)`` reply; the shard executor recognises it, pins that
+  lane to the peer's advertised maximum, and resends the legacy 4-tuple
+  — deadline enforcement for that lane degrades to the dialer-side
+  timeout, nothing else changes.
 """
 
 from __future__ import annotations
@@ -75,7 +96,7 @@ __all__ = [
 ]
 
 #: Protocol version — bump on any incompatible change (see module docstring).
-WIRE_VERSION = 3
+WIRE_VERSION = 4
 
 #: Oldest peer version this build still decodes (and will answer in kind).
 #: v1 frames predate the ExecutionPolicy shard payload and are rejected.
@@ -136,7 +157,16 @@ def _check_header(header: bytes) -> tuple[int, int]:
 
 
 def _decode(body: bytes) -> object:
-    return pickle.loads(body)
+    try:
+        return pickle.loads(body)
+    except Exception as exc:
+        # A frame whose header decoded but whose payload does not unpickle
+        # (corruption in transit, chaos injection, deep version skew) is a
+        # *transport* failure: surface it as WireError so dialers requeue
+        # the shard instead of treating it as a deterministic shard error.
+        raise WireError(
+            f"undecodable frame payload ({type(exc).__name__}: {exc})"
+        ) from exc
 
 
 # ------------------------------------------------------------- blocking I/O

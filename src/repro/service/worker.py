@@ -4,8 +4,12 @@ The worker listens on TCP, accepts any number of concurrent connections
 (one thread each), and answers frames of the wire protocol
 (:mod:`repro.service.wire`):
 
-- ``("shard", func, task, rng)`` -> ``("result", func(task, rng))``, or
-  ``("error", message)`` when the shard function raises;
+- ``("shard", func, task, rng[, meta])`` -> ``("result", func(task, rng))``,
+  or ``("error", message)`` when the shard function raises.  The optional
+  fifth element (wire v4) is a metadata dict; ``meta["deadline_s"]`` is the
+  request's **remaining budget** in seconds, from which the worker rebuilds
+  a local :class:`~repro.resilience.Deadline` — a shard whose budget
+  arrives spent is answered ``("expired", message)`` without computing.
 - ``("ping",)`` -> ``("pong", stats_dict)`` — liveness/health probe.
 
 The worker is stateless between shards: everything a shard needs (schedule,
@@ -28,27 +32,49 @@ shards here with no ``--remote-worker`` wiring; ``--advertise HOST:PORT``
 overrides the announced address when the bind address is not what the
 server should dial (0.0.0.0 binds, NAT).  Only expose workers to trusted
 networks: frames are pickles and execute code by design.
+
+**Graceful drain:** ``SIGTERM`` (or :meth:`WorkerServer.drain`) finishes
+the in-flight shards, answers new shard requests ``("unavailable", ...)``
+so dialers requeue them elsewhere, withdraws the registration with a
+``deregister`` frame, and exits — a rolling restart never aborts a batch.
+
+**Chaos:** ``--chaos-plan PLAN.json`` (or ``WorkerServer(chaos=...)``)
+arms a seeded :class:`~repro.resilience.FaultPlan`; the worker consults it
+at ``worker.recv`` (drop the connection before reading), ``worker.shard``
+(crash / slow / deterministic raise), and ``worker.send`` (corrupt the
+reply frame, or drop instead of replying).
 """
 
 from __future__ import annotations
 
 import argparse
 import logging
+import signal
 import socket
 import threading
 import time
 import traceback
+import warnings
 
+from repro.resilience import Deadline, FaultPlan, deadline_scope
+from repro.service.address import format_address, parse_address
 from repro.service.wire import (
     MIN_WIRE_VERSION,
     ConnectionClosed,
     WireError,
+    _encode,
     recv_frame,
     recv_frame_ex,
     send_frame,
 )
 
-__all__ = ["WorkerServer", "register_with_server", "start_reannounce_loop", "main"]
+__all__ = [
+    "WorkerServer",
+    "register_with_server",
+    "deregister_from_server",
+    "start_reannounce_loop",
+    "main",
+]
 
 #: Default seconds between registration re-announcements (see
 #: :func:`start_reannounce_loop`).
@@ -66,21 +92,38 @@ class WorkerServer:
     Args:
         host: bind address (default loopback; use ``0.0.0.0`` for cluster use).
         port: bind port; ``0`` picks a free one (read it from :attr:`address`).
-        fail_after: **fault-injection hook for tests** — after serving this
-            many shards the worker abruptly closes every connection and stops
-            accepting, simulating a crash mid-stream.  ``None`` (default)
-            never fails.
+        chaos: a :class:`~repro.resilience.FaultPlan` consulted at the
+            ``worker.recv`` / ``worker.shard`` / ``worker.send`` sites.
+            ``None`` (default) injects nothing.
+        fail_after: **deprecated** — the pre-chaos fault hook; equivalent to
+            ``chaos=FaultPlan.worker_crash(fail_after)``.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 *, fail_after: int | None = None):
+                 *, chaos: FaultPlan | None = None,
+                 fail_after: int | None = None):
+        if fail_after is not None:
+            warnings.warn(
+                "WorkerServer(fail_after=...) is deprecated; pass "
+                "chaos=FaultPlan.worker_crash(n) instead",
+                DeprecationWarning, stacklevel=2,
+            )
+            if chaos is not None:
+                raise ValueError(
+                    "pass either chaos= or the deprecated fail_after=, not both"
+                )
+            chaos = FaultPlan.worker_crash(fail_after)
         self._sock = socket.create_server((host, port), backlog=16)
         self._sock.settimeout(0.2)  # poll so shutdown is prompt
         self.address: tuple[str, int] = self._sock.getsockname()[:2]
-        self.fail_after = fail_after
+        self.chaos = chaos
         self.shards_served = 0
+        self.shards_expired = 0
         self._lock = threading.Lock()
         self._stop = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+        self._draining = False
+        self._active_shards = 0
         # Live connections/threads only: handlers prune themselves on exit,
         # so a long-lived worker serving many short connections stays flat.
         self._threads: set[threading.Thread] = set()
@@ -127,6 +170,40 @@ class WorkerServer:
             self._sock.close()
         except OSError:
             pass
+        # The accept loop may still hold the listening description inside
+        # its (timeout-bounded) accept syscall, which keeps the port in
+        # LISTEN briefly after the close above.  Join it so a stop/drain
+        # that returns really has released the port.
+        thread = self._accept_thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=1.0)
+
+    def drain(self, *, deregister: tuple[str, str] | None = None,
+              timeout: float = 30.0) -> None:
+        """Graceful shutdown: finish the in-flight shards, refuse new ones
+        (``("unavailable", ...)`` — dialers requeue elsewhere), withdraw
+        the registration, then :meth:`stop`.
+
+        Args:
+            deregister: ``(server_address, advertise_address)`` to withdraw
+                from a ``repro serve`` registry; ``None`` skips it.
+            timeout: seconds to wait for in-flight shards before stopping
+                anyway.
+        """
+        self._draining = True
+        cutoff = time.monotonic() + timeout
+        while time.monotonic() < cutoff:
+            with self._lock:
+                if self._active_shards == 0:
+                    break
+            time.sleep(0.02)
+        if deregister is not None:
+            deregister_from_server(*deregister)
+        self.stop()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
 
     def __enter__(self) -> "WorkerServer":
         return self.start()
@@ -135,13 +212,18 @@ class WorkerServer:
         self.stop()
 
     # ------------------------------------------------------------- handling
-    def _crashed(self) -> bool:
-        return self.fail_after is not None and self.shards_served >= self.fail_after
+    def _chaos_at(self, site: str):
+        if self.chaos is None:
+            return None
+        return self.chaos.visit(site)
 
     def _serve_connection(self, conn: socket.socket, peer) -> None:
         log.debug("connection from %s", peer)
         try:
             while not self._stop.is_set():
+                spec = self._chaos_at("worker.recv")
+                if spec is not None and spec.kind == "drop":
+                    return  # close mid-stream: the dialer sees ConnectionClosed
                 try:
                     message, version = recv_frame_ex(conn)
                 except ConnectionClosed:
@@ -154,6 +236,22 @@ class WorkerServer:
                 if reply is None:  # injected crash: vanish mid-stream
                     self.stop()
                     return
+                if reply[0] in ("unavailable", "expired") and version < 4:
+                    # Pre-v4 dialers don't know these reply types; a closed
+                    # connection is the compatible signal (they requeue).
+                    return
+                spec = self._chaos_at("worker.send")
+                if spec is not None and spec.kind == "drop":
+                    return  # computed, never replied — like a mid-send death
+                if spec is not None and spec.kind == "corrupt":
+                    # A frame whose header decodes but whose payload does
+                    # not: the dialer's _decode raises WireError -> requeue.
+                    frame = bytearray(_encode(reply, version))
+                    frame[-1] ^= 0xFF
+                    conn.sendall(bytes(frame))
+                    continue
+                if spec is not None:
+                    FaultPlan.apply(spec, what="worker reply")  # slow/raise
                 # Reply at the request's version (wire negotiation rule).
                 send_frame(conn, reply, version=version)
         except OSError:
@@ -172,34 +270,70 @@ class WorkerServer:
             return ("error", f"malformed message: {message!r}")
         kind = message[0]
         if kind == "ping":
-            return ("pong", {"shards_served": self.shards_served})
+            return ("pong", {"shards_served": self.shards_served,
+                             "shards_expired": self.shards_expired,
+                             "draining": self._draining})
         if kind == "shard":
-            if self._crashed():
-                return None
-            try:
-                _, func, task, rng = message
-            except ValueError:
-                return ("error", "shard message must be (shard, func, task, rng)")
-            try:
-                result = func(task, rng)
-            except Exception as exc:  # deterministic failure -> no retry
-                log.exception("shard function raised")
-                return ("error",
-                        f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
-            with self._lock:
-                self.shards_served += 1
-            if self._crashed():
-                # Crash *after* computing but before replying — the harshest
-                # mid-shard death the executor must survive.
-                return None
-            return ("result", result)
+            return self._dispatch_shard(message)
         return ("error", f"unknown message type {kind!r}")
+
+    def _dispatch_shard(self, message) -> tuple | None:
+        if len(message) == 4:
+            _, func, task, rng = message
+            meta = {}
+        elif len(message) == 5:
+            _, func, task, rng, meta = message
+            if not isinstance(meta, dict):
+                return ("error", "shard metadata must be a dict")
+        else:
+            return ("error",
+                    "shard message must be (shard, func, task, rng[, meta])")
+        if self._draining:
+            return ("unavailable", "worker draining: requeue elsewhere")
+        deadline_s = meta.get("deadline_s")
+        if deadline_s is not None and deadline_s <= 0:
+            # The budget was spent in transit: refuse without computing —
+            # nobody is waiting for this result.
+            with self._lock:
+                self.shards_expired += 1
+            return ("expired",
+                    f"shard arrived with its deadline spent "
+                    f"({deadline_s:.3f}s remaining)")
+        spec = self._chaos_at("worker.shard")
+        if spec is not None and spec.kind == "crash" and not spec.compute_first:
+            return None  # vanish before computing
+        with self._lock:
+            self._active_shards += 1
+        try:
+            if spec is not None and spec.kind == "slow":
+                time.sleep(spec.delay_s)
+            if spec is not None and spec.kind == "raise":
+                raise RuntimeError(
+                    "chaos: injected deterministic failure at worker shard"
+                )
+            deadline = Deadline.after(deadline_s)
+            with deadline_scope(deadline):
+                result = func(task, rng)
+        except Exception as exc:  # deterministic failure -> no retry
+            log.exception("shard function raised")
+            return ("error",
+                    f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}")
+        finally:
+            with self._lock:
+                self._active_shards -= 1
+        with self._lock:
+            self.shards_served += 1
+        if spec is not None and spec.kind == "crash":
+            # Crash *after* computing but before replying — the harshest
+            # mid-shard death the executor must survive.
+            return None
+        return ("result", result)
 
     @staticmethod
     def _best_effort_send(conn: socket.socket, payload) -> None:
         # Sent when the *incoming* frame was undecodable, so the peer's
         # version is unknown: MIN_WIRE_VERSION is the one version every
-        # supported peer (v2 exact-match or v3 range) can decode.
+        # supported peer (v2 exact-match or v3+ range) can decode.
         try:
             send_frame(conn, payload, version=MIN_WIRE_VERSION)
         except OSError:
@@ -233,10 +367,8 @@ def register_with_server(
         RuntimeError: the server rejected the registration.
         OSError: the server stayed unreachable through every attempt.
     """
-    from repro.service.executor import _parse_address
-
-    host, port = _parse_address(server_address)
-    adv_host, adv_port = _parse_address(advertise_address)
+    host, port = parse_address(server_address)
+    adv_host, adv_port = parse_address(advertise_address)
     last_exc: OSError | None = None
     for attempt in range(attempts):
         if attempt:
@@ -246,7 +378,7 @@ def register_with_server(
                 sock.settimeout(timeout)
                 if adv_host in ("0.0.0.0", "::"):
                     adv_host = sock.getsockname()[0]
-                advertise_address = f"{adv_host}:{adv_port}"
+                advertise_address = format_address(adv_host, adv_port)
                 send_frame(sock, ("register", advertise_address))
                 reply = recv_frame(sock)
         except (OSError, ConnectionClosed) as exc:
@@ -259,6 +391,32 @@ def register_with_server(
     raise OSError(
         f"could not reach {server_address} after {attempts} attempts: {last_exc}"
     )
+
+
+def deregister_from_server(
+    server_address: str,
+    advertise_address: str,
+    *,
+    timeout: float = 5.0,
+) -> bool:
+    """Withdraw *advertise_address* from a server's registry (best-effort).
+
+    One ``("deregister", address)`` frame; a draining worker calls this so
+    the server stops routing to it immediately instead of waiting for a
+    health-check eviction.  Failures are swallowed — the worker is going
+    away regardless, and the health loop is the backstop.
+    """
+    try:
+        host, port = parse_address(server_address)
+        adv_host, adv_port = parse_address(advertise_address)
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            send_frame(sock, ("deregister", format_address(adv_host, adv_port)))
+            reply = recv_frame(sock)
+    except (OSError, WireError, ValueError) as exc:
+        log.warning("deregistration with %s failed: %s", server_address, exc)
+        return False
+    return bool(isinstance(reply, tuple) and reply and reply[0] == "deregistered")
 
 
 def start_reannounce_loop(
@@ -320,21 +478,32 @@ def main(argv=None) -> int:
                         help="seconds between registration re-announcements "
                              "(heals health-check evictions and server "
                              "restarts; 0 disables)")
+    parser.add_argument("--chaos-plan", default=None, metavar="PLAN",
+                        help="arm a seeded FaultPlan: a JSON file path or an "
+                             "inline JSON object (testing only)")
+    parser.add_argument("--drain-timeout", type=float, default=30.0,
+                        help="seconds SIGTERM waits for in-flight shards "
+                             "before stopping anyway")
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
     logging.basicConfig(
         level=logging.DEBUG if args.verbose else logging.INFO,
         format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
-    server = WorkerServer(args.host, args.port)
+    chaos = FaultPlan.from_json(args.chaos_plan) if args.chaos_plan else None
+    if chaos is not None:
+        log.warning("chaos armed: %r", chaos)
+    server = WorkerServer(args.host, args.port, chaos=chaos)
     # Announce readiness on stdout so harnesses can wait for the port.
-    print(f"repro-worker ready on {server.address[0]}:{server.address[1]}",
+    print(f"repro-worker ready on {format_address(*server.address)}",
           flush=True)
+    advertise = args.advertise or format_address(*server.address)
+    registered = False
     if args.register:
-        advertise = args.advertise or f"{server.address[0]}:{server.address[1]}"
         keep_announcing = True
         try:
             register_with_server(args.register, advertise)
+            registered = True
             print(f"repro-worker registered with {args.register} as {advertise}",
                   flush=True)
         except OSError as exc:
@@ -342,6 +511,7 @@ def main(argv=None) -> int:
             # RemoteExecutor can still reach us) and let the re-announce
             # loop establish the registration when the server appears.
             log.error("registration with %s failed: %s", args.register, exc)
+            registered = True  # the loop may yet succeed; drain withdraws
         except (RuntimeError, ValueError) as exc:
             # Malformed address or a server that rejects registration:
             # deterministic — re-announcing would only repeat the error.
@@ -353,6 +523,16 @@ def main(argv=None) -> int:
                 args.register, advertise,
                 interval=args.register_interval, stop_event=server._stop,
             )
+
+    def _on_sigterm(signum, frame):
+        log.info("SIGTERM: draining (finishing in-flight shards)")
+        server.drain(
+            deregister=(args.register, advertise)
+            if args.register and registered else None,
+            timeout=args.drain_timeout,
+        )
+
+    signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever()
     except KeyboardInterrupt:

@@ -17,7 +17,8 @@ class TestWorkerResolution:
     def test_empty_cluster_runs_locally(self):
         ex = ClusterExecutor(ClusterMembership("a:1"), WorkerRegistry())
         assert ex.run_shards(echo_shard, [1, 2, 3]) == [1, 2, 3]
-        assert ex.last_run == {"addresses": [], "local": True}
+        assert ex.last_run == {"addresses": [], "local": True,
+                               "quarantined": []}
         assert ex.describe()["executor"] == "cluster"
 
     def test_local_registry_workers_are_used(self):

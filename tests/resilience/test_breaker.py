@@ -1,0 +1,159 @@
+"""Circuit-breaker state machine tests, driven by an injectable clock.
+
+No sleeping: the open -> half-open edge is a pure function of the clock,
+so a fake monotonic source steps time explicitly.
+"""
+
+import pytest
+
+from repro.resilience import BreakerRegistry, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(reset_timeout=0.0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_max=0)
+
+    def test_stays_closed_below_threshold(self):
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        """A merely lossy endpoint (fail, fail, succeed, repeat) never
+        trips — only a *run* of failures does."""
+        breaker = CircuitBreaker(failure_threshold=3, clock=FakeClock())
+        for _ in range(5):
+            breaker.record_failure()
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.trips == 0
+
+    def test_threshold_run_opens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0,
+                                 clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.trips == 1
+
+    def test_open_to_half_open_after_reset_timeout(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(9.999)
+        assert breaker.state == "open"
+        clock.advance(0.002)
+        assert breaker.state == "half-open"
+
+    def test_half_open_admits_bounded_trials(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 half_open_max=2, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()      # trial 1
+        assert breaker.allow()      # trial 2
+        assert not breaker.allow()  # slots exhausted until an outcome lands
+
+    def test_would_allow_never_claims_a_trial(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 half_open_max=1, clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.would_allow()
+        assert breaker.would_allow()  # peeks are free
+        assert breaker.allow()        # the one real trial slot is still there
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens_full_quarantine(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, reset_timeout=10.0,
+                                 clock=clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()   # one trial failure is enough
+        assert breaker.state == "open"
+        clock.advance(9.0)
+        assert breaker.state == "open"  # a fresh, full quarantine
+        clock.advance(1.0)
+        assert breaker.state == "half-open"
+        assert breaker.trips == 2
+
+    def test_snapshot_shape(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, reset_timeout=10.0,
+                                 clock=clock)
+        assert breaker.snapshot() == {
+            "state": "closed", "consecutive_failures": 0, "trips": 0,
+        }
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["state"] == "open"
+        assert snap["retry_in_s"] == 10.0
+
+
+class TestBreakerRegistry:
+    def test_unknown_endpoints_are_dialable_without_creating_breakers(self):
+        registry = BreakerRegistry()
+        assert registry.state("10.0.0.1:7737") == "closed"
+        assert registry.snapshot() == {}  # state() must not create one
+
+    def test_get_is_stable_per_endpoint(self):
+        registry = BreakerRegistry()
+        assert registry.get("a:1") is registry.get("a:1")
+        assert registry.get("a:1") is not registry.get("b:2")
+
+    def test_partition_preserves_order_and_quarantines_open(self):
+        clock = FakeClock()
+        registry = BreakerRegistry(failure_threshold=1, reset_timeout=10.0,
+                                   clock=clock)
+        registry.get("bad:1").record_failure()
+        dialable, quarantined = registry.partition(["a:1", "bad:1", "c:3"])
+        assert dialable == ["a:1", "c:3"]
+        assert quarantined == ["bad:1"]
+        clock.advance(10.0)  # half-open endpoints are dialable again
+        dialable, quarantined = registry.partition(["a:1", "bad:1", "c:3"])
+        assert dialable == ["a:1", "bad:1", "c:3"]
+        assert quarantined == []
+
+    def test_snapshot_keyed_by_endpoint(self):
+        registry = BreakerRegistry(failure_threshold=1)
+        registry.get("w:1").record_failure()
+        snap = registry.snapshot()
+        assert set(snap) == {"w:1"}
+        assert snap["w:1"]["state"] == "open"

@@ -1,0 +1,171 @@
+"""FaultPlan determinism, scheduling, and serialization tests."""
+
+import json
+
+import pytest
+
+from repro.resilience import FaultPlan, FaultSpec
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(site="worker.shard", kind="explode")
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            FaultSpec(site="s", kind="drop", after=-1)
+        with pytest.raises(ValueError):
+            FaultSpec(site="s", kind="drop", count=0)
+        with pytest.raises(ValueError):
+            FaultSpec(site="s", kind="drop", probability=1.5)
+
+
+class TestFaultPlanScheduling:
+    def test_after_and_count_window(self):
+        plan = FaultPlan([FaultSpec(site="s", kind="drop", after=2, count=2)])
+        fired = [plan.visit("s") is not None for _ in range(6)]
+        assert fired == [False, False, True, True, False, False]
+
+    def test_count_none_fires_forever(self):
+        plan = FaultPlan([FaultSpec(site="s", kind="drop", count=None)])
+        assert all(plan.visit("s") is not None for _ in range(20))
+
+    def test_first_armed_spec_wins(self):
+        plan = FaultPlan([
+            FaultSpec(site="s", kind="drop", after=1, count=1),
+            FaultSpec(site="s", kind="refuse", count=None),
+        ])
+        assert plan.visit("s").kind == "refuse"  # drop not armed yet
+        assert plan.visit("s").kind == "drop"    # now it is, and it's first
+        assert plan.visit("s").kind == "refuse"  # drop spent its count
+
+    def test_unlisted_site_never_fires(self):
+        plan = FaultPlan([FaultSpec(site="worker.shard", kind="crash")])
+        assert plan.visit("gossip.exchange") is None
+        assert plan.fired() == 0
+
+    def test_probability_stream_is_seed_deterministic(self):
+        def firing_pattern(seed):
+            plan = FaultPlan(
+                [FaultSpec(site="s", kind="drop", count=None,
+                           probability=0.5)],
+                seed=seed,
+            )
+            return [plan.visit("s") is not None for _ in range(64)]
+
+        assert firing_pattern(1) == firing_pattern(1)
+        assert firing_pattern(1) != firing_pattern(2)
+        assert any(firing_pattern(1))
+        assert not all(firing_pattern(1))
+
+    def test_sites_have_independent_streams(self):
+        """Visit order across sites must not perturb per-site schedules —
+        the property that makes multi-threaded runs replayable."""
+        def pattern(interleaved):
+            plan = FaultPlan(
+                [FaultSpec(site="a", kind="drop", count=None,
+                           probability=0.5),
+                 FaultSpec(site="b", kind="drop", count=None,
+                           probability=0.5)],
+                seed=9,
+            )
+            out = []
+            for i in range(32):
+                if interleaved:
+                    plan.visit("b")
+                out.append(plan.visit("a") is not None)
+            return out
+
+        assert pattern(interleaved=False) == pattern(interleaved=True)
+
+    def test_fired_counts_by_site(self):
+        plan = FaultPlan([
+            FaultSpec(site="a", kind="drop", count=2),
+            FaultSpec(site="b", kind="refuse", count=1),
+        ])
+        for _ in range(5):
+            plan.visit("a")
+            plan.visit("b")
+        assert plan.fired("a") == 2
+        assert plan.fired("b") == 1
+        assert plan.fired() == 3
+
+
+class TestFaultPlanApply:
+    def test_none_passes_through(self):
+        assert FaultPlan.apply(None) is None
+
+    def test_raise_kind_raises_deterministic_failure(self):
+        spec = FaultSpec(site="worker.shard", kind="raise")
+        with pytest.raises(RuntimeError, match="chaos: injected"):
+            FaultPlan.apply(spec, what="worker shard")
+
+    def test_transport_kinds_are_returned_to_the_caller(self):
+        spec = FaultSpec(site="worker.send", kind="corrupt")
+        assert FaultPlan.apply(spec) is spec
+
+
+class TestWorkerCrashBuilder:
+    def test_zero_crashes_before_first_compute(self):
+        plan = FaultPlan.worker_crash(0)
+        [spec] = plan.faults
+        assert spec.kind == "crash"
+        assert spec.after == 0
+        assert spec.compute_first is False
+
+    def test_n_computes_the_nth_then_vanishes(self):
+        plan = FaultPlan.worker_crash(3)
+        [spec] = plan.faults
+        assert spec.after == 2           # shards 1..2 served normally
+        assert spec.compute_first is True  # the 3rd computes, reply lost
+        assert plan.visit("worker.shard") is None
+        assert plan.visit("worker.shard") is None
+        assert plan.visit("worker.shard").kind == "crash"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FaultPlan.worker_crash(-1)
+
+
+class TestFromJson:
+    DOC = {"seed": 5, "faults": [
+        {"site": "worker.shard", "kind": "crash", "after": 1},
+        {"site": "peer.probe", "kind": "slow", "delay_s": 0.2},
+    ]}
+
+    def test_from_dict(self):
+        plan = FaultPlan.from_json(self.DOC)
+        assert plan.seed == 5
+        assert [s.kind for s in plan.faults] == ["crash", "slow"]
+
+    def test_from_json_text(self):
+        plan = FaultPlan.from_json(json.dumps(self.DOC))
+        assert plan.faults == FaultPlan.from_json(self.DOC).faults
+
+    def test_from_path(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(self.DOC))
+        plan = FaultPlan.from_json(str(path))
+        assert plan.seed == 5
+
+    def test_malformed_documents_rejected(self):
+        with pytest.raises(ValueError, match="'faults' list"):
+            FaultPlan.from_json({"seed": 1})
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.from_json(
+                {"faults": [{"site": "s", "kind": "nope"}]}
+            )
+
+    def test_describe_round_trips_through_from_json(self):
+        plan = FaultPlan.from_json(self.DOC)
+        desc = plan.describe()
+        rebuilt = FaultPlan.from_json({
+            "seed": desc["seed"],
+            "faults": [
+                {k: v for k, v in f.items() if k != "fired"}
+                for f in desc["faults"]
+            ],
+        })
+        assert rebuilt.faults == plan.faults
+        assert rebuilt.seed == plan.seed

@@ -1,0 +1,107 @@
+"""Deadline arithmetic and contextvar propagation tests."""
+
+import threading
+
+import pytest
+
+from repro.resilience import (
+    Deadline,
+    DeadlineExceeded,
+    current_deadline,
+    deadline_scope,
+)
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_after_none_means_no_deadline(self):
+        assert Deadline.after(None) is None
+
+    def test_remaining_counts_down_and_goes_negative(self):
+        clock = FakeClock()
+        deadline = Deadline.after(5.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(5.0)
+        clock.advance(7.0)
+        assert deadline.remaining() == pytest.approx(-2.0)
+        assert deadline.expired
+
+    def test_budget_clamps_at_floor(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(2.0)
+        assert deadline.budget() == 0.0
+        assert deadline.budget(0.001) == 0.001
+        clock.advance(-2.5)
+        assert deadline.budget(0.001) == pytest.approx(1.5)
+
+    def test_raise_if_expired(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        deadline.raise_if_expired("batch")  # plenty of budget: no raise
+        clock.advance(1.5)
+        with pytest.raises(DeadlineExceeded, match="batch deadline exceeded"):
+            deadline.raise_if_expired("batch")
+
+    def test_deadline_exceeded_is_a_timeout(self):
+        """Every layer that maps TimeoutError to ('timeout', ...) must
+        catch DeadlineExceeded for free."""
+        assert issubclass(DeadlineExceeded, TimeoutError)
+
+
+class TestDeadlineScope:
+    def test_default_is_none(self):
+        assert current_deadline() is None
+
+    def test_scope_sets_and_restores(self):
+        deadline = Deadline.after(10.0)
+        with deadline_scope(deadline) as scoped:
+            assert scoped is deadline
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_none_scope_clears_an_inherited_deadline(self):
+        outer = Deadline.after(10.0)
+        with deadline_scope(outer):
+            with deadline_scope(None):
+                assert current_deadline() is None
+            assert current_deadline() is outer
+
+    def test_scope_restores_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with deadline_scope(Deadline.after(1.0)):
+                raise RuntimeError("boom")
+        assert current_deadline() is None
+
+    def test_scope_is_thread_local(self):
+        """The service sets the scope inside the pool thread; other threads
+        must not observe it."""
+        seen = {}
+        barrier = threading.Barrier(2)
+
+        def holder():
+            with deadline_scope(Deadline.after(10.0)):
+                barrier.wait()   # scope active...
+                barrier.wait()   # ...while the observer looks
+
+        def observer():
+            barrier.wait()
+            seen["other_thread"] = current_deadline()
+            barrier.wait()
+
+        threads = [threading.Thread(target=holder),
+                   threading.Thread(target=observer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert seen["other_thread"] is None

@@ -1,0 +1,90 @@
+"""RetryPolicy (decorrelated jitter) and RetryBudget unit tests.
+
+Delays are pinned by seeding the jitter RNG: the backoff sequence is a
+pure function of (policy, seed), which is exactly the property the
+executor relies on to make fault-path tests replayable.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.resilience import RetryBudget, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=-0.1)
+        with pytest.raises(ValueError, match="base_delay"):
+            RetryPolicy(base_delay=2.0, max_delay=1.0)
+
+    def test_delays_within_decorrelated_envelope(self):
+        policy = RetryPolicy(max_attempts=8, base_delay=0.05, max_delay=2.0)
+        previous = 0.0
+        rng = random.Random(7)
+        for delay in policy.delays(rng):
+            upper = max(policy.base_delay, 3.0 * previous)
+            assert policy.base_delay <= delay <= min(policy.max_delay, upper) \
+                or delay == policy.base_delay
+            assert delay <= policy.max_delay
+            previous = delay
+
+    def test_sequence_deterministic_per_seed(self):
+        policy = RetryPolicy(max_attempts=6)
+        a = list(policy.delays(random.Random(123)))
+        b = list(policy.delays(random.Random(123)))
+        c = list(policy.delays(random.Random(124)))
+        assert a == b
+        assert a != c
+
+    def test_max_delay_caps_growth(self):
+        policy = RetryPolicy(max_attempts=32, base_delay=0.5, max_delay=1.0)
+        assert all(d <= 1.0 for d in policy.delays(random.Random(0)))
+
+    def test_one_attempt_means_no_delays(self):
+        assert list(RetryPolicy(max_attempts=1).delays(random.Random(0))) == []
+
+    def test_describe_round_trips_the_knobs(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, max_delay=3.0)
+        assert policy.describe() == {
+            "max_attempts": 4, "base_delay_s": 0.1, "max_delay_s": 3.0,
+        }
+
+
+class TestRetryBudget:
+    def test_takes_exactly_budget_tokens(self):
+        budget = RetryBudget(3)
+        assert [budget.take() for _ in range(5)] == [
+            True, True, True, False, False,
+        ]
+        assert budget.remaining == 0
+        assert budget.spent == 3
+
+    def test_zero_budget_never_allows(self):
+        assert RetryBudget(0).take() is False
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryBudget(-1)
+
+    def test_concurrent_takers_cannot_overspend(self):
+        budget = RetryBudget(50)
+        granted = []
+        lock = threading.Lock()
+
+        def drain():
+            while budget.take():
+                with lock:
+                    granted.append(1)
+
+        threads = [threading.Thread(target=drain) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(granted) == 50
+        assert budget.remaining == 0

@@ -17,6 +17,7 @@ import pytest
 from repro.core.parameters import plan_schedule
 from repro.engine import SearchEngine, SearchRequest, ShardPolicy
 from repro.engine.plan import run_grk_batch_sharded
+from repro.resilience import FaultPlan
 from repro.service._testing import double_shard, echo_shard, raise_shard, slow_shard
 from repro.service.executor import (
     LocalExecutor,
@@ -109,7 +110,7 @@ class TestFaultPaths:
         """A worker that dies after computing (but before replying) loses
         the connection; its shard is requeued and the survivor's results
         are identical to an all-healthy run."""
-        with WorkerServer(fail_after=1) as dying, WorkerServer() as healthy:
+        with WorkerServer(chaos=FaultPlan.worker_crash(1)) as dying, WorkerServer() as healthy:
             ex = RemoteExecutor([dying.address, healthy.address])
             out = ex.run_shards(double_shard, list(range(12)))
             assert out == [2 * i for i in range(12)]
@@ -117,7 +118,7 @@ class TestFaultPaths:
             assert len(ex.last_run["dead_workers"]) == 1
 
     def test_immediate_death_requeues_everything(self):
-        with WorkerServer(fail_after=0) as dead, WorkerServer() as healthy:
+        with WorkerServer(chaos=FaultPlan.worker_crash(0)) as dead, WorkerServer() as healthy:
             ex = RemoteExecutor([dead.address, healthy.address])
             assert ex.run_shards(echo_shard, [5, 6, 7]) == [5, 6, 7]
             assert healthy.shards_served == 3
@@ -137,7 +138,7 @@ class TestFaultPaths:
             hung.close()
 
     def test_all_workers_dead_raises(self):
-        with WorkerServer(fail_after=0) as dead:
+        with WorkerServer(chaos=FaultPlan.worker_crash(0)) as dead:
             ex = RemoteExecutor([dead.address])
             with pytest.raises(WorkerUnavailable):
                 ex.run_shards(echo_shard, [1, 2])
@@ -152,7 +153,7 @@ class TestFaultPaths:
             ex.run_shards(echo_shard, [1])
 
     def test_fallback_local_completes_the_batch(self):
-        with WorkerServer(fail_after=2) as dying:
+        with WorkerServer(chaos=FaultPlan.worker_crash(2)) as dying:
             ex = RemoteExecutor([dying.address], fallback_local=True)
             assert ex.run_shards(double_shard, list(range(8))) == [
                 2 * i for i in range(8)
@@ -194,7 +195,7 @@ class TestBitIdentityUnderFaults:
 
     def test_worker_death_bit_identical(self):
         success, guesses, _ = self._local_reference()
-        with WorkerServer(fail_after=3) as dying, WorkerServer() as healthy:
+        with WorkerServer(chaos=FaultPlan.worker_crash(3)) as dying, WorkerServer() as healthy:
             ex = RemoteExecutor([dying.address, healthy.address])
             r_success, r_guesses, _ = self._remote(ex)
         assert np.array_equal(success, r_success)
@@ -215,7 +216,7 @@ class TestBitIdentityUnderFaults:
 
     def test_local_fallback_bit_identical(self):
         success, guesses, _ = self._local_reference()
-        with WorkerServer(fail_after=5) as dying:
+        with WorkerServer(chaos=FaultPlan.worker_crash(5)) as dying:
             ex = RemoteExecutor([dying.address], fallback_local=True)
             r_success, r_guesses, _ = self._remote(ex)
         assert np.array_equal(success, r_success)
@@ -230,7 +231,7 @@ class TestBitIdentityUnderFaults:
             shards=ShardPolicy(max_rows=8),
         )
         local = SearchEngine().search_batch(request)
-        with WorkerServer(fail_after=2) as dying, WorkerServer() as healthy:
+        with WorkerServer(chaos=FaultPlan.worker_crash(2)) as dying, WorkerServer() as healthy:
             engine = SearchEngine(
                 executor=RemoteExecutor([dying.address, healthy.address])
             )

@@ -24,6 +24,7 @@ from repro.service.server import SearchServer
 from repro.service.wire import recv_frame, send_frame
 from repro.service.worker import (
     WorkerServer,
+    deregister_from_server,
     register_with_server,
     start_reannounce_loop,
 )
@@ -61,7 +62,8 @@ class TestRegistryExecutor:
         ex = RegistryExecutor(WorkerRegistry())
         results = ex.run_shards(echo_shard, [1, 2, 3])
         assert results == [1, 2, 3]
-        assert ex.last_run == {"addresses": [], "local": True}
+        assert ex.last_run == {"addresses": [], "local": True,
+                               "quarantined": []}
         assert ex.describe()["executor"] == "registry"
 
     def test_dispatches_to_registered_worker(self):
@@ -195,6 +197,72 @@ class TestRegisterMessage:
                 await server.stop()
 
         run(scenario())
+
+
+class TestDeregisterMessage:
+    def test_deregister_withdraws_the_worker(self):
+        async def scenario():
+            registry = WorkerRegistry()
+            async with SearchService(SearchEngine()) as service:
+                server = SearchServer(service, registry=registry,
+                                      health_interval=60.0)
+                await server.start()
+                addr = server.address
+                await asyncio.to_thread(
+                    _roundtrip, addr, ("register", "127.0.0.1:7737")
+                )
+                reply = await asyncio.to_thread(
+                    _roundtrip, addr, ("deregister", "127.0.0.1:7737")
+                )
+                assert reply[0] == "deregistered"
+                assert reply[1]["removed"] is True
+                assert reply[1]["workers"] == []
+                assert len(registry) == 0
+                # Idempotent: a second withdrawal is a no-op, not an error.
+                reply = await asyncio.to_thread(
+                    _roundtrip, addr, ("deregister", "127.0.0.1:7737")
+                )
+                assert reply[0] == "deregistered"
+                assert reply[1]["removed"] is False
+                await server.stop()
+
+        run(scenario())
+
+    def test_worker_drain_deregisters_itself(self):
+        """The SIGTERM path end-to-end: drain() finishes, withdraws the
+        registration, and stops — a rolling restart leaves no stale
+        registry entry for the health loop to discover later."""
+
+        async def scenario():
+            registry = WorkerRegistry()
+            async with SearchService(SearchEngine()) as service:
+                server = SearchServer(service, registry=registry,
+                                      health_interval=60.0)
+                await server.start()
+                host, port = server.address
+                worker = WorkerServer().start()
+                await asyncio.to_thread(
+                    register_with_server, f"{host}:{port}", _addr(worker),
+                )
+                assert registry.snapshot() == [_addr(worker)]
+                await asyncio.to_thread(
+                    worker.drain,
+                    deregister=(f"{host}:{port}", _addr(worker)),
+                )
+                assert registry.snapshot() == []
+                await server.stop()
+
+        run(scenario())
+
+    def test_deregister_from_server_survives_a_dead_server(self):
+        """Best-effort by contract: the server being gone must not turn a
+        graceful worker shutdown into a crash."""
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        assert deregister_from_server(
+            f"127.0.0.1:{port}", "127.0.0.1:1"
+        ) is False
 
 
 class TestHealthLoop:

@@ -163,9 +163,9 @@ class TestNegotiation:
     """v3 cross-version negotiation: receivers accept the supported range
     and expose the frame version so acceptors can answer in kind."""
 
-    def test_supported_range_is_v2_to_v3(self):
+    def test_supported_range_is_v2_to_v4(self):
         assert wire.MIN_WIRE_VERSION == 2
-        assert wire.WIRE_VERSION == 3
+        assert wire.WIRE_VERSION == 4
 
     def test_v2_frame_accepted_and_version_exposed(self):
         a, b = _socketpair()

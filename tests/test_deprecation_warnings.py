@@ -12,6 +12,7 @@ import pytest
 
 from repro.analysis.sweep import sweep_partial_search
 from repro.core.batch import run_partial_search_batch
+from repro.service.worker import WorkerServer
 
 
 def _sole_deprecation(record):
@@ -53,6 +54,27 @@ class TestSweepPartialSearch:
         with pytest.warns(DeprecationWarning,
                           match="sweep_partial_search is deprecated"):
             sweep_partial_search([16], [2, 4])
+
+
+class TestWorkerServerFailAfter:
+    def test_warns_deprecation_at_caller(self):
+        with warnings.catch_warnings(record=True) as record:
+            warnings.simplefilter("always")
+            server = WorkerServer(fail_after=2)  # noqa: B018 — the probe line
+            probe_line = _line_of("server = WorkerServer(fail_after=2)")
+        w = _sole_deprecation(record)
+        assert w.filename == __file__
+        assert w.lineno == probe_line
+        assert "FaultPlan.worker_crash" in str(w.message)
+        # The alias must still configure the equivalent chaos plan.
+        assert server.chaos is not None
+        server.stop()
+
+    def test_pytest_warns_category(self):
+        with pytest.warns(DeprecationWarning,
+                          match=r"WorkerServer\(fail_after=\.\.\.\) is "
+                                r"deprecated"):
+            WorkerServer(fail_after=0).stop()
 
 
 def _line_of(snippet: str) -> int:
