@@ -1,0 +1,169 @@
+"""Gateway edge benchmark: HTTP/JSON request latency and throughput.
+
+Boots the real serving stack on loopback — ``SearchService`` behind a
+``GatewayServer`` — and drives a closed-loop HTTP workload through
+``POST /v1/search`` with a small pool of client threads:
+
+- an **uncached** phase (every request targets a distinct item, so each
+  one runs the engine) and a **cached** phase (one hot request replayed,
+  served from the service TTL cache), each reporting p50/p99 latency and
+  requests/s;
+- the **edge overhead** ratio: cached-phase p50 is pure gateway cost
+  (parse + validate + admit + encode) since the engine is bypassed, so
+  ``delta_vs_baseline`` expresses what the HTTP/JSON edge adds over the
+  compute it fronts.
+
+Results merge into ``BENCH_simulator.json`` as a ``gateway`` section (the
+other sections are left untouched).
+
+Run from the repo root (``python benchmarks/bench_gateway.py``;
+``--quick`` shrinks the workload for CI smoke).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import concurrent.futures
+import json
+import pathlib
+import statistics
+import time
+import urllib.request
+
+from repro.gateway.http import GatewayServer
+from repro.gateway.metrics import GatewayMetrics
+from repro.gateway.schema import SCHEMA_VERSION
+from repro.service.scheduler import SearchService
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "BENCH_simulator.json"
+
+CONFIGS = {
+    "full": {"n_items": 4096, "n_blocks": 4, "clients": 4,
+             "uncached_requests": 48, "cached_requests": 400},
+    "quick": {"n_items": 1024, "n_blocks": 4, "clients": 2,
+              "uncached_requests": 12, "cached_requests": 80},
+}
+
+
+def _post(base: str, payload: dict) -> float:
+    """One closed-loop request; returns wall latency, raises on non-200."""
+    body = json.dumps(payload).encode()
+    request = urllib.request.Request(
+        base + "/v1/search", data=body, method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    t0 = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=120) as resp:
+        if resp.status != 200:
+            raise RuntimeError(f"gateway answered {resp.status}")
+        resp.read()
+    return time.perf_counter() - t0
+
+
+def _payload(config: dict, target: int) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "n_items": config["n_items"],
+        "n_blocks": config["n_blocks"],
+        "target": target,
+    }
+
+
+def _drive(base: str, config: dict, payloads: list[dict]) -> dict:
+    """Closed-loop phase: ``clients`` threads drain the payload list."""
+    latencies: list[float] = []
+    with concurrent.futures.ThreadPoolExecutor(config["clients"]) as pool:
+        t0 = time.perf_counter()
+        for latency in pool.map(lambda p: _post(base, p), payloads):
+            latencies.append(latency)
+        elapsed = time.perf_counter() - t0
+    latencies.sort()
+    return {
+        "requests": len(latencies),
+        "clients": config["clients"],
+        "p50_ms": statistics.median(latencies) * 1e3,
+        "p99_ms": latencies[min(len(latencies) - 1,
+                                int(len(latencies) * 0.99))] * 1e3,
+        "requests_per_s": len(latencies) / elapsed,
+    }
+
+
+async def _run(config: dict) -> dict:
+    metrics = GatewayMetrics()
+    async with SearchService(max_workers=4, cache_size=1024) as service:
+        gateway = GatewayServer(service, port=0, metrics=metrics)
+        await gateway.start()
+        try:
+            host, port = gateway.address
+            base = f"http://{host}:{port}"
+
+            # Uncached: distinct targets, every request runs the engine.
+            uncached_payloads = [
+                _payload(config, t) for t in range(config["uncached_requests"])
+            ]
+            uncached = await asyncio.to_thread(
+                _drive, base, config, uncached_payloads
+            )
+
+            # Cached: one hot request replayed — pure edge cost.
+            cached_payloads = [
+                _payload(config, 0) for _ in range(config["cached_requests"])
+            ]
+            cached = await asyncio.to_thread(
+                _drive, base, config, cached_payloads
+            )
+
+            stats = service.stats_snapshot()
+            ok_requests = metrics.requests_total.value(
+                route="/v1/search", tenant="anonymous",
+                method="grk", outcome="ok",
+            )
+            return {
+                "n_items": config["n_items"],
+                "n_blocks": config["n_blocks"],
+                "uncached": uncached,
+                "cached": cached,
+                "edge_overhead_p50_ms": cached["p50_ms"],
+                "cache_hits": stats["cache"]["hits"],
+                "metrics_ok_requests": ok_requests,
+                "delta_vs_baseline": {
+                    "cached_vs_uncached_p50_ms": {
+                        "before_ms": uncached["p50_ms"],
+                        "after_ms": cached["p50_ms"],
+                        "ratio": cached["p50_ms"] / uncached["p50_ms"],
+                    },
+                },
+            }
+        finally:
+            await gateway.stop()
+
+
+def main(mode: str = "full") -> dict:
+    config = CONFIGS[mode]
+    section = asyncio.run(_run(config))
+    section["mode"] = mode
+
+    # Acceptance: every request answered 200 (metrics agree), the cached
+    # phase really hit the cache, and serving a cache hit over HTTP is
+    # cheaper than recomputing — otherwise the edge is the bottleneck.
+    total = config["uncached_requests"] + config["cached_requests"]
+    assert section["metrics_ok_requests"] == total, section
+    assert section["cache_hits"] >= config["cached_requests"] - 1, section
+    assert section["cached"]["p50_ms"] <= section["uncached"]["p50_ms"], section
+
+    existing = json.loads(OUTPUT.read_text()) if OUTPUT.exists() else {}
+    existing["gateway"] = section
+    OUTPUT.write_text(json.dumps(existing, indent=2) + "\n")
+    print(json.dumps(section, indent=2))
+    print(f"\nwrote gateway section -> {OUTPUT}")
+    return section
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced CI smoke configuration")
+    args = parser.parse_args()
+    main("quick" if args.quick else "full")

@@ -1,0 +1,86 @@
+"""repro.gateway — the schema'd HTTP/JSON edge of the serving stack.
+
+The TCP :class:`~repro.service.server.SearchServer` speaks pickle between
+*trusted* repro processes; this package is the **untrusted** edge: a
+stdlib-only asyncio HTTP server (:mod:`repro.gateway.http`) fronting one
+:class:`~repro.service.scheduler.SearchService` with
+
+- a versioned, strictly validated JSON request/report schema
+  (:mod:`repro.gateway.schema` — no pickle anywhere in this package, pinned
+  by test);
+- per-tenant admission — API keys, token-bucket rate limits, in-flight
+  caps, and priority classes threaded into the service's admission queue
+  (:mod:`repro.gateway.tenancy`);
+- Prometheus text metrics (:mod:`repro.gateway.metrics`) and end-to-end
+  request tracing down to the worker shard frames
+  (:mod:`repro.gateway.tracing`).
+
+Boot it with ``repro gateway`` (see :mod:`repro.service.cli`), which runs
+the HTTP edge alongside the TCP server so workers, gossip, and cache
+peering keep working unchanged.
+"""
+
+from repro.gateway.http import DEFAULT_HTTP_PORT, GatewayServer
+from repro.gateway.metrics import (
+    Counter,
+    Gauge,
+    GatewayMetrics,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.gateway.schema import (
+    SCHEMA_VERSION,
+    DecodedSubmit,
+    SchemaError,
+    decode_submit,
+    encode_error,
+    encode_methods,
+    encode_report,
+)
+from repro.gateway.tenancy import (
+    API_KEY_HEADER,
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    PRIORITY_NORMAL,
+    AdmissionDenied,
+    Tenant,
+    TenantTable,
+    TokenBucket,
+)
+from repro.gateway.tracing import (
+    TRACE_HEADER,
+    current_trace_id,
+    new_trace_id,
+    sanitize_trace_id,
+    trace_scope,
+)
+
+__all__ = [
+    "GatewayServer",
+    "DEFAULT_HTTP_PORT",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "DecodedSubmit",
+    "decode_submit",
+    "encode_report",
+    "encode_error",
+    "encode_methods",
+    "Tenant",
+    "TenantTable",
+    "TokenBucket",
+    "AdmissionDenied",
+    "API_KEY_HEADER",
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_NORMAL",
+    "PRIORITY_BATCH",
+    "GatewayMetrics",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TRACE_HEADER",
+    "new_trace_id",
+    "current_trace_id",
+    "sanitize_trace_id",
+    "trace_scope",
+]

@@ -1,0 +1,312 @@
+"""Prometheus text-format metrics for the gateway — stdlib only.
+
+A deliberately small re-implementation of the Prometheus client surface
+(counters, gauges, histograms with labels, exposition format 0.0.4): the
+container bakes in no ``prometheus_client``, and the gateway needs exactly
+three metric families plus a snapshot bridge.
+
+Two sources feed ``GET /metrics``:
+
+- **edge counters** recorded per request by :class:`GatewayMetrics` —
+  request totals and latency histograms labelled by
+  ``route x tenant x method x outcome``;
+- the **service snapshot** (``SearchService.stats_snapshot`` plus registry
+  and cluster status) re-exported as gauges at scrape time — cache
+  hits/misses, queue depth, breaker states — so the scrape shows the whole
+  serving stack, not just the HTTP shim.
+
+Exposition follows the text format: ``# HELP`` / ``# TYPE`` headers,
+escaped label values, histograms as cumulative ``_bucket{le=...}`` series
+plus ``_sum``/``_count``.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "GatewayMetrics"]
+
+#: Default latency buckets (seconds): sub-millisecond cache hits through
+#: multi-second sharded batches.
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace('"', r"\"")
+        .replace("\n", r"\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labelstr(labelnames: tuple, labelvalues: tuple) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+class _Metric:
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str, labelnames: tuple = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series: dict[tuple, object] = {}
+
+    def _key(self, labels: dict) -> tuple:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"{self.name} expects labels {self.labelnames}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def _header(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Metric):
+    """A monotonically increasing value per label combination."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return float(self._series.get(self._key(labels), 0.0))
+
+    def render(self) -> list[str]:
+        with self._lock:
+            series = sorted(self._series.items())
+        lines = self._header()
+        for key, value in series:
+            lines.append(
+                f"{self.name}{_labelstr(self.labelnames, key)} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, breaker state)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def value(self, **labels) -> float:
+        with self._lock:
+            return self._series.get(self._key(labels), 0.0)
+
+    def render(self) -> list[str]:
+        with self._lock:
+            series = sorted(self._series.items())
+        lines = self._header()
+        for key, value in series:
+            lines.append(
+                f"{self.name}{_labelstr(self.labelnames, key)} "
+                f"{_format_value(value)}"
+            )
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus ``le`` convention)."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, labelnames: tuple = (),
+                 buckets: tuple = DEFAULT_BUCKETS):
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("a histogram needs at least one bucket")
+
+    def observe(self, value: float, **labels) -> None:
+        key = self._key(labels)
+        with self._lock:
+            state = self._series.get(key)
+            if state is None:
+                state = {"counts": [0] * len(self.buckets), "sum": 0.0,
+                         "count": 0}
+                self._series[key] = state
+            index = bisect_left(self.buckets, value)
+            if index < len(self.buckets):
+                state["counts"][index] += 1
+            state["sum"] += float(value)
+            state["count"] += 1
+
+    def render(self) -> list[str]:
+        with self._lock:
+            series = sorted(
+                (key, {"counts": list(s["counts"]), "sum": s["sum"],
+                       "count": s["count"]})
+                for key, s in self._series.items()
+            )
+        lines = self._header()
+        for key, state in series:
+            cumulative = 0
+            for bound, count in zip(self.buckets, state["counts"]):
+                cumulative += count
+                labelvalues = key + (_format_value(bound),)
+                names = self.labelnames + ("le",)
+                lines.append(
+                    f"{self.name}_bucket{_labelstr(names, labelvalues)} "
+                    f"{cumulative}"
+                )
+            names = self.labelnames + ("le",)
+            lines.append(
+                f"{self.name}_bucket{_labelstr(names, key + ('+Inf',))} "
+                f"{state['count']}"
+            )
+            labelstr = _labelstr(self.labelnames, key)
+            lines.append(f"{self.name}_sum{labelstr} "
+                         f"{_format_value(state['sum'])}")
+            lines.append(f"{self.name}_count{labelstr} {state['count']}")
+        return lines
+
+
+class MetricsRegistry:
+    """An ordered collection of metrics with one :meth:`render`."""
+
+    def __init__(self):
+        self._metrics: list[_Metric] = []
+        self._lock = threading.Lock()
+
+    def register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            if any(m.name == metric.name for m in self._metrics):
+                raise ValueError(f"metric {metric.name!r} already registered")
+            self._metrics.append(metric)
+        return metric
+
+    def counter(self, name, help, labelnames=()) -> Counter:
+        return self.register(Counter(name, help, labelnames))
+
+    def gauge(self, name, help, labelnames=()) -> Gauge:
+        return self.register(Gauge(name, help, labelnames))
+
+    def histogram(self, name, help, labelnames=(),
+                  buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self.register(Histogram(name, help, labelnames, buckets))
+
+    def render(self) -> str:
+        with self._lock:
+            metrics = list(self._metrics)
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"
+
+
+class GatewayMetrics:
+    """The gateway's metric families plus the service-snapshot bridge."""
+
+    def __init__(self):
+        self.registry = MetricsRegistry()
+        self.requests_total = self.registry.counter(
+            "repro_gateway_requests_total",
+            "Gateway requests by route, tenant, method, and outcome.",
+            ("route", "tenant", "method", "outcome"),
+        )
+        self.request_seconds = self.registry.histogram(
+            "repro_gateway_request_seconds",
+            "Gateway request latency in seconds by route and tenant.",
+            ("route", "tenant"),
+        )
+        self.rejected_total = self.registry.counter(
+            "repro_gateway_rejections_total",
+            "Edge rejections before the service saw the request.",
+            ("route", "tenant", "reason"),
+        )
+        # Snapshot-bridged gauges, refreshed at scrape time.
+        self.service_gauge = self.registry.gauge(
+            "repro_service_stat",
+            "SearchService counters re-exported from stats_snapshot.",
+            ("stat",),
+        )
+        self.cache_gauge = self.registry.gauge(
+            "repro_service_cache_stat",
+            "TTL result-cache counters (hits, misses, size, evictions).",
+            ("stat",),
+        )
+        self.breaker_gauge = self.registry.gauge(
+            "repro_breaker_state",
+            "Circuit-breaker state per endpoint "
+            "(0=closed, 1=half-open, 2=open).",
+            ("endpoint",),
+        )
+        self.worker_gauge = self.registry.gauge(
+            "repro_registered_workers",
+            "Workers currently registered for shard dispatch.",
+            (),
+        )
+
+    def observe(self, route: str, tenant: str, method: str, outcome: str,
+                seconds: float) -> None:
+        """Record one finished (or rejected) request at the edge."""
+        self.requests_total.inc(
+            route=route, tenant=tenant, method=method, outcome=outcome
+        )
+        self.request_seconds.observe(seconds, route=route, tenant=tenant)
+
+    def absorb_snapshot(self, snapshot: dict) -> None:
+        """Refresh the bridged gauges from a service stats snapshot."""
+        breaker_levels = {"closed": 0, "half-open": 1, "open": 2}
+        for stat in ("submitted", "completed", "failed", "rejected",
+                     "timeouts", "cache_hits", "peer_hits", "peer_misses",
+                     "coalesced", "in_flight"):
+            if stat in snapshot:
+                self.service_gauge.set(float(snapshot[stat]), stat=stat)
+        for stat, value in (snapshot.get("cache") or {}).items():
+            if isinstance(value, (int, float)):
+                self.cache_gauge.set(float(value), stat=stat)
+        registry = snapshot.get("worker_registry") or {}
+        workers = registry.get("workers")
+        if workers is not None:
+            self.worker_gauge.set(float(len(workers)))
+        for source in (registry.get("breakers") or {},
+                       (snapshot.get("cluster") or {}).get("breakers") or {}):
+            for endpoint, info in source.items():
+                level = breaker_levels.get(str(info.get("state")), 0)
+                self.breaker_gauge.set(float(level), endpoint=endpoint)
+
+    def render(self, snapshot: dict | None = None) -> str:
+        """The full exposition body; *snapshot* refreshes the gauges first."""
+        if snapshot is not None:
+            self.absorb_snapshot(snapshot)
+        return self.registry.render()

@@ -1,0 +1,326 @@
+"""Per-tenant admission: API keys, token buckets, in-flight caps, priority.
+
+The service's global backpressure (``max_pending``) protects the *process*;
+tenancy protects tenants from **each other**.  Each API key resolves to a
+:class:`Tenant` whose token bucket bounds sustained request rate, whose
+in-flight cap bounds concurrency, and whose priority class is threaded into
+the service's admission queue (:class:`repro.service.scheduler.SearchService`
+``submit(priority=...)``) so interactive tenants overtake batch traffic for
+worker slots when the pool is contended.
+
+A rejected request is *cheap and informative*: the gateway answers 429 with
+a ``Retry-After`` computed from the bucket's actual refill time, so a
+well-behaved client backs off exactly as long as needed — and one tenant
+hammering its quota never consumes the admission slots another tenant's
+traffic runs in (pinned by the gateway acceptance test).
+
+Tenants come from a TOML or JSON file (``repro gateway --tenants``)::
+
+    [default]                 # optional: traffic with no/unknown API key
+    rate = 20.0               # tokens (requests) per second
+    burst = 40                # bucket capacity
+    max_inflight = 8          # concurrent requests
+    priority = "normal"       # "interactive" | "normal" | "batch" (or 0/1/2)
+
+    [tenants.key-a1b2c3]      # table key = the API key
+    name = "alice"
+    rate = 100.0
+    priority = "interactive"
+
+Omitting ``[default]`` makes the gateway key-only: requests without a known
+``X-API-Key`` are rejected 401.  With no tenants file at all the gateway is
+open, with one shared anonymous tenant at generous defaults.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+__all__ = [
+    "API_KEY_HEADER",
+    "PRIORITY_INTERACTIVE",
+    "PRIORITY_NORMAL",
+    "PRIORITY_BATCH",
+    "AdmissionDenied",
+    "Tenant",
+    "TokenBucket",
+    "TenantTable",
+]
+
+#: HTTP header carrying the tenant API key.
+API_KEY_HEADER = "X-API-Key"
+
+# Priority classes, in service admission order (lower value = served first).
+PRIORITY_INTERACTIVE = 0
+PRIORITY_NORMAL = 1
+PRIORITY_BATCH = 2
+
+_PRIORITY_NAMES = {
+    "interactive": PRIORITY_INTERACTIVE,
+    "high": PRIORITY_INTERACTIVE,
+    "normal": PRIORITY_NORMAL,
+    "batch": PRIORITY_BATCH,
+    "low": PRIORITY_BATCH,
+}
+
+
+class AdmissionDenied(RuntimeError):
+    """A tenant-level rejection, before the request touches the service.
+
+    Attributes:
+        status: the HTTP status the gateway should answer (401 for unknown
+            keys, 429 for quota exhaustion).
+        code: machine-readable error class for the body envelope.
+        retry_after: backoff hint in seconds (429 only), from the bucket's
+            actual refill arithmetic.
+    """
+
+    def __init__(self, message: str, *, status: int, code: str,
+                 retry_after: float | None = None):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant's admission contract.
+
+    Attributes:
+        name: display name (metrics label, log field).
+        rate: sustained requests per second (``None`` = unlimited).
+        burst: token bucket capacity (ignored when ``rate`` is ``None``).
+        max_inflight: concurrent in-gateway requests (``None`` = unlimited).
+        priority: service admission class — one of
+            :data:`PRIORITY_INTERACTIVE` / :data:`PRIORITY_NORMAL` /
+            :data:`PRIORITY_BATCH`.
+    """
+
+    name: str
+    rate: float | None = None
+    burst: int = 16
+    max_inflight: int | None = None
+    priority: int = PRIORITY_NORMAL
+
+    def __post_init__(self):
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError(f"rate={self.rate} must be positive or None")
+        if self.burst < 1:
+            raise ValueError(f"burst={self.burst} must be >= 1")
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ValueError(
+                f"max_inflight={self.max_inflight} must be >= 1 or None"
+            )
+        if self.priority not in (PRIORITY_INTERACTIVE, PRIORITY_NORMAL,
+                                 PRIORITY_BATCH):
+            raise ValueError(f"priority={self.priority} must be 0, 1, or 2")
+
+
+class TokenBucket:
+    """Classic token bucket with an injectable monotonic clock.
+
+    ``take()`` either consumes one token (``None``) or returns the seconds
+    until one will be available — the exact ``Retry-After`` a client needs.
+    """
+
+    def __init__(self, rate: float, burst: int, clock=time.monotonic):
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._stamp = clock()
+        self._lock = threading.Lock()
+
+    def take(self) -> float | None:
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._stamp) * self.rate
+            )
+            self._stamp = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return None
+            return (1.0 - self._tokens) / self.rate
+
+
+class _TenantState:
+    """Mutable runtime state for one tenant (bucket, in-flight, counters)."""
+
+    def __init__(self, tenant: Tenant, clock):
+        self.tenant = tenant
+        self.bucket = (
+            TokenBucket(tenant.rate, tenant.burst, clock)
+            if tenant.rate is not None else None
+        )
+        self.inflight = 0
+        self.admitted = 0
+        self.rejected_rate = 0
+        self.rejected_inflight = 0
+        self._lock = threading.Lock()
+
+    def admit(self) -> None:
+        """Charge one request; raises :class:`AdmissionDenied` on quota.
+
+        The in-flight slot is taken on success — pair with :meth:`release`.
+        """
+        name = self.tenant.name
+        with self._lock:
+            cap = self.tenant.max_inflight
+            if cap is not None and self.inflight >= cap:
+                self.rejected_inflight += 1
+                raise AdmissionDenied(
+                    f"tenant {name!r} already has {self.inflight} requests "
+                    f"in flight (cap {cap})",
+                    status=429, code="rate-limited", retry_after=1.0,
+                )
+            if self.bucket is not None:
+                retry_after = self.bucket.take()
+                if retry_after is not None:
+                    self.rejected_rate += 1
+                    raise AdmissionDenied(
+                        f"tenant {name!r} exceeded {self.tenant.rate:g} "
+                        f"requests/s (burst {self.tenant.burst})",
+                        status=429, code="rate-limited",
+                        retry_after=retry_after,
+                    )
+            self.inflight += 1
+            self.admitted += 1
+
+    def release(self) -> None:
+        with self._lock:
+            self.inflight -= 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "priority": self.tenant.priority,
+                "inflight": self.inflight,
+                "admitted": self.admitted,
+                "rejected_rate": self.rejected_rate,
+                "rejected_inflight": self.rejected_inflight,
+            }
+
+
+#: The open-gateway anonymous tenant (no tenants file): generous but still
+#: bounded, so an unconfigured gateway is not an unmetered amplifier.
+_OPEN_DEFAULT = Tenant(name="anonymous", rate=None, max_inflight=None)
+
+
+class TenantTable:
+    """API-key -> tenant resolution plus per-tenant admission state.
+
+    Args:
+        tenants: ``{api_key: Tenant}`` mapping.
+        default: tenant served to requests with no (or an unknown) API key;
+            ``None`` makes such requests 401.
+        clock: injectable monotonic clock shared by every bucket (tests).
+    """
+
+    def __init__(self, tenants: dict[str, Tenant] | None = None,
+                 *, default: Tenant | None = _OPEN_DEFAULT,
+                 clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._by_key = {
+            key: _TenantState(tenant, clock)
+            for key, tenant in (tenants or {}).items()
+        }
+        self._default = (
+            _TenantState(default, clock) if default is not None else None
+        )
+
+    def resolve(self, api_key: str | None) -> _TenantState:
+        """The tenant state for *api_key*; raises 401 when unresolvable."""
+        with self._lock:
+            if api_key is not None and api_key in self._by_key:
+                return self._by_key[api_key]
+            if self._default is not None:
+                return self._default
+        raise AdmissionDenied(
+            "unknown or missing API key" if api_key is not None
+            else "missing API key",
+            status=401, code="unauthorized",
+        )
+
+    def stats(self) -> dict:
+        """Per-tenant admission counters for ``/stats``."""
+        with self._lock:
+            states = list(self._by_key.values())
+            default = self._default
+        out = {state.tenant.name: state.stats() for state in states}
+        if default is not None:
+            out.setdefault(default.tenant.name, default.stats())
+        return out
+
+    # ------------------------------------------------------------- loading
+    @classmethod
+    def from_file(cls, path: str, *, clock=time.monotonic) -> "TenantTable":
+        """Load a tenants file — TOML (``.toml``) or JSON (anything else).
+
+        TOML needs :mod:`tomllib` (Python >= 3.11); on older interpreters
+        use the JSON form, which expresses the identical structure.
+        """
+        import json
+
+        with open(path, "rb") as fh:
+            raw = fh.read()
+        if path.endswith(".toml"):
+            try:
+                import tomllib
+            except ImportError as exc:  # Python 3.10
+                raise RuntimeError(
+                    "TOML tenants files need Python >= 3.11 (tomllib); "
+                    "use the JSON form instead"
+                ) from exc
+            data = tomllib.loads(raw.decode("utf-8"))
+        else:
+            data = json.loads(raw.decode("utf-8"))
+        return cls.from_dict(data, clock=clock)
+
+    @classmethod
+    def from_dict(cls, data: dict, *, clock=time.monotonic) -> "TenantTable":
+        """Build a table from the parsed tenants-file structure."""
+        if not isinstance(data, dict):
+            raise ValueError("tenants config must be a mapping")
+        default = None
+        if "default" in data:
+            default = _parse_tenant("default", data["default"])
+        tenants = {}
+        entries = data.get("tenants", {})
+        if not isinstance(entries, dict):
+            raise ValueError("'tenants' must map API keys to tenant tables")
+        for api_key, entry in entries.items():
+            tenants[str(api_key)] = _parse_tenant(str(api_key), entry)
+        return cls(tenants, default=default, clock=clock)
+
+
+def _parse_tenant(key: str, entry) -> Tenant:
+    if not isinstance(entry, dict):
+        raise ValueError(f"tenant {key!r} must be a table/object")
+    unknown = set(entry) - {"name", "rate", "burst", "max_inflight", "priority"}
+    if unknown:
+        raise ValueError(
+            f"tenant {key!r} has unknown fields: {', '.join(sorted(unknown))}"
+        )
+    priority = entry.get("priority", PRIORITY_NORMAL)
+    if isinstance(priority, str):
+        try:
+            priority = _PRIORITY_NAMES[priority.lower()]
+        except KeyError:
+            raise ValueError(
+                f"tenant {key!r}: priority {priority!r} must be one of "
+                f"{', '.join(sorted(set(_PRIORITY_NAMES)))} (or 0/1/2)"
+            ) from None
+    rate = entry.get("rate")
+    max_inflight = entry.get("max_inflight")
+    return Tenant(
+        name=str(entry.get("name", key)),
+        rate=None if rate is None else float(rate),
+        burst=int(entry.get("burst", 16)),
+        max_inflight=None if max_inflight is None else int(max_inflight),
+        priority=priority,
+    )

@@ -22,6 +22,7 @@ __all__ = [
     "raise_shard",
     "slow_shard",
     "deadline_probe_shard",
+    "trace_probe_shard",
 ]
 
 
@@ -59,3 +60,15 @@ def deadline_probe_shard(task, rng):
     if deadline is None:
         return (task, False, None)
     return (task, True, deadline.remaining())
+
+
+def trace_probe_shard(task, rng):
+    """Return ``(task, ambient_trace_id)`` — tracing propagation checks.
+
+    A worker executing a wire-v4 shard whose meta carries ``trace_id``
+    scopes the compute with it, so this shard observes the same ID the
+    gateway minted; an untraced dispatch observes ``None``.
+    """
+    from repro.gateway.tracing import current_trace_id
+
+    return (task, current_trace_id())

@@ -3,7 +3,9 @@
 Subcommands::
 
     repro serve           # run the async SearchService behind a TCP endpoint
+    repro gateway         # same stack plus the schema'd HTTP/JSON edge
     repro submit          # send one request to a running server, print the report
+    repro curl            # send one request to a gateway over HTTP/JSON
     repro worker          # run a shard-execution worker (alias of repro-worker)
     repro methods         # list the method registry (name, backends, description)
     repro cluster status  # print a replica's membership/peering/fleet status
@@ -44,8 +46,9 @@ def _row_threads_arg(value: str):
         ) from None
 
 
-def _add_serve(sub: argparse._SubParsersAction) -> None:
-    p = sub.add_parser("serve", help="run the async search service over TCP")
+def _add_serving_flags(p: argparse.ArgumentParser) -> None:
+    """The serving-stack flags shared by ``repro serve`` and ``repro
+    gateway`` (admission bounds, cache, fleet wiring, cluster, resilience)."""
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=None,
                    help="bind port (default 7736; 0 picks a free port)")
@@ -107,10 +110,32 @@ def _add_serve(sub: argparse._SubParsersAction) -> None:
                         "half-open trial request through")
 
 
-def _add_submit(sub: argparse._SubParsersAction) -> None:
-    p = sub.add_parser("submit", help="submit one request to a running server")
-    p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, default=None)
+def _add_serve(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("serve", help="run the async search service over TCP")
+    _add_serving_flags(p)
+
+
+def _add_gateway(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "gateway",
+        help="run the search service with the schema'd HTTP/JSON edge "
+             "(plus the TCP endpoint, so workers and gossip still connect)",
+    )
+    _add_serving_flags(p)
+    p.add_argument("--http-host", default="127.0.0.1",
+                   help="HTTP bind address (0.0.0.0 to expose beyond "
+                        "loopback — put TLS termination in front)")
+    p.add_argument("--http-port", type=int, default=None,
+                   help="HTTP bind port (default 7780; 0 picks a free port)")
+    p.add_argument("--tenants", default=None, metavar="FILE",
+                   help="tenants file (TOML on Python >= 3.11, or JSON): "
+                        "API keys, rate limits, in-flight caps, priorities. "
+                        "Without it the gateway is open (one shared "
+                        "anonymous tenant)")
+
+
+def _add_request_flags(p: argparse.ArgumentParser) -> None:
+    """The request-shape flags shared by ``repro submit`` and ``repro curl``."""
     p.add_argument("--n-items", type=int, required=True, help="database size N")
     p.add_argument("--n-blocks", type=int, required=True, help="block count K")
     p.add_argument("--method", default="grk")
@@ -133,8 +158,37 @@ def _add_submit(sub: argparse._SubParsersAction) -> None:
                         "are bit-identical for any value)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-request deadline override in seconds")
+
+
+def _add_submit(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser("submit", help="submit one request to a running server")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None)
+    _add_request_flags(p)
     p.add_argument("--stats", action="store_true",
                    help="also fetch and print server stats")
+    p.add_argument("--json", action="store_true",
+                   help="emit the gateway schema's versioned report envelope "
+                        "(machine-readable; identical to POST /v1/search)")
+
+
+def _add_curl(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "curl",
+        help="submit one request to a repro gateway over HTTP/JSON "
+             "(the same envelope curl would send)",
+    )
+    p.add_argument("--url", default=None,
+                   help="gateway base URL (default http://HOST:PORT from "
+                        "--host/--http-port)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--http-port", type=int, default=None)
+    p.add_argument("--api-key", default=None,
+                   help="tenant API key (sent as X-API-Key)")
+    p.add_argument("--trace-id", default=None,
+                   help="explicit request trace ID (sent as X-Request-ID; "
+                        "default: the gateway mints one)")
+    _add_request_flags(p)
 
 
 def _add_worker(sub: argparse._SubParsersAction) -> None:
@@ -171,26 +225,30 @@ def _add_cluster(sub: argparse._SubParsersAction) -> None:
     )
     status.add_argument("--host", default="127.0.0.1")
     status.add_argument("--port", type=int, default=None)
+    status.add_argument("--json", action="store_true",
+                        help="emit the versioned, JSON-safe schema envelope "
+                             "instead of the raw status dump")
 
 
-def _cmd_serve(args) -> int:
-    import logging
+def _build_serving_stack(args, prog: str):
+    """The breaker/retry/registry/cluster/peering/executor stack shared by
+    ``repro serve`` and ``repro gateway``.
 
+    Returns ``(exit_code, None)`` on a usage error (already printed), else
+    ``(None, stack)`` where *stack* has ``engine`` / ``registry`` /
+    ``cluster`` / ``peering``.
+    """
     from repro.engine import SearchEngine
     from repro.resilience import BreakerRegistry, RetryPolicy
     from repro.service.address import parse_address
-    from repro.service.scheduler import SearchService
-    from repro.service.server import DEFAULT_PORT, SearchServer
 
-    logging.basicConfig(level=logging.INFO,
-                        format="%(asctime)s %(name)s %(levelname)s %(message)s")
     registry = None
     cluster = None
     peering = None
     if args.join and args.remote_worker:
-        print("repro serve: --join (cluster mode) and --remote-worker "
+        print(f"{prog}: --join (cluster mode) and --remote-worker "
               "(static fleet) are mutually exclusive", file=sys.stderr)
-        return 2
+        return 2, None
     # Validate every dialable address up front: a typo'd --join or
     # --remote-worker should fail at boot with a pointed error, not as an
     # endpoint that fails every dial forever.
@@ -203,8 +261,8 @@ def _cmd_serve(args) -> int:
             try:
                 parse_address(value)
             except ValueError as exc:
-                print(f"repro serve: {flag} {exc}", file=sys.stderr)
-                return 2
+                print(f"{prog}: {flag} {exc}", file=sys.stderr)
+                return 2, None
     # One breaker registry and retry policy shared by every outbound path
     # (shard dispatch, cache peering, gossip) — evidence gathered on one
     # path protects the others.
@@ -252,30 +310,116 @@ def _cmd_serve(args) -> int:
 
         registry = WorkerRegistry(breakers=breakers)
         executor = RegistryExecutor(registry, retry=retry, breakers=breakers)
-    engine = SearchEngine(executor=executor)
+    return None, {
+        "engine": SearchEngine(executor=executor),
+        "registry": registry,
+        "cluster": cluster,
+        "peering": peering,
+    }
+
+
+def _cmd_serve(args) -> int:
+    import logging
+
+    from repro.service.scheduler import SearchService
+    from repro.service.server import DEFAULT_PORT, SearchServer
+
+    logging.basicConfig(level=logging.INFO,
+                        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    code, stack = _build_serving_stack(args, "repro serve")
+    if code is not None:
+        return code
 
     async def run() -> None:
         async with SearchService(
-            engine,
+            stack["engine"],
             max_pending=args.max_pending,
             max_workers=args.max_workers,
             request_timeout=args.request_timeout,
             cache_size=args.cache_size,
             cache_ttl=args.cache_ttl,
-            peering=peering,
+            peering=stack["peering"],
         ) as service:
             server = SearchServer(
                 service,
                 args.host,
                 DEFAULT_PORT if args.port is None else args.port,
-                registry=registry,
+                registry=stack["registry"],
                 health_interval=args.health_interval,
-                cluster=cluster,
+                cluster=stack["cluster"],
             )
             await server.start()
             print(f"repro serve ready on {server.address[0]}:"
                   f"{server.address[1]}", flush=True)
             await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_gateway(args) -> int:
+    import logging
+
+    from repro.gateway.http import DEFAULT_HTTP_PORT, GatewayServer
+    from repro.gateway.tenancy import TenantTable
+    from repro.service.scheduler import SearchService
+    from repro.service.server import DEFAULT_PORT, SearchServer
+
+    logging.basicConfig(level=logging.INFO,
+                        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    code, stack = _build_serving_stack(args, "repro gateway")
+    if code is not None:
+        return code
+    if args.tenants is not None:
+        try:
+            tenants = TenantTable.from_file(args.tenants)
+        except (OSError, ValueError, RuntimeError) as exc:
+            print(f"repro gateway: --tenants {args.tenants}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        tenants = TenantTable()
+
+    async def run() -> None:
+        async with SearchService(
+            stack["engine"],
+            max_pending=args.max_pending,
+            max_workers=args.max_workers,
+            request_timeout=args.request_timeout,
+            cache_size=args.cache_size,
+            cache_ttl=args.cache_ttl,
+            peering=stack["peering"],
+        ) as service:
+            # The TCP endpoint stays up alongside HTTP: workers register,
+            # gossip flows, and `repro submit` keeps working — the gateway
+            # adds the edge, it does not replace the fleet plumbing.
+            server = SearchServer(
+                service,
+                args.host,
+                DEFAULT_PORT if args.port is None else args.port,
+                registry=stack["registry"],
+                health_interval=args.health_interval,
+                cluster=stack["cluster"],
+            )
+            await server.start()
+            gateway = GatewayServer(
+                service,
+                args.http_host,
+                DEFAULT_HTTP_PORT if args.http_port is None else args.http_port,
+                tenants=tenants,
+                registry=stack["registry"],
+                cluster=stack["cluster"],
+            )
+            await gateway.start()
+            print(f"repro gateway ready on "
+                  f"http://{gateway.address[0]}:{gateway.address[1]}/ "
+                  f"(wire on {server.address[0]}:{server.address[1]})",
+                  flush=True)
+            await asyncio.gather(server.serve_forever(),
+                                 gateway.serve_forever())
 
     try:
         asyncio.run(run())
@@ -342,11 +486,88 @@ def _cmd_submit(args) -> int:
         batch=args.batch,
         timeout=args.timeout,
     )
-    payload = _report_to_json(report)
+    if args.json:
+        # The gateway schema's envelope: byte-comparable with what
+        # POST /v1/search returns for the same request.
+        from repro.gateway.schema import encode_report
+
+        payload = encode_report(report)
+    else:
+        payload = _report_to_json(report)
     if args.stats:
         payload["server_stats"] = server_stats(address)
     json.dump(payload, sys.stdout, indent=2)
     print()
+    return 0
+
+
+def _cmd_curl(args) -> int:
+    import urllib.error
+    import urllib.request
+
+    from repro.gateway.http import DEFAULT_HTTP_PORT
+    from repro.gateway.schema import SCHEMA_VERSION
+    from repro.gateway.tenancy import API_KEY_HEADER
+    from repro.gateway.tracing import TRACE_HEADER
+
+    base = args.url
+    if base is None:
+        port = DEFAULT_HTTP_PORT if args.http_port is None else args.http_port
+        base = f"http://{args.host}:{port}"
+    path = "/v1/batch" if args.batch else "/v1/search"
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "n_items": args.n_items,
+        "n_blocks": args.n_blocks,
+        "method": args.method,
+    }
+    if args.backend is not None:
+        payload["backend"] = args.backend
+    if args.epsilon is not None:
+        payload["epsilon"] = args.epsilon
+    if args.target is not None:
+        payload["target"] = args.target
+    if args.batch:
+        payload["batch"] = True
+        if args.targets is not None:
+            payload["targets"] = args.targets
+    if args.seed is not None:
+        payload["seed"] = args.seed
+    if args.dtype is not None:
+        payload["dtype"] = args.dtype
+    if args.row_threads is not None:
+        payload["row_threads"] = args.row_threads
+    if args.timeout is not None:
+        payload["timeout"] = args.timeout
+    request = urllib.request.Request(
+        base.rstrip("/") + path,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    if args.api_key is not None:
+        request.add_header(API_KEY_HEADER, args.api_key)
+    if args.trace_id is not None:
+        request.add_header(TRACE_HEADER, args.trace_id)
+    try:
+        with urllib.request.urlopen(request) as response:
+            body = response.read()
+            trace = response.headers.get(TRACE_HEADER)
+    except urllib.error.HTTPError as exc:
+        # The gateway's structured error envelope is the useful output.
+        sys.stdout.write(exc.read().decode("utf-8", "replace"))
+        print()
+        print(f"repro curl: HTTP {exc.code} from {base}{path}",
+              file=sys.stderr)
+        return 1
+    except urllib.error.URLError as exc:
+        print(f"repro curl: cannot reach {base}{path}: {exc.reason}",
+              file=sys.stderr)
+        return 1
+    sys.stdout.write(body.decode("utf-8"))
+    print()
+    if trace:
+        print(f"trace: {trace}", file=sys.stderr)
     return 0
 
 
@@ -382,14 +603,23 @@ def _cmd_cluster(args) -> int:
     from repro.service.server import DEFAULT_PORT, cluster_status
 
     address = (args.host, DEFAULT_PORT if args.port is None else args.port)
-    json.dump(cluster_status(address), sys.stdout, indent=2)
+    status = cluster_status(address)
+    if args.json:
+        from repro.gateway.schema import SCHEMA_VERSION
+        from repro.util.jsonsafe import json_safe
+
+        status = {"schema_version": SCHEMA_VERSION, "kind": "cluster-status",
+                  "cluster": json_safe(status)}
+    json.dump(status, sys.stdout, indent=2)
     print()
     return 0
 
 
 _COMMANDS = {
     "serve": _cmd_serve,
+    "gateway": _cmd_gateway,
     "submit": _cmd_submit,
+    "curl": _cmd_curl,
     "worker": _cmd_worker,
     "methods": _cmd_methods,
     "cluster": _cmd_cluster,
@@ -403,7 +633,9 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     _add_serve(sub)
+    _add_gateway(sub)
     _add_submit(sub)
+    _add_curl(sub)
     _add_worker(sub)
     _add_methods(sub)
     _add_cluster(sub)

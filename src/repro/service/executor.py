@@ -374,7 +374,7 @@ class RemoteExecutor(ShardExecutor):
                         sock = self._connect(address)
                     message = self._shard_message(
                         func, state["tasks"][index], state["rngs"][index],
-                        deadline, lane_version,
+                        deadline, lane_version, state["trace_id"],
                     )
                     if deadline is not None:
                         sock.settimeout(
@@ -465,14 +465,20 @@ class RemoteExecutor(ShardExecutor):
             self._close(sock)
 
     @staticmethod
-    def _shard_message(func, task, rng, deadline, lane_version) -> tuple:
-        """The shard frame: v4 ships the remaining budget in a meta dict;
-        lanes pinned to a legacy peer send the pre-deadline 4-tuple."""
+    def _shard_message(func, task, rng, deadline, lane_version,
+                       trace_id=None) -> tuple:
+        """The shard frame: v4 ships the remaining budget (and, when the
+        request is traced, its trace ID) in a meta dict; lanes pinned to a
+        legacy peer send the pre-deadline 4-tuple.  Adding meta keys is a
+        *compatible* growth — old workers ignore unknown keys — so tracing
+        needs no wire version bump."""
         if lane_version is not None and lane_version < 4:
             return ("shard", func, task, rng)
         meta = {}
         if deadline is not None:
             meta["deadline_s"] = deadline.remaining()
+        if trace_id is not None:
+            meta["trace_id"] = trace_id
         return ("shard", func, task, rng, meta)
 
     @staticmethod
@@ -491,8 +497,13 @@ class RemoteExecutor(ShardExecutor):
             return []
         if deadline is None:
             deadline = current_deadline()
+        # Captured here, in the caller's context: lanes are plain threads,
+        # and contextvars do not follow work across the thread boundary.
+        from repro.gateway.tracing import current_trace_id
+
         budget = self.retry_budget
         state = {
+            "trace_id": current_trace_id(),
             "tasks": tasks,
             # Mirror parallel_map's per-task generator argument; shard
             # functions that need reproducible randomness carry pre-spawned

@@ -35,12 +35,15 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import heapq
+import itertools
 import logging
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from threading import Lock
 
 from repro.resilience import Deadline, deadline_scope
+from repro.util.jsonsafe import json_safe
 
 __all__ = ["SearchService", "ServiceOverloaded", "ServiceStats"]
 
@@ -49,6 +52,52 @@ log = logging.getLogger("repro.service.scheduler")
 
 class ServiceOverloaded(RuntimeError):
     """Backpressure: the bounded job queue is full — retry later."""
+
+
+class _PrioritySlots:
+    """Worker slots whose waiters are served by priority class, not FIFO.
+
+    A drop-in replacement for the plain ``asyncio.Semaphore`` the service
+    used for its worker slots: :meth:`acquire` takes a priority (lower =
+    served first; ties FIFO by arrival), so when the pool is contended an
+    interactive request entering the queue *after* a pile of batch requests
+    still gets the next free slot.  Single event loop only; :meth:`release`
+    may be scheduled from other threads via ``loop.call_soon_threadsafe``
+    (the reaper path), which serialises it onto the loop.
+    """
+
+    def __init__(self, count: int):
+        self._free = count
+        self._waiters: list = []  # heap of (priority, seq, future)
+        self._seq = itertools.count()
+
+    async def acquire(self, priority: int = 0) -> None:
+        if self._free > 0 and not self._waiters:
+            self._free -= 1
+            return
+        loop = asyncio.get_running_loop()
+        waiter = loop.create_future()
+        heapq.heappush(self._waiters, (priority, next(self._seq), waiter))
+        try:
+            await waiter
+        except asyncio.CancelledError:
+            if waiter.done() and not waiter.cancelled():
+                # The slot was granted in the same tick we were cancelled:
+                # hand it to the next waiter instead of leaking it.
+                self.release()
+            raise
+
+    def release(self) -> None:
+        while self._waiters:
+            _, _, waiter = heapq.heappop(self._waiters)
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+        self._free += 1
+
+    @property
+    def waiting(self) -> int:
+        return sum(1 for _, _, w in self._waiters if not w.done())
 
 
 @dataclass
@@ -138,7 +187,7 @@ class SearchService:
         # get a fast miss, not hold each other's probes.
         self._computing: set[str] = set()
         self._admission = Lock()
-        self._slots = asyncio.Semaphore(max_workers)
+        self._slots = _PrioritySlots(max_workers)
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-service"
         )
@@ -203,6 +252,7 @@ class SearchService:
         batch: bool = False,
         database=None,
         timeout: float | None = None,
+        priority: int = 1,
     ):
         """Admit, (maybe) serve from cache, execute, and cache one request.
 
@@ -214,6 +264,9 @@ class SearchService:
             database: explicit database for single searches (uncached —
                 its query counter is part of the caller's experiment).
             timeout: per-request deadline override in seconds.
+            priority: worker-slot class (lower = served first when the pool
+                is contended; the gateway maps tenant classes here —
+                0 interactive, 1 normal, 2 batch).
 
         Raises:
             ServiceOverloaded: the admission bound is full (backpressure).
@@ -221,7 +274,10 @@ class SearchService:
         """
         if self._closed:
             raise RuntimeError("service is closed")
+        from repro.gateway.tracing import current_trace_id
         from repro.service.cache import request_fingerprint
+
+        trace_id = current_trace_id()
 
         self._admit()
         try:
@@ -308,7 +364,7 @@ class SearchService:
                     deadline = max(0.001, deadline - (loop.time() - started))
                 if key is not None:
                     self._computing.add(key)
-                await self._slots.acquire()
+                await self._slots.acquire(priority)
                 slot_held = True
                 try:
                     # Submit directly so we hold the *concurrent* future: on
@@ -321,7 +377,8 @@ class SearchService:
                     # ship it to workers, so a deadline overrun stops
                     # dispatching instead of computing shards nobody awaits.
                     job_future = self._pool.submit(
-                        self._run_with_deadline, job, Deadline.after(deadline)
+                        self._run_with_deadline, job, Deadline.after(deadline),
+                        trace_id,
                     )
                     try:
                         result = await asyncio.wait_for(
@@ -365,15 +422,21 @@ class SearchService:
             self._release()
 
     @staticmethod
-    def _run_with_deadline(job, deadline):
+    def _run_with_deadline(job, deadline, trace_id=None):
         """Pool-thread entry: run *job* under an ambient request deadline.
 
         A :class:`~repro.resilience.DeadlineExceeded` raised by the engine
         is a ``TimeoutError`` subclass, so it flows into the existing
         timeout accounting (and the server's ``("timeout", ...)`` reply)
         without a separate failure path.
+
+        Contextvars do not follow jobs across the pool boundary, so the
+        request's trace ID (captured in :meth:`submit`) is re-entered here —
+        the executors read it when stamping shard frames.
         """
-        with deadline_scope(deadline):
+        from repro.gateway.tracing import trace_scope
+
+        with trace_scope(trace_id), deadline_scope(deadline):
             return job()
 
     def _reap_abandoned(self, loop, job_future) -> None:
@@ -407,9 +470,17 @@ class SearchService:
         return self._inflight_jobs.get(key)
 
     def stats_snapshot(self) -> dict:
-        """Counters plus current cache occupancy."""
+        """Counters plus current cache occupancy — always JSON-safe.
+
+        The snapshot crosses process boundaries (TCP stats, the gateway's
+        ``/stats`` and ``/metrics``, ``--json`` CLI output), so it is
+        sanitised here at the source: no numpy scalars, no tuple keys, no
+        non-finite floats (:func:`repro.util.jsonsafe.json_safe`).
+        """
         self.stats.cache = self.cache.stats()
-        return self.stats.snapshot()
+        snapshot = self.stats.snapshot()
+        snapshot["slot_waiters"] = self._slots.waiting
+        return json_safe(snapshot)
 
 
 _MISS = object()

@@ -257,12 +257,17 @@ class SearchServer:
         if kind == "ping":
             return ("pong", {})
         if kind == "stats":
+            from repro.util.jsonsafe import json_safe
+
             stats = self.service.stats_snapshot()
             if self.registry is not None:
                 stats["worker_registry"] = self.registry.stats()
             if self.cluster is not None:
                 stats["cluster"] = self.cluster.status()
-            return ("stats", stats)
+            # JSON-safe end to end: the snapshot feeds `repro stats --json`
+            # and the gateway bridge, so no numpy scalars or tuple keys may
+            # survive past this point (pinned by the gateway test suite).
+            return ("stats", json_safe(stats))
         if kind in ("gossip", "cache-peek", "cluster-status"):
             if self.cluster is None:
                 return ("error", "this server is not part of a cluster "

@@ -63,6 +63,14 @@ Version history
   refusing new shards — the dialer requeues elsewhere, like a transport
   failure, instead of aborting the batch).
 
+  The meta dict is the frame's designated growth point: adding keys is a
+  **compatible** change that needs no version bump, because receivers
+  read only the keys they know and ignore the rest.  Keys so far:
+  ``deadline_s`` (above) and ``trace_id`` (an opaque request-tracing
+  string from :mod:`repro.gateway.tracing`; workers scope and log shard
+  execution with it).  Only a change that breaks how an *existing* key or
+  the tuple layout is interpreted bumps the version.
+
   **v3 -> v4 upgrade rule:** the negotiation rule above still governs —
   upgrade **acceptors first** (workers/servers, which keep answering v2–v3
   dialers in kind), **dialers second**.  A v4 dialer that reaches a

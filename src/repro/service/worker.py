@@ -48,6 +48,7 @@ reply frame, or drop instead of replying).
 from __future__ import annotations
 
 import argparse
+import collections
 import logging
 import signal
 import socket
@@ -119,6 +120,9 @@ class WorkerServer:
         self.chaos = chaos
         self.shards_served = 0
         self.shards_expired = 0
+        # Ring of the most recent trace IDs whose shards ran here (wire v4
+        # meta["trace_id"]) — observability for tests and `grep trace=`.
+        self.seen_trace_ids: collections.deque = collections.deque(maxlen=256)
         self._lock = threading.Lock()
         self._stop = threading.Event()
         self._accept_thread: threading.Thread | None = None
@@ -311,8 +315,20 @@ class WorkerServer:
                 raise RuntimeError(
                     "chaos: injected deterministic failure at worker shard"
                 )
+            # Trace ID (wire v4 meta, gateway-originated requests): scope
+            # the shard with it so traced code sees the ambient ID, and
+            # log it — `grep trace=<id>` across gateway and worker logs
+            # reconstructs which hosts computed which shards.
+            from repro.gateway.tracing import trace_scope
+
+            trace_id = meta.get("trace_id")
+            if trace_id is not None:
+                trace_id = str(trace_id)
+                with self._lock:
+                    self.seen_trace_ids.append(trace_id)
+                log.info("shard trace=%s", trace_id)
             deadline = Deadline.after(deadline_s)
-            with deadline_scope(deadline):
+            with trace_scope(trace_id), deadline_scope(deadline):
                 result = func(task, rng)
         except Exception as exc:  # deterministic failure -> no retry
             log.exception("shard function raised")

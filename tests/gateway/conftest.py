@@ -1,0 +1,59 @@
+"""Shared gateway-test helpers.
+
+``parse_prometheus`` is a minimal but honest text-format 0.0.4 parser —
+families from ``# HELP``/``# TYPE``, samples with label sets — so a
+render that drifts from the exposition format breaks the suite before a
+real scraper sees it.
+"""
+
+import math
+import re
+
+import pytest
+
+_SAMPLE = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(?:\{(?P<labels>[^{}]*)\})?'
+    r' (?P<value>-?(?:[0-9.]+(?:e-?[0-9]+)?|\+?Inf|NaN))$'
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_prometheus_text(text: str):
+    """Parse exposition text into ``(families, samples)``.
+
+    families: ``{name: {"help": str, "type": str}}``;
+    samples: ``[(name, {label: value}, float)]``.  Raises ``ValueError``
+    on any line that is not a comment, a blank, or a well-formed sample.
+    """
+    families: dict = {}
+    samples: list = []
+    for line in text.split("\n"):
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            name, _, help_text = line[len("# HELP "):].partition(" ")
+            families.setdefault(name, {})["help"] = help_text
+            continue
+        if line.startswith("# TYPE "):
+            name, _, kind = line[len("# TYPE "):].partition(" ")
+            families.setdefault(name, {})["type"] = kind
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable sample line: {line!r}")
+        labels = dict(_LABEL.findall(match.group("labels") or ""))
+        value = match.group("value")
+        samples.append((
+            match.group("name"),
+            labels,
+            math.inf if value == "+Inf" else float(value),
+        ))
+    return families, samples
+
+
+@pytest.fixture
+def parse_prometheus():
+    return parse_prometheus_text

@@ -1,0 +1,306 @@
+"""Live loopback gateway: routes, error mapping, tenancy, and bit-parity.
+
+Every test boots a real ``GatewayServer`` on an ephemeral port and talks
+to it over HTTP with ``urllib`` (run in a thread so the server's event
+loop keeps spinning).  The parity test is the acceptance pin: a
+``POST /v1/search`` body must encode to the byte-identical report the
+engine produces directly.
+"""
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import SearchEngine, SearchRequest
+from repro.gateway.http import GatewayServer
+from repro.gateway.metrics import GatewayMetrics
+from repro.gateway.schema import SCHEMA_VERSION, encode_report
+from repro.gateway.tenancy import Tenant, TenantTable
+from repro.service.scheduler import SearchService
+
+pytestmark = pytest.mark.gateway
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _fetch(url, *, method="GET", body=None, headers=None):
+    """Blocking HTTP call; returns (status, headers-dict, body-bytes)."""
+    request = urllib.request.Request(url, data=body, method=method)
+    request.add_header("Content-Type", "application/json")
+    for key, value in (headers or {}).items():
+        request.add_header(key, value)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+async def fetch(url, **kwargs):
+    return await asyncio.to_thread(_fetch, url, **kwargs)
+
+
+class gateway_stack:
+    """Async context manager: SearchService + GatewayServer on loopback."""
+
+    def __init__(self, **gateway_kwargs):
+        self._kwargs = gateway_kwargs
+
+    async def __aenter__(self):
+        self.service = SearchService(max_workers=2)
+        await self.service.__aenter__()
+        self.gateway = GatewayServer(self.service, port=0, **self._kwargs)
+        await self.gateway.start()
+        host, port = self.gateway.address
+        self.base = f"http://{host}:{port}"
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.gateway.stop()
+        await self.service.__aexit__(*exc)
+
+
+SEARCH_BODY = {
+    "schema_version": SCHEMA_VERSION,
+    "n_items": 256,
+    "n_blocks": 16,
+    "target": 37,
+    "seed": 7,
+}
+
+
+class TestRoutes:
+    def test_healthz_and_draining(self):
+        async def main():
+            async with gateway_stack() as stack:
+                status, _, body = await fetch(stack.base + "/healthz")
+                assert status == 200
+                assert json.loads(body)["status"] == "ok"
+                stack.service.drain()
+                status, _, body = await fetch(stack.base + "/healthz")
+                assert status == 503
+                assert json.loads(body)["status"] == "draining"
+
+        run(main())
+
+    def test_methods_lists_registry(self):
+        async def main():
+            async with gateway_stack() as stack:
+                status, _, body = await fetch(stack.base + "/v1/methods")
+                assert status == 200
+                doc = json.loads(body)
+                assert doc["schema_version"] == SCHEMA_VERSION
+                names = {m["name"] for m in doc["methods"]}
+                assert "grk" in names
+
+        run(main())
+
+    def test_unknown_route_404_and_bad_method_405(self):
+        async def main():
+            async with gateway_stack() as stack:
+                status, _, body = await fetch(stack.base + "/v1/nothing")
+                assert status == 404
+                assert json.loads(body)["error"] == "not-found"
+                status, headers, body = await fetch(
+                    stack.base + "/v1/search", method="GET"
+                )
+                assert status == 405
+                assert headers["Allow"] == "POST"
+                assert json.loads(body)["error"] == "method-not-allowed"
+
+        run(main())
+
+    def test_stats_is_json_with_service_keys(self):
+        async def main():
+            async with gateway_stack() as stack:
+                await fetch(stack.base + "/v1/search", method="POST",
+                            body=json.dumps(SEARCH_BODY).encode())
+                status, _, body = await fetch(stack.base + "/stats")
+                assert status == 200
+                stats = json.loads(body)
+                assert stats["submitted"] >= 1
+                assert "cache" in stats
+                assert "tenants" in stats
+
+        run(main())
+
+
+class TestSearchParity:
+    def test_post_search_bit_consistent_with_direct_engine(self):
+        async def main():
+            async with gateway_stack() as stack:
+                status, headers, body = await fetch(
+                    stack.base + "/v1/search", method="POST",
+                    body=json.dumps(SEARCH_BODY).encode(),
+                )
+                assert status == 200
+                assert headers["Content-Type"].startswith("application/json")
+                assert headers["X-Request-ID"]
+                return json.loads(body)
+
+        reply = run(main())
+        request = SearchRequest(n_items=256, n_blocks=16, target=37, rng=7)
+        direct = encode_report(SearchEngine().search(request))
+        via_http = dict(reply)
+        trace_id = via_http.pop("trace_id")
+        assert trace_id  # always present on success
+        assert via_http == direct
+        # Byte-level: the canonical encodings agree exactly.
+        assert (json.dumps(via_http, sort_keys=True)
+                == json.dumps(direct, sort_keys=True))
+
+    def test_caller_supplied_request_id_echoes_back(self):
+        async def main():
+            async with gateway_stack() as stack:
+                status, headers, body = await fetch(
+                    stack.base + "/v1/search", method="POST",
+                    body=json.dumps(SEARCH_BODY).encode(),
+                    headers={"X-Request-ID": "caller-trace-9"},
+                )
+                assert status == 200
+                assert headers["X-Request-ID"] == "caller-trace-9"
+                assert json.loads(body)["trace_id"] == "caller-trace-9"
+
+        run(main())
+
+    def test_batch_endpoint(self):
+        async def main():
+            async with gateway_stack() as stack:
+                payload = {
+                    "schema_version": SCHEMA_VERSION,
+                    "n_items": 128,
+                    "n_blocks": 8,
+                    "targets": [3, 77],
+                    "seed": 1,
+                }
+                status, _, body = await fetch(
+                    stack.base + "/v1/batch", method="POST",
+                    body=json.dumps(payload).encode(),
+                )
+                assert status == 200
+                doc = json.loads(body)
+                assert doc["kind"] == "batch"
+                assert doc["targets"] == [3, 77]
+                assert len(doc["block_guesses"]) == 2
+                assert doc["all_correct"] is True
+
+        run(main())
+
+
+class TestErrorMapping:
+    def test_schema_violation_is_400_with_field_errors(self):
+        async def main():
+            async with gateway_stack() as stack:
+                bad = {"n_items": -5, "dtype": "float16", "method": "nope"}
+                status, _, body = await fetch(
+                    stack.base + "/v1/search", method="POST",
+                    body=json.dumps(bad).encode(),
+                )
+                assert status == 400
+                doc = json.loads(body)
+                assert doc["error"] == "invalid-request"
+                fields = {e["field"] for e in doc["errors"]}
+                assert {"n_items", "dtype", "method"} <= fields
+
+        run(main())
+
+    def test_non_json_body_is_400(self):
+        async def main():
+            async with gateway_stack() as stack:
+                status, _, body = await fetch(
+                    stack.base + "/v1/search", method="POST",
+                    body=b"\x80\x04not json",
+                )
+                assert status == 400
+                assert json.loads(body)["error"] == "invalid-request"
+
+        run(main())
+
+
+class TestTenancyOverHttp:
+    def tenants(self):
+        return TenantTable(
+            {"limited-key": Tenant(name="limited", rate=0.001, burst=1),
+             "free-key": Tenant(name="free")},
+            default=None,
+        )
+
+    def test_rate_limited_tenant_does_not_affect_another(self):
+        async def main():
+            async with gateway_stack(tenants=self.tenants()) as stack:
+                body = json.dumps(SEARCH_BODY).encode()
+
+                def post(key):
+                    return fetch(stack.base + "/v1/search", method="POST",
+                                 body=body, headers={"X-API-Key": key})
+
+                status, _, _ = await post("limited-key")
+                assert status == 200  # burst token
+                status, headers, raw = await post("limited-key")
+                assert status == 429
+                assert int(headers["Retry-After"]) >= 1
+                doc = json.loads(raw)
+                assert doc["error"] == "rate-limited"
+                assert doc["retry_after_s"] > 0
+                # The other tenant's traffic is unaffected.
+                for _ in range(3):
+                    status, _, _ = await post("free-key")
+                    assert status == 200
+
+        run(main())
+
+    def test_unknown_key_is_401(self):
+        async def main():
+            async with gateway_stack(tenants=self.tenants()) as stack:
+                status, _, body = await fetch(
+                    stack.base + "/v1/search", method="POST",
+                    body=json.dumps(SEARCH_BODY).encode(),
+                    headers={"X-API-Key": "who-dis"},
+                )
+                assert status == 401
+                assert json.loads(body)["error"] == "unauthorized"
+
+        run(main())
+
+
+class TestMetricsOverHttp:
+    def test_metrics_exposes_per_tenant_counts(self, parse_prometheus):
+        async def main():
+            metrics = GatewayMetrics()
+            tenants = TenantTable(
+                {"a-key": Tenant(name="alpha"),
+                 "b-key": Tenant(name="beta")},
+            )
+            async with gateway_stack(tenants=tenants,
+                                     metrics=metrics) as stack:
+                body = json.dumps(SEARCH_BODY).encode()
+                for key, times in (("a-key", 2), ("b-key", 1)):
+                    for _ in range(times):
+                        status, _, _ = await fetch(
+                            stack.base + "/v1/search", method="POST",
+                            body=body, headers={"X-API-Key": key},
+                        )
+                        assert status == 200
+                status, headers, text = await fetch(stack.base + "/metrics")
+                assert status == 200
+                assert headers["Content-Type"].startswith("text/plain")
+                return text.decode()
+
+        text = run(main())
+        families, samples = parse_prometheus(text)
+        assert families["repro_gateway_requests_total"]["type"] == "counter"
+        per_tenant = {
+            s[1]["tenant"]: s[2]
+            for s in samples
+            if s[0] == "repro_gateway_requests_total"
+            and s[1]["outcome"] == "ok"
+        }
+        assert per_tenant["alpha"] == 2
+        assert per_tenant["beta"] == 1
+        # The service bridge rides along on the same scrape.
+        assert any(s[0] == "repro_service_stat" for s in samples)

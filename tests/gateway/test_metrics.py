@@ -1,0 +1,119 @@
+"""The Prometheus exposition: metric semantics plus a real text parse.
+
+Every render here goes through the ``parse_prometheus`` fixture (see
+``conftest.py``) — a minimal text-format 0.0.4 parser, so any drift from
+the exposition format fails loudly rather than at scrape time.
+"""
+
+import pytest
+
+from repro.gateway.metrics import (
+    Counter,
+    Gauge,
+    GatewayMetrics,
+    Histogram,
+    MetricsRegistry,
+)
+
+pytestmark = pytest.mark.gateway
+
+
+class TestCounter:
+    def test_monotonic(self):
+        c = Counter("c_total", "help", ("k",))
+        c.inc(k="a")
+        c.inc(2.0, k="a")
+        assert c.value(k="a") == 3.0
+        with pytest.raises(ValueError):
+            c.inc(-1.0, k="a")
+
+    def test_label_names_enforced(self):
+        c = Counter("c_total", "help", ("k",))
+        with pytest.raises(ValueError):
+            c.inc(wrong="a")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("g", "help")
+        g.set(2.5)
+        assert g.value() == 2.5
+        g.set(-1.0)
+        assert g.value() == -1.0
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_sum(self, parse_prometheus):
+        h = Histogram("h_seconds", "help", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        _, samples = parse_prometheus("\n".join(h.render()) + "\n")
+        by_le = {s[1]["le"]: s[2] for s in samples
+                 if s[0] == "h_seconds_bucket"}
+        assert by_le == {"0.1": 1, "1": 3, "10": 4, "+Inf": 5}
+        count = [s for s in samples if s[0] == "h_seconds_count"][0]
+        total = [s for s in samples if s[0] == "h_seconds_sum"][0]
+        assert count[2] == 5
+        assert total[2] == pytest.approx(56.05)
+
+    def test_boundary_value_counts_as_le(self, parse_prometheus):
+        h = Histogram("h", "help", buckets=(1.0, 2.0))
+        h.observe(1.0)  # le="1" is *less than or equal*
+        _, samples = parse_prometheus("\n".join(h.render()) + "\n")
+        by_le = {s[1]["le"]: s[2] for s in samples if s[0] == "h_bucket"}
+        assert by_le["1"] == 1
+
+
+class TestRegistry:
+    def test_duplicate_names_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total", "help")
+        with pytest.raises(ValueError):
+            reg.gauge("x_total", "help")
+
+    def test_render_is_parseable(self, parse_prometheus):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "help a", ("k",)).inc(k='quo"te\\n')
+        reg.gauge("b", "help b").set(-3.5)
+        families, samples = parse_prometheus(reg.render())
+        assert families["a_total"]["type"] == "counter"
+        assert families["b"]["type"] == "gauge"
+        assert samples[0][1]["k"] == 'quo\\"te\\\\n'  # escaped, parseable
+
+
+class TestGatewayMetrics:
+    def test_observe_and_render(self, parse_prometheus):
+        gm = GatewayMetrics()
+        gm.observe(route="/v1/search", tenant="alice", method="grk",
+                   outcome="ok", seconds=0.02)
+        gm.observe(route="/v1/search", tenant="alice", method="grk",
+                   outcome="rate-limited", seconds=0.001)
+        families, samples = parse_prometheus(gm.render())
+        assert families["repro_gateway_requests_total"]["type"] == "counter"
+        assert families["repro_gateway_request_seconds"]["type"] == "histogram"
+        requests = {
+            (s[1]["tenant"], s[1]["outcome"]): s[2]
+            for s in samples if s[0] == "repro_gateway_requests_total"
+        }
+        assert requests[("alice", "ok")] == 1
+        assert requests[("alice", "rate-limited")] == 1
+
+    def test_snapshot_bridge(self, parse_prometheus):
+        gm = GatewayMetrics()
+        snapshot = {
+            "submitted": 7, "completed": 5, "in_flight": 2,
+            "cache": {"size": 3, "hits": 4},
+            "worker_registry": {
+                "workers": ["127.0.0.1:1", "127.0.0.1:2"],
+                "breakers": {"127.0.0.1:1": {"state": "open"}},
+            },
+            "cluster": {"breakers": {"peer:9": {"state": "half-open"}}},
+        }
+        families, samples = parse_prometheus(gm.render(snapshot))
+        values = {(s[0], tuple(sorted(s[1].items()))): s[2] for s in samples}
+        assert values[("repro_service_stat", (("stat", "submitted"),))] == 7
+        assert values[("repro_service_cache_stat", (("stat", "hits"),))] == 4
+        assert values[("repro_registered_workers", ())] == 2
+        assert values[("repro_breaker_state",
+                       (("endpoint", "127.0.0.1:1"),))] == 2
+        assert values[("repro_breaker_state", (("endpoint", "peer:9"),))] == 1

@@ -1,0 +1,46 @@
+"""Pin the edge trust boundary: no ``repro.gateway`` module touches pickle.
+
+The intra-fleet wire ships pickles between trusted processes; the gateway
+exists precisely because the edge cannot.  This test walks the AST of every
+module in the package — imports anywhere (including function bodies, where
+a lazy ``import pickle`` would hide from a top-level grep) fail the suite.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+import repro.gateway
+
+pytestmark = pytest.mark.gateway
+
+FORBIDDEN = {"pickle", "cPickle", "dill", "cloudpickle", "shelve", "marshal"}
+
+
+def gateway_modules():
+    pkg_dir = pathlib.Path(repro.gateway.__file__).resolve().parent
+    return sorted(pkg_dir.glob("*.py"))
+
+
+def test_gateway_package_exists_with_expected_modules():
+    names = {p.name for p in gateway_modules()}
+    assert {"__init__.py", "schema.py", "http.py", "tenancy.py",
+            "metrics.py", "tracing.py"} <= names
+
+
+@pytest.mark.parametrize("path", gateway_modules(), ids=lambda p: p.name)
+def test_no_pickle_importable_from_gateway_module(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                root = alias.name.split(".")[0]
+                assert root not in FORBIDDEN, (
+                    f"{path.name}:{node.lineno} imports {alias.name!r}"
+                )
+        elif isinstance(node, ast.ImportFrom):
+            root = (node.module or "").split(".")[0]
+            assert root not in FORBIDDEN, (
+                f"{path.name}:{node.lineno} imports from {node.module!r}"
+            )

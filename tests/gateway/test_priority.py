@@ -1,0 +1,136 @@
+"""Priority classes: slot ordering at the primitive and through the service."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.engine import SearchEngine, SearchRequest
+from repro.service.scheduler import SearchService, _PrioritySlots
+
+pytestmark = pytest.mark.gateway
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestPrioritySlots:
+    def test_uncontended_acquire_is_immediate(self):
+        async def main():
+            slots = _PrioritySlots(2)
+            await slots.acquire(1)
+            await slots.acquire(1)
+            assert slots.waiting == 0
+
+        run(main())
+
+    def test_waiters_served_by_priority_then_fifo(self):
+        async def main():
+            slots = _PrioritySlots(1)
+            await slots.acquire(0)
+            order = []
+
+            async def waiter(priority, tag):
+                await slots.acquire(priority)
+                order.append(tag)
+                slots.release()
+
+            tasks = [asyncio.create_task(waiter(2, "batch-1")),
+                     asyncio.create_task(waiter(2, "batch-2"))]
+            await asyncio.sleep(0.01)
+            # Arrives last, but at interactive priority: next in line.
+            tasks.append(asyncio.create_task(waiter(0, "interactive")))
+            await asyncio.sleep(0.01)
+            assert slots.waiting == 3
+            slots.release()
+            await asyncio.gather(*tasks)
+            return order
+
+        assert run(main()) == ["interactive", "batch-1", "batch-2"]
+
+    def test_cancelled_waiter_does_not_leak_slot(self):
+        async def main():
+            slots = _PrioritySlots(1)
+            await slots.acquire(0)
+            task = asyncio.create_task(slots.acquire(1))
+            await asyncio.sleep(0.01)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+            slots.release()
+            # The slot freed past the cancelled waiter: a fresh acquire
+            # must succeed immediately.
+            await asyncio.wait_for(slots.acquire(1), timeout=1.0)
+
+        run(main())
+
+
+class GatedEngine(SearchEngine):
+    """Blocks every search on a gate; records execution order by target."""
+
+    def __init__(self):
+        super().__init__()
+        self.gate = threading.Event()
+        self.order: list = []
+        self._lock = threading.Lock()
+        self.started = threading.Event()
+
+    def search(self, request, database=None):
+        self.started.set()
+        with self._lock:
+            self.order.append(request.target)
+        if not self.gate.wait(timeout=10.0):
+            raise RuntimeError("test gate never opened")
+        return super().search(request, database)
+
+
+class TestServicePriority:
+    def test_interactive_overtakes_queued_batch_traffic(self):
+        """With one worker slot held, later interactive submits run before
+        earlier batch-class submits — the property the gateway's tenant
+        priority classes buy."""
+
+        async def main():
+            engine = GatedEngine()
+            async with SearchService(engine, max_workers=1,
+                                     cache_size=0) as service:
+                def submit(target, priority):
+                    return asyncio.create_task(service.submit(
+                        SearchRequest(n_items=64, n_blocks=4, target=target),
+                        priority=priority,
+                    ))
+
+                first = submit(0, 1)  # takes the only slot, blocks on gate
+                await asyncio.to_thread(engine.started.wait, 5.0)
+                batch = [submit(1, 2), submit(2, 2)]
+                await asyncio.sleep(0.05)
+                interactive = submit(3, 0)
+                # Wait until every waiter is queued on the slot heap.
+                for _ in range(100):
+                    if service._slots.waiting == 3:
+                        break
+                    await asyncio.sleep(0.01)
+                assert service._slots.waiting == 3
+                engine.gate.set()
+                await asyncio.gather(first, interactive, *batch)
+            return engine.order
+
+        order = run(main())
+        assert order[0] == 0
+        assert order[1] == 3, f"interactive ran at position {order.index(3)}"
+        assert sorted(order[2:]) == [1, 2]
+
+
+class TestPriorityDefaults:
+    def test_submit_default_priority_unchanged_behaviour(self):
+        async def main():
+            async with SearchService(max_workers=2) as service:
+                report = await service.submit(
+                    SearchRequest(n_items=64, n_blocks=8, target=9)
+                )
+            return report
+
+        report = run(main())
+        assert report.block_guess == 9 // 8

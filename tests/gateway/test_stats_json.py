@@ -1,0 +1,82 @@
+"""Satellite: the stats surface is JSON-safe end to end.
+
+``server_stats`` over the TCP wire, the scheduler's ``stats_snapshot``,
+and the gateway's ``/stats`` body all originate from the same snapshot —
+after ``json_safe`` at the source, every one must survive a strict
+``json.dumps`` round-trip unchanged (no numpy scalars, no tuple keys,
+no NaN smuggled through).
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.engine import SearchEngine, SearchRequest
+from repro.service.registry import WorkerRegistry
+from repro.service.scheduler import SearchService
+from repro.service.server import SearchServer, server_stats
+from repro.util.jsonsafe import json_safe
+
+pytestmark = pytest.mark.gateway
+
+
+def _roundtrips(value) -> bool:
+    return json.loads(json.dumps(value, allow_nan=False)) == value
+
+
+class TestJsonSafe:
+    def test_numpy_scalars_and_arrays(self):
+        np = pytest.importorskip("numpy")
+        out = json_safe({
+            "count": np.int64(3),
+            "ratio": np.float64(0.5),
+            "vec": np.array([1, 2]),
+            "nan": float("nan"),
+        })
+        assert out == {"count": 3, "ratio": 0.5, "vec": [1, 2], "nan": None}
+        assert _roundtrips(out)
+
+    def test_tuple_keys_and_bytes(self):
+        out = json_safe({("127.0.0.1", 80): b"\xffok"})
+        assert list(out.keys()) == ["127.0.0.1:80"]
+        assert _roundtrips(out)
+
+
+class TestSnapshotRoundTrip:
+    def test_scheduler_snapshot_is_json_safe(self):
+        async def main():
+            async with SearchService(max_workers=2) as service:
+                await service.submit(
+                    SearchRequest(n_items=64, n_blocks=8, target=3)
+                )
+                return service.stats_snapshot()
+
+        snapshot = asyncio.run(main())
+        assert _roundtrips(snapshot)
+        assert snapshot["completed"] >= 1
+        assert "slot_waiters" in snapshot
+
+    def test_server_stats_over_wire_round_trips(self):
+        async def main():
+            registry = WorkerRegistry()
+            async with SearchService(SearchEngine()) as service:
+                server = SearchServer(service, registry=registry,
+                                      health_interval=60.0)
+                await server.start()
+                try:
+                    await service.submit(
+                        SearchRequest(n_items=64, n_blocks=8, target=5)
+                    )
+                    return await asyncio.to_thread(
+                        server_stats, server.address
+                    )
+                finally:
+                    await server.stop()
+
+        stats = asyncio.run(main())
+        # The acceptance pin: a strict JSON round-trip preserves the
+        # payload exactly — what a JSON client sees is what the wire sent.
+        assert _roundtrips(stats)
+        assert stats["submitted"] >= 1
+        assert "worker_registry" in stats

@@ -1,0 +1,197 @@
+"""Per-tenant admission: buckets, caps, priorities, and the tenants file."""
+
+import json
+
+import pytest
+
+from repro.gateway.tenancy import (
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    PRIORITY_NORMAL,
+    AdmissionDenied,
+    Tenant,
+    TenantTable,
+    TokenBucket,
+)
+
+pytestmark = pytest.mark.gateway
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_exact_retry_after(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.take() is None
+        assert bucket.take() is None
+        retry = bucket.take()
+        assert retry == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.take() is None
+        assert bucket.take() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert bucket.take() is None
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(3600.0)
+        assert bucket.take() is None
+        assert bucket.take() is None
+        assert bucket.take() is not None
+
+
+class TestTenantValidation:
+    def test_bad_rate(self):
+        with pytest.raises(ValueError):
+            Tenant(name="x", rate=0.0)
+
+    def test_bad_priority(self):
+        with pytest.raises(ValueError):
+            Tenant(name="x", priority=7)
+
+    def test_bad_inflight(self):
+        with pytest.raises(ValueError):
+            Tenant(name="x", max_inflight=0)
+
+
+class TestAdmission:
+    def test_rate_exhaustion_is_429_with_retry_after(self):
+        clock = FakeClock()
+        table = TenantTable(
+            {"k": Tenant(name="t", rate=1.0, burst=1)},
+            default=None, clock=clock,
+        )
+        state = table.resolve("k")
+        state.admit()
+        with pytest.raises(AdmissionDenied) as err:
+            state.admit()
+        assert err.value.status == 429
+        assert err.value.code == "rate-limited"
+        assert err.value.retry_after == pytest.approx(1.0)
+
+    def test_inflight_cap_and_release(self):
+        table = TenantTable({"k": Tenant(name="t", max_inflight=2)},
+                            default=None)
+        state = table.resolve("k")
+        state.admit()
+        state.admit()
+        with pytest.raises(AdmissionDenied) as err:
+            state.admit()
+        assert err.value.status == 429
+        state.release()
+        state.admit()  # a freed slot admits again
+
+    def test_tenants_do_not_share_buckets(self):
+        clock = FakeClock()
+        table = TenantTable(
+            {"a": Tenant(name="a", rate=1.0, burst=1),
+             "b": Tenant(name="b", rate=1.0, burst=1)},
+            default=None, clock=clock,
+        )
+        table.resolve("a").admit()
+        with pytest.raises(AdmissionDenied):
+            table.resolve("a").admit()
+        table.resolve("b").admit()  # unaffected by a's exhaustion
+
+    def test_unknown_key_without_default_is_401(self):
+        table = TenantTable({"k": Tenant(name="t")}, default=None)
+        with pytest.raises(AdmissionDenied) as err:
+            table.resolve("wrong")
+        assert err.value.status == 401
+        with pytest.raises(AdmissionDenied):
+            table.resolve(None)
+
+    def test_open_table_admits_anonymous(self):
+        state = TenantTable().resolve(None)
+        assert state.tenant.name == "anonymous"
+        state.admit()
+
+    def test_stats_counts_rejections(self):
+        clock = FakeClock()
+        table = TenantTable({"k": Tenant(name="t", rate=1.0, burst=1)},
+                            default=None, clock=clock)
+        state = table.resolve("k")
+        state.admit()
+        with pytest.raises(AdmissionDenied):
+            state.admit()
+        stats = table.stats()
+        assert stats["t"]["admitted"] == 1
+        assert stats["t"]["rejected_rate"] == 1
+
+
+class TestTenantsFile:
+    CONFIG = {
+        "default": {"rate": 20.0, "burst": 40, "priority": "batch"},
+        "tenants": {
+            "key-alice": {"name": "alice", "rate": 100.0,
+                          "priority": "interactive", "max_inflight": 4.0},
+            "key-bob": {"name": "bob", "priority": 2},
+        },
+    }
+
+    def test_from_dict(self):
+        table = TenantTable.from_dict(self.CONFIG)
+        alice = table.resolve("key-alice").tenant
+        assert alice.name == "alice"
+        assert alice.priority == PRIORITY_INTERACTIVE
+        assert alice.max_inflight == 4  # coerced to int even from JSON 4.0
+        assert table.resolve("key-bob").tenant.priority == PRIORITY_BATCH
+        default = table.resolve("unknown").tenant
+        assert default.name == "default"
+        assert default.priority == PRIORITY_BATCH
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "tenants.json"
+        path.write_text(json.dumps(self.CONFIG))
+        table = TenantTable.from_file(str(path))
+        assert table.resolve("key-alice").tenant.rate == 100.0
+
+    def test_from_toml_file(self, tmp_path):
+        tomllib = pytest.importorskip(
+            "tomllib", reason="TOML tenants files need Python >= 3.11"
+        )
+        del tomllib
+        path = tmp_path / "tenants.toml"
+        path.write_text(
+            '[default]\nrate = 20.0\n\n'
+            '[tenants."key-alice"]\nname = "alice"\npriority = "interactive"\n'
+        )
+        table = TenantTable.from_file(str(path))
+        assert table.resolve("key-alice").tenant.priority == PRIORITY_INTERACTIVE
+        assert table.resolve("anything").tenant.rate == 20.0
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields"):
+            TenantTable.from_dict(
+                {"tenants": {"k": {"name": "x", "ratelimit": 5}}}
+            )
+
+    def test_bad_priority_name_rejected(self):
+        with pytest.raises(ValueError, match="priority"):
+            TenantTable.from_dict(
+                {"tenants": {"k": {"priority": "urgent"}}}
+            )
+
+    def test_no_default_means_key_only(self):
+        table = TenantTable.from_dict(
+            {"tenants": {"k": {"name": "x"}}}
+        )
+        with pytest.raises(AdmissionDenied):
+            table.resolve(None)
+
+    def test_priority_constants_order(self):
+        assert PRIORITY_INTERACTIVE < PRIORITY_NORMAL < PRIORITY_BATCH
