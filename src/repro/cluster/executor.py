@@ -25,6 +25,7 @@ aborting the batch.
 
 from __future__ import annotations
 
+from repro.observability.spans import span
 from repro.service.executor import RegistryExecutor
 
 __all__ = ["ClusterExecutor"]
@@ -91,7 +92,12 @@ class ClusterExecutor(RegistryExecutor):
         return trusted + probation
 
     def _resolve_addresses(self, tasks: list) -> list[str]:
-        return self._ranked_workers()
+        # Ranking walks the gossip table; on a big fleet that is real work
+        # worth attributing, so it gets its own span under dispatch.resolve.
+        with span("cluster.rank") as ranking:
+            ranked = self._ranked_workers()
+            ranking.attrs["workers"] = len(ranked)
+        return ranked
 
     def describe(self) -> dict:
         return {

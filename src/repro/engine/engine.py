@@ -220,11 +220,15 @@ class SearchEngine:
         fan-out and keeps the report's execution provenance uniform.
         """
         from repro.engine.plan import plan_shards
+        from repro.observability.spans import span
         from repro.util.rng import spawn_rngs
 
-        plan = plan_shards(
-            targets.size, request.n_items, backend, request.shards, request.policy
-        )
+        with span("shards.plan", backend=backend) as planned:
+            plan = plan_shards(
+                targets.size, request.n_items, backend, request.shards,
+                request.policy,
+            )
+            planned.attrs["shards"] = plan.n_shards
         # Plain-field task payloads: requests carry a read-only options proxy
         # that process pools cannot pickle, so shards rebuild the request.
         base_fields = {
@@ -249,9 +253,10 @@ class SearchEngine:
         results = self.executor.run_shards(
             _run_single_target_shard, tasks, workers=plan.workers
         )
-        success = np.concatenate([r[0] for r in results])
-        guesses = np.concatenate([r[1] for r in results])
-        queries = np.concatenate([r[2] for r in results])
+        with span("merge", shards=len(results)):
+            success = np.concatenate([r[0] for r in results])
+            guesses = np.concatenate([r[1] for r in results])
+            queries = np.concatenate([r[2] for r in results])
         schedule: dict = {}
         return BatchReport(
             method=request.method,

@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.core.backends import CIRCUIT_BACKENDS, KERNEL_BACKEND
 from repro.engine.request import ExecutionPolicy, ShardPolicy
+from repro.observability.spans import span
 
 __all__ = [
     "ExecutionPlan",
@@ -202,16 +203,21 @@ def run_grk_batch_sharded(
     targets = np.asarray(targets, dtype=np.intp)
     if execution is None:
         execution = ExecutionPolicy()
-    plan = plan_shards(
-        targets.size, schedule.spec.n_items, backend, policy, execution
-    )
-    execution = plan.policy  # "auto" resolved by the planner
-    tasks = [(schedule, targets[sl], backend, execution) for sl in plan.slices()]
+    with span("shards.plan", backend=backend) as planned:
+        plan = plan_shards(
+            targets.size, schedule.spec.n_items, backend, policy, execution
+        )
+        execution = plan.policy  # "auto" resolved by the planner
+        tasks = [
+            (schedule, targets[sl], backend, execution) for sl in plan.slices()
+        ]
+        planned.attrs["shards"] = plan.n_shards
     if executor is None:
         executor = default_executor()
     results = executor.run_shards(_grk_shard, tasks, workers=plan.workers)
-    success = np.concatenate([r[0] for r in results])
-    guesses = np.concatenate([r[1] for r in results])
+    with span("merge", shards=len(results)):
+        success = np.concatenate([r[0] for r in results])
+        guesses = np.concatenate([r[1] for r in results])
     return success, guesses, plan
 
 
@@ -248,14 +254,18 @@ def run_simplified_batch_sharded(
     targets = np.asarray(targets, dtype=np.intp)
     if execution is None:
         execution = ExecutionPolicy()
-    plan = plan_shards(
-        targets.size, schedule.spec.n_items, KERNEL_BACKEND, policy, execution
-    )
-    execution = plan.policy  # "auto" resolved by the planner
-    tasks = [(schedule, targets[sl], execution) for sl in plan.slices()]
+    with span("shards.plan", backend=KERNEL_BACKEND) as planned:
+        plan = plan_shards(
+            targets.size, schedule.spec.n_items, KERNEL_BACKEND, policy,
+            execution,
+        )
+        execution = plan.policy  # "auto" resolved by the planner
+        tasks = [(schedule, targets[sl], execution) for sl in plan.slices()]
+        planned.attrs["shards"] = plan.n_shards
     if executor is None:
         executor = default_executor()
     results = executor.run_shards(_simplified_shard, tasks, workers=plan.workers)
-    success = np.concatenate([r[0] for r in results])
-    guesses = np.concatenate([r[1] for r in results])
+    with span("merge", shards=len(results)):
+        success = np.concatenate([r[0] for r in results])
+        guesses = np.concatenate([r[1] for r in results])
     return success, guesses, plan

@@ -48,6 +48,7 @@ from repro.gateway.tenancy import (
     TokenBucket,
 )
 from repro.gateway.tracing import (
+    MAX_TRACE_ID_LENGTH,
     TRACE_HEADER,
     current_trace_id,
     new_trace_id,
@@ -79,6 +80,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "TRACE_HEADER",
+    "MAX_TRACE_ID_LENGTH",
     "new_trace_id",
     "current_trace_id",
     "sanitize_trace_id",

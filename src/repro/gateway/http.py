@@ -30,6 +30,7 @@ edge contract that matters is the *schema*, not transport feature count.
 from __future__ import annotations
 
 import asyncio
+import json
 import logging
 import time
 
@@ -45,6 +46,7 @@ from repro.gateway.tracing import (
     sanitize_trace_id,
     trace_scope,
 )
+from repro.observability.spans import SpanRecorder, recording_scope, span
 from repro.util.jsonsafe import json_safe
 
 __all__ = ["GatewayServer", "DEFAULT_HTTP_PORT"]
@@ -89,12 +91,21 @@ class GatewayServer:
             whose fleet shows up in ``/stats`` and ``/metrics``.
         cluster: optional :class:`~repro.cluster.ClusterCoordinator` whose
             status shows up in ``/stats`` and ``/metrics``.
+        tracing: record a span tree per submit request into the service's
+            :class:`~repro.observability.TraceCollector` (served by
+            ``GET /v1/trace/{id}``) and feed the per-stage latency
+            histogram.  ``False`` turns the span layer into no-ops — the
+            bench's tracing-off baseline.
+        slow_threshold: seconds; a traced request whose root span exceeds
+            it is logged as one structured ``slow-request`` line carrying
+            the full span tree.  ``None`` (default) disables the slow log.
     """
 
     def __init__(self, service, host: str = "127.0.0.1", port: int = 0, *,
                  tenants: TenantTable | None = None,
                  metrics: GatewayMetrics | None = None,
-                 registry=None, cluster=None):
+                 registry=None, cluster=None, tracing: bool = True,
+                 slow_threshold: float | None = None):
         self.service = service
         self.host = host
         self.port = port
@@ -102,6 +113,8 @@ class GatewayServer:
         self.metrics = metrics if metrics is not None else GatewayMetrics()
         self.registry = registry
         self.cluster = cluster
+        self.tracing = tracing
+        self.slow_threshold = slow_threshold
         self._server: asyncio.AbstractServer | None = None
 
     # ------------------------------------------------------------ lifecycle
@@ -271,6 +284,8 @@ class GatewayServer:
                     {}, trace_id, None)
         if path == "/v1/methods":
             return (200, _schema.encode_methods(), {}, trace_id, None)
+        if path.startswith("/v1/trace/"):
+            return self._handle_trace(path[len("/v1/trace/"):], trace_id)
         if path == "/stats":
             return (200, json_safe(self._stats()), {}, trace_id, None)
         if path == "/metrics":
@@ -290,9 +305,71 @@ class GatewayServer:
         stats["tenants"] = self.tenants.stats()
         return stats
 
+    # --------------------------------------------------------------- traces
+    def _handle_trace(self, requested: str, trace_id: str):
+        """``GET /v1/trace/{id}``: the stitched span tree of a past request."""
+        collector = getattr(self.service, "trace_collector", None)
+        if collector is None or not requested:
+            return (404, _schema.encode_error(
+                "not-found", "tracing is not available on this service"),
+                {}, trace_id, None)
+        spans = collector.get(requested)
+        if spans is None:
+            return (404, _schema.encode_error(
+                "not-found",
+                f"no trace {requested!r} (unknown, untraced, or evicted)"),
+                {}, trace_id, None)
+        return (200, {
+            "schema_version": _schema.SCHEMA_VERSION,
+            "kind": "trace",
+            "trace_id": requested,
+            "spans": [s.to_dict() for s in spans],
+        }, {}, trace_id, None)
+
     # --------------------------------------------------------------- submit
     async def _handle_submit(self, path: str, headers: dict, body: bytes,
                              trace_id: str):
+        """Submit wrapper: brackets the real handler in the request's root
+        span (the ambient recorder flows through the whole asyncio/pool
+        path), then flushes the finished tree to the collector, the
+        per-stage histogram, and — past ``slow_threshold`` — the slow log.
+        """
+        recorder = SpanRecorder(trace_id) if self.tracing else None
+        with recording_scope(recorder):
+            with span("gateway", route=path) as root:
+                response = await self._submit_inner(
+                    path, headers, body, trace_id
+                )
+                root.attrs["status"] = response[0]
+        if recorder is not None:
+            self._flush_trace(recorder, trace_id, root)
+        return response
+
+    def _flush_trace(self, recorder: SpanRecorder, trace_id: str,
+                     root) -> None:
+        spans = recorder.drain()
+        if not spans:
+            return
+        collector = getattr(self.service, "trace_collector", None)
+        if collector is not None:
+            collector.record(trace_id, spans)
+        for s in spans:
+            self.metrics.stage_seconds.observe(s.duration_s, stage=s.name)
+        if self.slow_threshold is not None \
+                and root.duration_s > self.slow_threshold:
+            # One structured line with the whole tree: grep-able in plain
+            # logs, machine-readable under --log-format json.
+            log.warning(
+                "slow-request trace=%s duration_ms=%.1f threshold_ms=%.1f "
+                "spans=%s",
+                trace_id, root.duration_s * 1e3, self.slow_threshold * 1e3,
+                json.dumps([s.to_dict() for s in spans], default=str),
+                extra={"trace_id": trace_id,
+                       "duration_ms": root.duration_s * 1e3},
+            )
+
+    async def _submit_inner(self, path: str, headers: dict, body: bytes,
+                            trace_id: str):
         from repro.resilience import DeadlineExceeded
         from repro.service.executor import WorkerUnavailable
         from repro.service.scheduler import ServiceOverloaded
@@ -317,16 +394,19 @@ class GatewayServer:
                 headers.get(API_KEY_HEADER.lower())
             )
             tenant_name = tenant.tenant.name
-            decoded = _schema.decode_submit(
-                _schema.loads(
-                    body, headers.get("content-type",
-                                      _schema.CONTENT_TYPE_JSON).split(";")[0]
-                                 .strip() or _schema.CONTENT_TYPE_JSON,
-                ),
-                batch=batch,
-            )
+            with span("gateway.parse"):
+                decoded = _schema.decode_submit(
+                    _schema.loads(
+                        body,
+                        headers.get("content-type",
+                                    _schema.CONTENT_TYPE_JSON).split(";")[0]
+                               .strip() or _schema.CONTENT_TYPE_JSON,
+                    ),
+                    batch=batch,
+                )
             method_name = decoded.request.method
-            tenant.admit()
+            with span("tenant.admit", tenant=tenant_name):
+                tenant.admit()
         except AdmissionDenied as exc:
             extra = {}
             if exc.retry_after is not None:

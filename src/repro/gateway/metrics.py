@@ -76,7 +76,11 @@ class _Metric:
         self._series: dict[tuple, object] = {}
 
     def _key(self, labels: dict) -> tuple:
-        if set(labels) != set(self.labelnames):
+        # Fast path: kwargs arrive in declaration order on the hot path
+        # (per-span stage observations), so an ordered match skips the
+        # set building.
+        if tuple(labels) != self.labelnames \
+                and set(labels) != set(self.labelnames):
             raise ValueError(
                 f"{self.name} expects labels {self.labelnames}, "
                 f"got {tuple(sorted(labels))}"
@@ -252,6 +256,12 @@ class GatewayMetrics:
             "repro_gateway_rejections_total",
             "Edge rejections before the service saw the request.",
             ("route", "tenant", "reason"),
+        )
+        self.stage_seconds = self.registry.histogram(
+            "repro_stage_duration_seconds",
+            "Per-stage request latency attributed from span tracing "
+            "(stage = span name: gateway, queue.wait, dispatch, ...).",
+            ("stage",),
         )
         # Snapshot-bridged gauges, refreshed at scrape time.
         self.service_gauge = self.registry.gauge(

@@ -31,7 +31,9 @@ from contextvars import ContextVar
 
 __all__ = [
     "TRACE_HEADER",
+    "MAX_TRACE_ID_LENGTH",
     "new_trace_id",
+    "sanitize_trace_id",
     "current_trace_id",
     "trace_scope",
 ]

@@ -1,0 +1,70 @@
+"""Bounded in-process trace storage.
+
+The :class:`TraceCollector` is a ring buffer keyed by trace ID: each
+finished request flushes its recorder here, worker-side spans stitched in
+by the executor arrive in the same flush, and ``GET /v1/trace/{id}`` /
+``repro trace`` read back the assembled tree.  Capacity is bounded (LRU
+by *insertion/update* order) so a long-running gateway holds the most
+recent N traces and nothing else — this is a debugging window, not a
+telemetry backend.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from .spans import Span
+
+__all__ = ["TraceCollector", "DEFAULT_CAPACITY"]
+
+DEFAULT_CAPACITY = 256
+
+
+class TraceCollector:
+    """Thread-safe ``trace_id -> [Span]`` ring buffer."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._traces: OrderedDict[str, list[Span]] = OrderedDict()
+        self._recorded = 0
+        self._evicted = 0
+
+    def record(self, trace_id: str, spans: list[Span]) -> None:
+        """Merge *spans* into the trace, refreshing its recency."""
+        if not trace_id or not spans:
+            return
+        with self._lock:
+            bucket = self._traces.get(trace_id)
+            if bucket is None:
+                bucket = self._traces[trace_id] = []
+            bucket.extend(spans)
+            self._traces.move_to_end(trace_id)
+            self._recorded += len(spans)
+            while len(self._traces) > self.capacity:
+                self._traces.popitem(last=False)
+                self._evicted += 1
+
+    def get(self, trace_id: str) -> list[Span] | None:
+        """The trace's spans (a copy), or ``None`` if unknown/evicted."""
+        with self._lock:
+            bucket = self._traces.get(trace_id)
+            return list(bucket) if bucket is not None else None
+
+    def last(self, n: int) -> list[tuple[str, list[Span]]]:
+        """The *n* most recently updated traces, most recent last."""
+        with self._lock:
+            items = list(self._traces.items())[-n:]
+            return [(tid, list(spans)) for tid, spans in items]
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "traces": len(self._traces),
+                "capacity": self.capacity,
+                "spans_recorded": self._recorded,
+                "traces_evicted": self._evicted,
+            }

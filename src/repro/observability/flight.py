@@ -1,0 +1,119 @@
+"""Crash flight recorder: dump recent traces + stats on signal or crash.
+
+Black-box style: a :class:`FlightRecorder` watches a
+:class:`~repro.observability.collector.TraceCollector` and, on
+``SIGUSR1`` or an unhandled exception (main thread via ``sys.excepthook``,
+worker threads via ``threading.excepthook``), writes the last-N traces
+and a stats snapshot to a JSON file — so a crashed or wedged server
+leaves behind exactly the evidence a postmortem needs.
+
+``install()`` chains the previous hooks rather than replacing them, and
+``uninstall()`` restores everything, so tests (and embedders that bring
+their own crash handling) can scope the recorder tightly.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import signal
+import sys
+import threading
+import time
+
+from .collector import TraceCollector
+
+__all__ = ["FlightRecorder"]
+
+log = logging.getLogger("repro.observability.flight")
+
+
+class FlightRecorder:
+    def __init__(self, collector: TraceCollector, *, path: str,
+                 stats_fn=None, last_n: int = 32):
+        self.collector = collector
+        self.path = str(path)
+        self.stats_fn = stats_fn
+        self.last_n = int(last_n)
+        self._installed = False
+        self._prev_excepthook = None
+        self._prev_threading_hook = None
+        self._prev_signal = None
+        self._lock = threading.Lock()
+
+    def dump(self, reason: str) -> str:
+        """Write the dump file; returns its path.  Never raises."""
+        payload = {
+            "reason": reason,
+            "time": time.time(),
+            "pid": os.getpid(),
+            "collector": self.collector.stats(),
+            "traces": [
+                {"trace_id": tid, "spans": [s.to_dict() for s in spans]}
+                for tid, spans in self.collector.last(self.last_n)
+            ],
+        }
+        if self.stats_fn is not None:
+            try:
+                payload["stats"] = self.stats_fn()
+            except Exception as exc:  # stats must never block the dump
+                payload["stats_error"] = repr(exc)
+        try:
+            with self._lock:
+                tmp = f"{self.path}.tmp"
+                with open(tmp, "w") as fh:
+                    json.dump(payload, fh, indent=2, default=str)
+                os.replace(tmp, self.path)
+            log.warning("flight recorder dumped %d traces -> %s (%s)",
+                        len(payload["traces"]), self.path, reason)
+        except OSError as exc:
+            log.error("flight recorder failed to write %s: %r",
+                      self.path, exc)
+        return self.path
+
+    # -- hook installation -------------------------------------------------
+
+    def install(self, *, with_signal: bool = True) -> "FlightRecorder":
+        """Hook SIGUSR1 + unhandled-exception paths (chaining existing)."""
+        if self._installed:
+            return self
+        self._prev_excepthook = sys.excepthook
+        self._prev_threading_hook = threading.excepthook
+
+        def _excepthook(exc_type, exc, tb):
+            self.dump(f"crash:{exc_type.__name__}")
+            (self._prev_excepthook or sys.__excepthook__)(exc_type, exc, tb)
+
+        def _threading_hook(args):
+            if args.exc_type is not SystemExit:
+                self.dump(f"thread-crash:{args.exc_type.__name__}")
+            (self._prev_threading_hook or threading.__excepthook__)(args)
+
+        sys.excepthook = _excepthook
+        threading.excepthook = _threading_hook
+
+        if with_signal and hasattr(signal, "SIGUSR1") \
+                and threading.current_thread() is threading.main_thread():
+            def _on_signal(signum, frame):
+                self.dump("signal:SIGUSR1")
+                prev = self._prev_signal
+                if callable(prev):
+                    prev(signum, frame)
+
+            self._prev_signal = signal.signal(signal.SIGUSR1, _on_signal)
+        self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        if not self._installed:
+            return
+        sys.excepthook = self._prev_excepthook or sys.__excepthook__
+        threading.excepthook = (
+            self._prev_threading_hook or threading.__excepthook__
+        )
+        if self._prev_signal is not None \
+                and threading.current_thread() is threading.main_thread():
+            signal.signal(signal.SIGUSR1, self._prev_signal)
+            self._prev_signal = None
+        self._installed = False

@@ -1,0 +1,89 @@
+"""Waterfall rendering for span trees — the ``repro trace`` view.
+
+Builds the parent/child tree from a flat span list and prints one line
+per span: an offset bar (position/width proportional to start/duration
+relative to the root), the indented name, total duration, and self time
+(duration minus direct children) with its share of the root.  Orphans —
+spans whose parent never arrived, e.g. worker spans from a partially
+degraded dispatch — attach under the root so nothing is silently lost.
+"""
+
+from __future__ import annotations
+
+from .spans import Span
+
+__all__ = ["render_waterfall", "build_tree"]
+
+_BAR_WIDTH = 24
+
+
+def build_tree(spans: list[Span]) -> tuple[list[Span], dict[str, list[Span]]]:
+    """``(roots, children_by_parent_id)`` with stable start-time order."""
+    by_id = {s.span_id: s for s in spans}
+    children: dict[str, list[Span]] = {}
+    roots: list[Span] = []
+    for s in spans:
+        if s.parent_id and s.parent_id in by_id:
+            children.setdefault(s.parent_id, []).append(s)
+        else:
+            roots.append(s)
+    roots.sort(key=lambda s: s.start_s)
+    for bucket in children.values():
+        bucket.sort(key=lambda s: s.start_s)
+    # Orphans (parent missing) rank after the true root: attach them
+    # under the first root so the tree stays connected.
+    if len(roots) > 1:
+        root, orphans = roots[0], roots[1:]
+        children.setdefault(root.span_id, []).extend(orphans)
+        children[root.span_id].sort(key=lambda s: s.start_s)
+        roots = [root]
+    return roots, children
+
+
+def _self_time(span: Span, children: dict[str, list[Span]]) -> float:
+    child_total = sum(c.duration_s for c in children.get(span.span_id, ()))
+    return max(0.0, span.duration_s - child_total)
+
+
+def _bar(span: Span, root: Span) -> str:
+    window = max(root.duration_s, 1e-9)
+    offset = min(max((span.start_s - root.start_s) / window, 0.0), 1.0)
+    width = min(span.duration_s / window, 1.0 - offset)
+    start = int(round(offset * _BAR_WIDTH))
+    filled = max(1, int(round(width * _BAR_WIDTH)))
+    filled = min(filled, _BAR_WIDTH - start) or 1
+    return "." * start + "#" * filled + "." * (_BAR_WIDTH - start - filled)
+
+
+def render_waterfall(spans: list[Span]) -> str:
+    """The full multi-line waterfall for one trace."""
+    if not spans:
+        return "(no spans)"
+    roots, children = build_tree(spans)
+    root = roots[0]
+    total = max(root.duration_s, 1e-9)
+    lines = [
+        f"trace {root.trace_id}  "
+        f"({len(spans)} spans, {root.duration_s * 1e3:.2f} ms total)"
+    ]
+
+    def emit(span: Span, depth: int) -> None:
+        self_s = _self_time(span, children)
+        marker = " !" if span.status != "ok" else ""
+        attrs = ""
+        if span.attrs:
+            attrs = "  " + ",".join(
+                f"{k}={v}" for k, v in sorted(span.attrs.items())
+            )
+        lines.append(
+            f"[{_bar(span, root)}] "
+            f"{'  ' * depth}{span.name:<{max(1, 28 - 2 * depth)}} "
+            f"{span.duration_s * 1e3:8.2f}ms "
+            f"self {self_s * 1e3:7.2f}ms ({self_s / total * 100:4.1f}%)"
+            f"{marker}{attrs}"
+        )
+        for child in children.get(span.span_id, ()):
+            emit(child, depth + 1)
+
+    emit(root, 0)
+    return "\n".join(lines)

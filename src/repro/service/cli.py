@@ -6,6 +6,7 @@ Subcommands::
     repro gateway         # same stack plus the schema'd HTTP/JSON edge
     repro submit          # send one request to a running server, print the report
     repro curl            # send one request to a gateway over HTTP/JSON
+    repro trace           # render a recent request's span waterfall
     repro worker          # run a shard-execution worker (alias of repro-worker)
     repro methods         # list the method registry (name, backends, description)
     repro cluster status  # print a replica's membership/peering/fleet status
@@ -108,6 +109,14 @@ def _add_serving_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--breaker-reset", type=float, default=15.0,
                    help="seconds an open breaker waits before letting one "
                         "half-open trial request through")
+    p.add_argument("--log-format", default="plain",
+                   choices=["plain", "json"],
+                   help="log line format: human-readable 'plain' (default) "
+                        "or one JSON object per line for log shippers")
+    p.add_argument("--flight-recorder", default=None, metavar="PATH",
+                   help="crash flight recorder: dump the last recorded "
+                        "traces plus service stats to PATH as JSON on an "
+                        "unhandled crash or on SIGUSR1")
 
 
 def _add_serve(sub: argparse._SubParsersAction) -> None:
@@ -132,6 +141,15 @@ def _add_gateway(sub: argparse._SubParsersAction) -> None:
                         "API keys, rate limits, in-flight caps, priorities. "
                         "Without it the gateway is open (one shared "
                         "anonymous tenant)")
+    p.add_argument("--slow-threshold", type=float, default=None,
+                   metavar="SECONDS",
+                   help="log any request slower than this with its full "
+                        "span tree on one structured line")
+    p.add_argument("--no-tracing", action="store_true",
+                   help="disable per-request span tracing (drops "
+                        "/v1/trace/{id}, stage histograms, and the slow-"
+                        "request log; tracing overhead is benchmarked at "
+                        "<5%% on the cached path)")
 
 
 def _add_request_flags(p: argparse.ArgumentParser) -> None:
@@ -170,6 +188,10 @@ def _add_submit(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--json", action="store_true",
                    help="emit the gateway schema's versioned report envelope "
                         "(machine-readable; identical to POST /v1/search)")
+    p.add_argument("--trace-id", default=None,
+                   help="trace this request under an explicit ID (default: "
+                        "mint one).  The effective ID is printed to stderr; "
+                        "feed it to `repro trace` for the span waterfall")
 
 
 def _add_curl(sub: argparse._SubParsersAction) -> None:
@@ -191,6 +213,26 @@ def _add_curl(sub: argparse._SubParsersAction) -> None:
     _add_request_flags(p)
 
 
+def _add_trace(sub: argparse._SubParsersAction) -> None:
+    p = sub.add_parser(
+        "trace",
+        help="fetch a recent request's span tree and render the waterfall "
+             "(per-stage latency attribution)",
+    )
+    p.add_argument("trace_id", help="the request's trace ID (printed by "
+                                    "repro submit / repro curl, or the "
+                                    "X-Request-ID response header)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=None,
+                   help="TCP wire port of a repro serve (default 7736)")
+    p.add_argument("--url", default=None,
+                   help="fetch over HTTP from a gateway instead "
+                        "(GET URL/v1/trace/{id})")
+    p.add_argument("--json", action="store_true",
+                   help="emit the raw span dicts as JSON instead of the "
+                        "rendered waterfall")
+
+
 def _add_worker(sub: argparse._SubParsersAction) -> None:
     p = sub.add_parser("worker", help="run a shard-execution worker")
     p.add_argument("--host", default="127.0.0.1")
@@ -208,6 +250,9 @@ def _add_worker(sub: argparse._SubParsersAction) -> None:
     p.add_argument("--drain-timeout", type=float, default=30.0,
                    help="seconds SIGTERM waits for in-flight shards before "
                         "the worker stops")
+    p.add_argument("--log-format", default="plain",
+                   choices=["plain", "json"],
+                   help="shard log format: 'plain' (default) or JSON lines")
     p.add_argument("-v", "--verbose", action="store_true")
 
 
@@ -318,14 +363,32 @@ def _build_serving_stack(args, prog: str):
     }
 
 
-def _cmd_serve(args) -> int:
-    import logging
+def _install_flight_recorder(args, service):
+    """Arm the crash flight recorder when ``--flight-recorder`` was given.
 
+    Returns the installed recorder (so callers could ``uninstall``), or
+    ``None``.  Dumps the service's recent traces plus a stats snapshot on
+    unhandled crash and on SIGUSR1.
+    """
+    if not args.flight_recorder:
+        return None
+    from repro.observability import FlightRecorder
+
+    recorder = FlightRecorder(
+        service.trace_collector,
+        path=args.flight_recorder,
+        stats_fn=service.stats_snapshot,
+    )
+    recorder.install()
+    return recorder
+
+
+def _cmd_serve(args) -> int:
     from repro.service.scheduler import SearchService
     from repro.service.server import DEFAULT_PORT, SearchServer
+    from repro.util.structlog import configure_logging
 
-    logging.basicConfig(level=logging.INFO,
-                        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    configure_logging(args.log_format)
     code, stack = _build_serving_stack(args, "repro serve")
     if code is not None:
         return code
@@ -340,6 +403,7 @@ def _cmd_serve(args) -> int:
             cache_ttl=args.cache_ttl,
             peering=stack["peering"],
         ) as service:
+            _install_flight_recorder(args, service)
             server = SearchServer(
                 service,
                 args.host,
@@ -361,15 +425,13 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_gateway(args) -> int:
-    import logging
-
     from repro.gateway.http import DEFAULT_HTTP_PORT, GatewayServer
     from repro.gateway.tenancy import TenantTable
     from repro.service.scheduler import SearchService
     from repro.service.server import DEFAULT_PORT, SearchServer
+    from repro.util.structlog import configure_logging
 
-    logging.basicConfig(level=logging.INFO,
-                        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    configure_logging(args.log_format)
     code, stack = _build_serving_stack(args, "repro gateway")
     if code is not None:
         return code
@@ -393,6 +455,7 @@ def _cmd_gateway(args) -> int:
             cache_ttl=args.cache_ttl,
             peering=stack["peering"],
         ) as service:
+            _install_flight_recorder(args, service)
             # The TCP endpoint stays up alongside HTTP: workers register,
             # gossip flows, and `repro submit` keeps working — the gateway
             # adds the edge, it does not replace the fleet plumbing.
@@ -412,6 +475,8 @@ def _cmd_gateway(args) -> int:
                 tenants=tenants,
                 registry=stack["registry"],
                 cluster=stack["cluster"],
+                tracing=not args.no_tracing,
+                slow_threshold=args.slow_threshold,
             )
             await gateway.start()
             print(f"repro gateway ready on "
@@ -462,6 +527,7 @@ def _report_to_json(report) -> dict:
 
 def _cmd_submit(args) -> int:
     from repro.engine import ExecutionPolicy, SearchRequest
+    from repro.gateway.tracing import new_trace_id, sanitize_trace_id
     from repro.service.server import DEFAULT_PORT, server_stats, submit_remote
 
     policy = ExecutionPolicy(
@@ -479,13 +545,19 @@ def _cmd_submit(args) -> int:
         policy=policy,
     )
     address = (args.host, DEFAULT_PORT if args.port is None else args.port)
+    # Every submit is traced: mint an ID unless the caller pinned one, and
+    # print the effective ID so `repro trace <id>` finds the waterfall.
+    trace_id = (new_trace_id() if args.trace_id is None
+                else sanitize_trace_id(args.trace_id))
     report = submit_remote(
         address,
         request,
         targets=args.targets,
         batch=args.batch,
         timeout=args.timeout,
+        trace_id=trace_id,
     )
+    print(f"trace: {trace_id}", file=sys.stderr)
     if args.json:
         # The gateway schema's envelope: byte-comparable with what
         # POST /v1/search returns for the same request.
@@ -571,6 +643,50 @@ def _cmd_curl(args) -> int:
     return 0
 
 
+def _cmd_trace(args) -> int:
+    from repro.observability import Span, render_waterfall
+
+    if args.url is not None:
+        import urllib.error
+        import urllib.request
+
+        url = args.url.rstrip("/") + f"/v1/trace/{args.trace_id}"
+        try:
+            with urllib.request.urlopen(url) as response:
+                payload = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = exc.read().decode("utf-8", "replace").strip()
+            print(f"repro trace: HTTP {exc.code} from {url}: {detail}",
+                  file=sys.stderr)
+            return 1
+        except urllib.error.URLError as exc:
+            print(f"repro trace: cannot reach {url}: {exc.reason}",
+                  file=sys.stderr)
+            return 1
+    else:
+        from repro.service.server import DEFAULT_PORT, fetch_trace
+
+        address = (args.host, DEFAULT_PORT if args.port is None else args.port)
+        try:
+            payload = fetch_trace(address, args.trace_id)
+        except (OSError, RuntimeError) as exc:
+            print(f"repro trace: {exc}", file=sys.stderr)
+            return 1
+    span_dicts = payload.get("spans") or []
+    if args.json:
+        json.dump({"trace_id": payload.get("trace_id", args.trace_id),
+                   "spans": span_dicts}, sys.stdout, indent=2, default=str)
+        print()
+        return 0
+    if not span_dicts:
+        print(f"repro trace: no spans recorded for {args.trace_id} "
+              "(evicted, untraced, or never seen)", file=sys.stderr)
+        return 1
+    spans = [Span.from_dict(d) for d in span_dicts if isinstance(d, dict)]
+    print(render_waterfall(spans))
+    return 0
+
+
 def _cmd_worker(args) -> int:
     from repro.service.worker import DEFAULT_PORT, main as worker_main
 
@@ -585,6 +701,7 @@ def _cmd_worker(args) -> int:
     if args.chaos_plan:
         argv += ["--chaos-plan", args.chaos_plan]
     argv += ["--drain-timeout", str(args.drain_timeout)]
+    argv += ["--log-format", args.log_format]
     if args.verbose:
         argv.append("--verbose")
     return worker_main(argv)
@@ -620,6 +737,7 @@ _COMMANDS = {
     "gateway": _cmd_gateway,
     "submit": _cmd_submit,
     "curl": _cmd_curl,
+    "trace": _cmd_trace,
     "worker": _cmd_worker,
     "methods": _cmd_methods,
     "cluster": _cmd_cluster,
@@ -636,6 +754,7 @@ def main(argv=None) -> int:
     _add_gateway(sub)
     _add_submit(sub)
     _add_curl(sub)
+    _add_trace(sub)
     _add_worker(sub)
     _add_methods(sub)
     _add_cluster(sub)

@@ -47,6 +47,12 @@ import time
 from abc import ABC, abstractmethod
 from typing import Callable, Sequence
 
+from repro.observability.spans import (
+    Span,
+    capture_span_context,
+    span,
+    span_scope,
+)
 from repro.resilience import (
     BreakerRegistry,
     Deadline,
@@ -142,12 +148,14 @@ class LocalExecutor(ShardExecutor):
             deadline = current_deadline()
         if deadline is not None:
             deadline.raise_if_expired("batch")
-        return parallel_map(
-            func,
-            tasks,
-            workers=workers,
-            use_processes=self.use_processes and workers > 1,
-        )
+        with span("dispatch", executor="local", shards=len(tasks),
+                  workers=workers):
+            return parallel_map(
+                func,
+                tasks,
+                workers=workers,
+                use_processes=self.use_processes and workers > 1,
+            )
 
     def describe(self) -> dict:
         return {"executor": "local"}
@@ -286,13 +294,21 @@ class RemoteExecutor(ShardExecutor):
     def _serve_lane(self, address, func, state) -> None:
         """One worker lane: pull shards until every shard is done or the
         worker fails permanently.  A transport failure requeues the
-        in-flight shard immediately (any lane may pick it up), records it
+        in-flight shard immediately (any lane can pick it up), records it
         on the endpoint's breaker, and — while the run's retry budget
         lasts — backs off and retries this worker; once the lane's
         consecutive failures reach the retry policy's bound, or the budget
         is dry, the lane retires.  An idle lane keeps waiting while
         another lane has a shard in flight — that shard may yet be
         requeued and need picking up."""
+        # Lanes are plain threads: re-enter the dispatch span context
+        # captured in run_shards so attempt spans parent correctly (the
+        # same capture/re-enter hop the trace ID and deadline make).
+        recorder, parent_id = state["span_ctx"]
+        with span_scope(recorder, parent_id):
+            self._lane_loop(address, func, state)
+
+    def _lane_loop(self, address, func, state) -> None:
         endpoint = format_address(*address)
         breaker = self.breakers.get(endpoint)
         deadline: Deadline | None = state["deadline"]
@@ -306,6 +322,10 @@ class RemoteExecutor(ShardExecutor):
         if not breaker.allow():
             with state["lock"]:
                 state["breaker_skips"].append(endpoint)
+            # A quarantined lane never dials, but the trace should still
+            # show *why* this worker contributed nothing.
+            with span("shard.breaker_open", endpoint=endpoint):
+                pass
             return
 
         def halt(reason_key, value) -> None:
@@ -369,50 +389,67 @@ class RemoteExecutor(ShardExecutor):
                     halt("expired", True)
                     release(requeue=True)
                     return
-                try:
-                    if sock is None:
-                        sock = self._connect(address)
-                    message = self._shard_message(
-                        func, state["tasks"][index], state["rngs"][index],
-                        deadline, lane_version, state["trace_id"],
-                    )
-                    if deadline is not None:
-                        sock.settimeout(
-                            min(self.timeout, deadline.budget(0.001))
+                # Each dispatch attempt is its own span (so retries show
+                # as siblings), with the wire leg as a child; the worker
+                # parents its compute span on this attempt's ID, shipped
+                # in the shard meta.
+                with span("shard.attempt", shard=index, endpoint=endpoint,
+                          attempt=state["attempts"][index]) as att:
+                    try:
+                        if sock is None:
+                            sock = self._connect(address)
+                        message = self._shard_message(
+                            func, state["tasks"][index], state["rngs"][index],
+                            deadline, lane_version, state["trace_id"],
+                            att.span_id,
                         )
-                    send_frame(sock, message, version=lane_version)
-                    reply = recv_frame(sock)
-                except (OSError, WireError) as exc:
-                    # Worker death mid-shard, refused connection, timeout,
-                    # or an undecodable/corrupt frame: requeue for any lane
-                    # (this one included), tell the breaker, and retry this
-                    # worker with backoff while the run's budget lasts — an
-                    # unusable worker must degrade the fleet, never abort
-                    # the batch.  (ConnectionClosed is a WireError subclass.)
-                    self._close(sock)
-                    sock = None
-                    breaker.record_failure()
-                    self._record_failure(state, index, endpoint, exc)
-                    release(requeue=True)
-                    lane_failures += 1
-                    lane_error = f"{type(exc).__name__}: {exc}"
-                    if _is_permanent_transport(exc) \
-                            or lane_failures >= self.retry.max_attempts \
-                            or not breaker.allow() \
-                            or not state["budget"].take():
-                        mark_dead()
-                        return
-                    with state["lock"]:
-                        state["retries"] += 1
-                    last_delay = self.retry.next_delay(last_delay, jitter)
-                    if deadline is not None:
-                        last_delay = min(last_delay, deadline.budget(0.0))
-                    time.sleep(last_delay)
-                    continue
+                        if deadline is not None:
+                            sock.settimeout(
+                                min(self.timeout, deadline.budget(0.001))
+                            )
+                        with span("wire.roundtrip", endpoint=endpoint):
+                            send_frame(sock, message, version=lane_version)
+                            reply = recv_frame(sock)
+                    except (OSError, WireError) as exc:
+                        # Worker death mid-shard, refused connection,
+                        # timeout, or an undecodable/corrupt frame: requeue
+                        # for any lane (this one included), tell the
+                        # breaker, and retry this worker with backoff while
+                        # the run's budget lasts — an unusable worker must
+                        # degrade the fleet, never abort the batch.
+                        # (ConnectionClosed is a WireError subclass.)
+                        att.status = "error"
+                        att.attrs["outcome"] = (
+                            f"transport-failure:{type(exc).__name__}"
+                        )
+                        self._close(sock)
+                        sock = None
+                        breaker.record_failure()
+                        self._record_failure(state, index, endpoint, exc)
+                        release(requeue=True)
+                        lane_failures += 1
+                        lane_error = f"{type(exc).__name__}: {exc}"
+                        if _is_permanent_transport(exc) \
+                                or lane_failures >= self.retry.max_attempts \
+                                or not breaker.allow() \
+                                or not state["budget"].take():
+                            mark_dead()
+                            return
+                        with state["lock"]:
+                            state["retries"] += 1
+                        last_delay = self.retry.next_delay(last_delay, jitter)
+                        if deadline is not None:
+                            last_delay = min(last_delay, deadline.budget(0.0))
+                        att.attrs["backoff_s"] = round(last_delay, 4)
+                        time.sleep(last_delay)
+                        continue
                 if not isinstance(reply, tuple) or not reply:
+                    att.status = "error"
+                    att.attrs["outcome"] = "malformed-reply"
                     halt("fatal", f"malformed worker reply: {reply!r}")
                     release(requeue=True)
                     return
+                att.attrs["outcome"] = str(reply[0])
                 if reply[0] == "unavailable":
                     # The worker is draining: requeue elsewhere and retire
                     # this lane without charging the breaker — a graceful
@@ -440,6 +477,7 @@ class RemoteExecutor(ShardExecutor):
                         # pin the lane to the peer's maximum and resend in
                         # the legacy shard form.  Deadline enforcement for
                         # this lane degrades to the dialer-side timeout.
+                        att.attrs["outcome"] = f"wire-downgrade:v{peer_max}"
                         lane_version = peer_max
                         self._close(sock)
                         sock = None
@@ -447,6 +485,7 @@ class RemoteExecutor(ShardExecutor):
                             state["downgraded"][endpoint] = peer_max
                         release(requeue=True)
                         continue
+                    att.status = "error"
                     halt("fatal", reply[1] if len(reply) > 1 else "error")
                     release(requeue=True)
                     return
@@ -456,6 +495,17 @@ class RemoteExecutor(ShardExecutor):
                     return
                 state["results"][index] = reply[1]
                 state["done"][index] = True
+                # Traced shards reply ("result", value, {"spans": [...]}):
+                # stitch the worker-side spans (already parented on this
+                # attempt's ID) into the request's recorder.
+                recorder = state["span_ctx"][0]
+                if recorder is not None and len(reply) > 2 \
+                        and isinstance(reply[2], dict):
+                    shipped = reply[2].get("spans") or ()
+                    recorder.extend(
+                        [Span.from_dict(d) for d in shipped
+                         if isinstance(d, dict)]
+                    )
                 release(requeue=False)
                 breaker.record_success()
                 lane_failures = 0
@@ -466,12 +516,13 @@ class RemoteExecutor(ShardExecutor):
 
     @staticmethod
     def _shard_message(func, task, rng, deadline, lane_version,
-                       trace_id=None) -> tuple:
+                       trace_id=None, parent_span_id=None) -> tuple:
         """The shard frame: v4 ships the remaining budget (and, when the
-        request is traced, its trace ID) in a meta dict; lanes pinned to a
-        legacy peer send the pre-deadline 4-tuple.  Adding meta keys is a
-        *compatible* growth — old workers ignore unknown keys — so tracing
-        needs no wire version bump."""
+        request is traced, its trace ID and the dispatch-attempt span ID
+        the worker parents its compute span on) in a meta dict; lanes
+        pinned to a legacy peer send the pre-deadline 4-tuple.  Adding
+        meta keys is a *compatible* growth — old workers ignore unknown
+        keys — so tracing needs no wire version bump."""
         if lane_version is not None and lane_version < 4:
             return ("shard", func, task, rng)
         meta = {}
@@ -479,6 +530,8 @@ class RemoteExecutor(ShardExecutor):
             meta["deadline_s"] = deadline.remaining()
         if trace_id is not None:
             meta["trace_id"] = trace_id
+            if parent_span_id is not None:
+                meta["parent_span_id"] = parent_span_id
         return ("shard", func, task, rng, meta)
 
     @staticmethod
@@ -532,17 +585,26 @@ class RemoteExecutor(ShardExecutor):
         for i in range(len(tasks)):
             state["pending"].put(i)
 
-        threads = [
-            threading.Thread(
-                target=self._serve_lane, args=(addr, func, state), daemon=True
-            )
-            for addr in self.addresses
-        ]
-        for t in threads:
-            t.start()
-        for t in threads:
-            t.join()
+        # The dispatch span brackets the whole fan-out (lanes re-enter the
+        # captured context, so attempt spans become its children); failures
+        # raised below mark it errored on the way out.
+        with span("dispatch", executor="remote", shards=len(tasks),
+                  lanes=len(self.addresses)):
+            state["span_ctx"] = capture_span_context()
+            threads = [
+                threading.Thread(
+                    target=self._serve_lane, args=(addr, func, state),
+                    daemon=True,
+                )
+                for addr in self.addresses
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            return self._finish_run(func, tasks, state, deadline)
 
+    def _finish_run(self, func, tasks, state, deadline) -> list:
         self.last_run = {
             "requeued": state["requeued"],
             "retries": state["retries"],
@@ -648,11 +710,15 @@ class RegistryExecutor(ShardExecutor):
         tasks = list(tasks)
         if deadline is None:
             deadline = current_deadline()
-        candidates = self._resolve_addresses(tasks)
-        # Quarantined endpoints are filtered out before lanes are built:
-        # an open breaker means "recently kept failing", and half-open
-        # endpoints stay dialable so they can earn their way back in.
-        addresses, quarantined = self.breakers.partition(candidates)
+        with span("dispatch.resolve") as resolve:
+            candidates = self._resolve_addresses(tasks)
+            # Quarantined endpoints are filtered out before lanes are
+            # built: an open breaker means "recently kept failing", and
+            # half-open endpoints stay dialable so they can earn their way
+            # back in.
+            addresses, quarantined = self.breakers.partition(candidates)
+            resolve.attrs["candidates"] = len(candidates)
+            resolve.attrs["quarantined"] = len(quarantined)
         # One lane per shard is the useful maximum: extra lanes would only
         # hold idle connections (and, for ranked fleets, trimming from the
         # tail keeps the lanes on the best-ranked workers).

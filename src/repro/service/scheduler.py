@@ -42,6 +42,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from threading import Lock
 
+from repro.observability.spans import capture_span_context, span, span_scope
 from repro.resilience import Deadline, deadline_scope
 from repro.util.jsonsafe import json_safe
 
@@ -149,6 +150,11 @@ class SearchService:
             replicas (keyed by the same structural fingerprint) before
             computing; every peering failure mode falls back to local
             compute.
+        trace_collector: optional
+            :class:`~repro.observability.collector.TraceCollector` to
+            receive each traced request's stitched span tree (default: a
+            fresh bounded collector; the gateway's ``/v1/trace/{id}``
+            and the wire ``trace`` message read it).
 
     Use as an async context manager (or call :meth:`close`) so the worker
     pool shuts down deterministically.
@@ -164,8 +170,10 @@ class SearchService:
         cache_size: int = 256,
         cache_ttl: float = 300.0,
         peering=None,
+        trace_collector=None,
     ):
         from repro.engine import SearchEngine
+        from repro.observability.collector import TraceCollector
         from repro.service.cache import TTLCache
 
         if max_pending < 1:
@@ -179,6 +187,11 @@ class SearchService:
         self.request_timeout = request_timeout
         self.cache = TTLCache(maxsize=cache_size, ttl=cache_ttl)
         self.peering = peering
+        # Stitched span trees for recent requests (bounded ring); the
+        # gateway's /v1/trace/{id} and the wire "trace" message read it.
+        self.trace_collector = (
+            trace_collector if trace_collector is not None else TraceCollector()
+        )
         self.stats = ServiceStats()
         self._inflight_jobs: dict[str, asyncio.Future] = {}
         # Keys whose engine execution has actually *started* (not merely
@@ -288,7 +301,9 @@ class SearchService:
                     key = None if key is None else f"search:{key}"
                 else:
                     key = None if key is None else f"batch:{key}"
-            cached = self.cache.get(key, _MISS)
+            with span("cache.lookup") as lookup:
+                cached = self.cache.get(key, _MISS)
+                lookup.attrs["hit"] = cached is not _MISS
             if cached is not _MISS:
                 self.stats.cache_hits += 1
                 self.stats.completed += 1
@@ -300,17 +315,18 @@ class SearchService:
             shared = self._inflight_jobs.get(key) if key is not None else None
             if shared is not None:
                 self.stats.coalesced += 1
-                try:
-                    result = await asyncio.wait_for(
-                        asyncio.shield(shared),
-                        self.request_timeout if timeout is None else timeout,
-                    )
-                except asyncio.CancelledError:
-                    if shared.cancelled():  # the primary died, not us
-                        raise RuntimeError(
-                            "coalesced request was cancelled with its primary"
-                        ) from None
-                    raise
+                with span("coalesce.wait"):
+                    try:
+                        result = await asyncio.wait_for(
+                            asyncio.shield(shared),
+                            self.request_timeout if timeout is None else timeout,
+                        )
+                    except asyncio.CancelledError:
+                        if shared.cancelled():  # the primary died, not us
+                            raise RuntimeError(
+                                "coalesced request was cancelled with its primary"
+                            ) from None
+                        raise
                 self.stats.completed += 1
                 return result
 
@@ -342,18 +358,24 @@ class SearchService:
                     started = loop.time()
                     share = deadline / 2
                     fetched = None
-                    try:
-                        # The share is passed INTO the fetch (its budget)
-                        # so the probe threads self-terminate with their
-                        # waiter; the wait_for is only a backstop.
-                        fetched = await asyncio.wait_for(
-                            asyncio.to_thread(self.peering.fetch, key, share),
-                            share + 1.0,
-                        )
-                    except (asyncio.TimeoutError, TimeoutError):
-                        pass  # probe overran its share: a peer miss
-                    except Exception:
-                        log.exception("cache peering failed; computing locally")
+                    with span("cache.peer_probe") as probe:
+                        try:
+                            # The share is passed INTO the fetch (its budget)
+                            # so the probe threads self-terminate with their
+                            # waiter; the wait_for is only a backstop.
+                            fetched = await asyncio.wait_for(
+                                asyncio.to_thread(
+                                    self.peering.fetch, key, share
+                                ),
+                                share + 1.0,
+                            )
+                        except (asyncio.TimeoutError, TimeoutError):
+                            pass  # probe overran its share: a peer miss
+                        except Exception:
+                            log.exception(
+                                "cache peering failed; computing locally"
+                            )
+                        probe.attrs["hit"] = fetched is not None
                     if fetched is not None:
                         self.stats.peer_hits += 1
                         promise.set_result(fetched)
@@ -364,7 +386,8 @@ class SearchService:
                     deadline = max(0.001, deadline - (loop.time() - started))
                 if key is not None:
                     self._computing.add(key)
-                await self._slots.acquire(priority)
+                with span("queue.wait", priority=priority):
+                    await self._slots.acquire(priority)
                 slot_held = True
                 try:
                     # Submit directly so we hold the *concurrent* future: on
@@ -378,7 +401,7 @@ class SearchService:
                     # dispatching instead of computing shards nobody awaits.
                     job_future = self._pool.submit(
                         self._run_with_deadline, job, Deadline.after(deadline),
-                        trace_id,
+                        trace_id, capture_span_context(),
                     )
                     try:
                         result = await asyncio.wait_for(
@@ -422,7 +445,8 @@ class SearchService:
             self._release()
 
     @staticmethod
-    def _run_with_deadline(job, deadline, trace_id=None):
+    def _run_with_deadline(job, deadline, trace_id=None,
+                           span_ctx=(None, None)):
         """Pool-thread entry: run *job* under an ambient request deadline.
 
         A :class:`~repro.resilience.DeadlineExceeded` raised by the engine
@@ -431,13 +455,18 @@ class SearchService:
         without a separate failure path.
 
         Contextvars do not follow jobs across the pool boundary, so the
-        request's trace ID (captured in :meth:`submit`) is re-entered here —
-        the executors read it when stamping shard frames.
+        request's trace ID and span context (captured in :meth:`submit`)
+        are re-entered here — the executors read the ID when stamping
+        shard frames, and ``engine.execute`` brackets the engine's whole
+        pool-thread residence (planning, dispatch, merge nest under it).
         """
         from repro.gateway.tracing import trace_scope
 
-        with trace_scope(trace_id), deadline_scope(deadline):
-            return job()
+        recorder, parent_id = span_ctx
+        with trace_scope(trace_id), deadline_scope(deadline), \
+                span_scope(recorder, parent_id):
+            with span("engine.execute"):
+                return job()
 
     def _reap_abandoned(self, loop, job_future) -> None:
         """Release the worker slot of a timed-out job once its thread ends.

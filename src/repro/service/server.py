@@ -56,7 +56,8 @@ from repro.service.wire import (
     send_frame_async,
 )
 
-__all__ = ["SearchServer", "submit_remote", "server_stats", "cluster_status"]
+__all__ = ["SearchServer", "submit_remote", "server_stats", "cluster_status",
+           "fetch_trace"]
 
 log = logging.getLogger("repro.service.server")
 
@@ -295,17 +296,52 @@ class SearchServer:
             log.info("worker %s %s", address,
                      "registered" if fresh else "re-registered")
             return ("registered", {"workers": self.registry.snapshot()})
+        if kind == "trace":
+            # ("trace", trace_id) -> the stitched span tree of a recent
+            # request (wire-path counterpart of GET /v1/trace/{id}).  A new
+            # message type is compatible growth: old servers answer the
+            # standard unknown-type error, which `repro trace` surfaces.
+            collector = getattr(self.service, "trace_collector", None)
+            if len(message) != 2 or not isinstance(message[1], str):
+                return ("error", "trace message must be (trace, trace_id)")
+            spans = collector.get(message[1]) if collector is not None else None
+            if spans is None:
+                return ("error",
+                        f"no trace {message[1]!r} (unknown, untraced, or "
+                        f"evicted)")
+            return ("trace", {"trace_id": message[1],
+                              "spans": [s.to_dict() for s in spans]})
         if kind == "submit":
+            # 5-tuple is the historical form; v4 dialers may append a meta
+            # dict (currently {"trace_id": ...}) — compatible growth, same
+            # rule as the shard frames.
+            meta = {}
+            if len(message) == 6 and isinstance(message[5], dict):
+                meta = message[5]
+                message = message[:5]
             try:
                 _, request, targets, batch, timeout = message
             except ValueError:
                 return ("error",
                         "submit message must be (submit, request, targets, "
-                        "batch, timeout)")
+                        "batch, timeout[, meta])")
+            from repro.gateway.tracing import sanitize_trace_id, trace_scope
+            from repro.observability.spans import (
+                SpanRecorder, recording_scope, span,
+            )
+
+            trace_id = meta.get("trace_id")
+            recorder = None
+            if trace_id is not None:
+                trace_id = sanitize_trace_id(trace_id)
+                recorder = SpanRecorder(trace_id)
             try:
-                report = await self.service.submit(
-                    request, targets=targets, batch=batch, timeout=timeout
-                )
+                with trace_scope(trace_id), recording_scope(recorder):
+                    with span("server.submit"):
+                        report = await self.service.submit(
+                            request, targets=targets, batch=batch,
+                            timeout=timeout,
+                        )
             except ServiceOverloaded as exc:
                 return ("overloaded", str(exc))
             except (asyncio.TimeoutError, TimeoutError):
@@ -313,6 +349,11 @@ class SearchServer:
             except Exception as exc:
                 log.exception("request failed")
                 return ("error", f"{type(exc).__name__}: {exc}")
+            finally:
+                if recorder is not None:
+                    collector = getattr(self.service, "trace_collector", None)
+                    if collector is not None:
+                        collector.record(trace_id, recorder.drain())
             return ("result", report)
         return ("error", f"unknown message type {kind!r}")
 
@@ -336,17 +377,25 @@ def submit_remote(
     timeout: float | None = None,
     connect_timeout: float = 5.0,
     reply_timeout: float = 300.0,
+    trace_id: str | None = None,
 ):
     """Submit one request to a running ``repro serve`` and return the report.
+
+    With *trace_id* set, the submit frame grows a sixth (meta) element so
+    the server records a span tree under that ID — fetch it afterwards
+    with :func:`fetch_trace` or ``repro trace``.
 
     Raises:
         ServiceOverloaded: the server rejected the request (backpressure).
         TimeoutError: the server reported a request deadline overrun.
         RuntimeError: any other server-side failure.
     """
+    message = ("submit", request, targets, batch, timeout)
+    if trace_id is not None:
+        message = message + ({"trace_id": trace_id},)
     reply = _roundtrip(
         address,
-        ("submit", request, targets, batch, timeout),
+        message,
         connect_timeout=connect_timeout,
         reply_timeout=reply_timeout,
     )
@@ -358,6 +407,24 @@ def submit_remote(
     if kind == "timeout":
         raise TimeoutError(reply[1])
     raise RuntimeError(f"server error: {reply[1] if len(reply) > 1 else reply!r}")
+
+
+def fetch_trace(address: tuple[str, int], trace_id: str, *,
+                connect_timeout: float = 5.0) -> dict:
+    """Fetch the stitched span tree of a recent request from ``repro serve``.
+
+    Returns ``{"trace_id": ..., "spans": [span dicts]}``; raises
+    ``RuntimeError`` when the server has no such trace (or predates the
+    trace message).
+    """
+    reply = _roundtrip(
+        address, ("trace", str(trace_id)),
+        connect_timeout=connect_timeout, reply_timeout=30.0,
+    )
+    if not (isinstance(reply, tuple) and reply and reply[0] == "trace"):
+        detail = reply[1] if isinstance(reply, tuple) and len(reply) > 1 else reply
+        raise RuntimeError(f"trace unavailable: {detail!r}")
+    return reply[1]
 
 
 def server_stats(address: tuple[str, int], *, connect_timeout: float = 5.0) -> dict:

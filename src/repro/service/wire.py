@@ -66,10 +66,24 @@ Version history
   The meta dict is the frame's designated growth point: adding keys is a
   **compatible** change that needs no version bump, because receivers
   read only the keys they know and ignore the rest.  Keys so far:
-  ``deadline_s`` (above) and ``trace_id`` (an opaque request-tracing
-  string from :mod:`repro.gateway.tracing`; workers scope and log shard
-  execution with it).  Only a change that breaks how an *existing* key or
-  the tuple layout is interpreted bumps the version.
+  ``deadline_s`` (above), ``trace_id`` (an opaque request-tracing string
+  from :mod:`repro.gateway.tracing`; workers scope and log shard
+  execution with it), and ``parent_span_id`` (the dialer's dispatch-
+  attempt span ID — traced workers parent their ``worker.compute`` span
+  on it, see :mod:`repro.observability`).  Only a change that breaks how
+  an *existing* key or the tuple layout is interpreted bumps the version.
+
+  Compatible growth rides the *reply* direction too: a traced shard is
+  answered ``("result", value, {"spans": [...]})`` — worker-side span
+  dicts for the dialer to stitch into the request's trace — while
+  untraced shards keep the classic 2-tuple; old dialers read ``reply[1]``
+  and ignore the extra element.  Likewise the server ``submit`` message
+  may append a sixth (meta) element (``{"trace_id": ...}``), and the
+  ``trace`` message type (``("trace", trace_id)`` -> the stitched span
+  tree) is new-type growth old servers answer with the standard unknown-
+  type error.  **Span dicts themselves follow the same rule: add keys,
+  never rename or remove** — mixed-version fleets stitch each other's
+  spans.
 
   **v3 -> v4 upgrade rule:** the negotiation rule above still governs —
   upgrade **acceptors first** (workers/servers, which keep answering v2–v3

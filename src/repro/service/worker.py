@@ -59,6 +59,7 @@ import warnings
 
 from repro.resilience import Deadline, FaultPlan, deadline_scope
 from repro.service.address import format_address, parse_address
+from repro.util.structlog import LOG_FORMATS, configure_logging
 from repro.service.wire import (
     MIN_WIRE_VERSION,
     ConnectionClosed,
@@ -320,16 +321,27 @@ class WorkerServer:
             # log it — `grep trace=<id>` across gateway and worker logs
             # reconstructs which hosts computed which shards.
             from repro.gateway.tracing import trace_scope
+            from repro.observability.spans import (
+                SpanRecorder, span, span_scope,
+            )
 
             trace_id = meta.get("trace_id")
+            recorder = None
             if trace_id is not None:
                 trace_id = str(trace_id)
                 with self._lock:
                     self.seen_trace_ids.append(trace_id)
                 log.info("shard trace=%s", trace_id)
+                # Traced shard: record a worker-side compute span, parented
+                # on the dialer's attempt span (meta["parent_span_id"]) so
+                # the stitched tree crosses the wire seam.
+                recorder = SpanRecorder(trace_id)
             deadline = Deadline.after(deadline_s)
-            with trace_scope(trace_id), deadline_scope(deadline):
-                result = func(task, rng)
+            with trace_scope(trace_id), deadline_scope(deadline), \
+                    span_scope(recorder, meta.get("parent_span_id")):
+                with span("worker.compute", worker=f"{self.address[0]}:"
+                                                   f"{self.address[1]}"):
+                    result = func(task, rng)
         except Exception as exc:  # deterministic failure -> no retry
             log.exception("shard function raised")
             return ("error",
@@ -343,6 +355,12 @@ class WorkerServer:
             # Crash *after* computing but before replying — the harshest
             # mid-shard death the executor must survive.
             return None
+        if recorder is not None:
+            # Compatible reply growth: traced shards answer a 3-tuple whose
+            # meta carries the worker-side spans; old dialers read reply[1]
+            # and ignore the extra element, untraced replies stay 2-tuples.
+            return ("result", result,
+                    {"spans": [s.to_dict() for s in recorder.drain()]})
         return ("result", result)
 
     @staticmethod
@@ -500,11 +518,14 @@ def main(argv=None) -> int:
     parser.add_argument("--drain-timeout", type=float, default=30.0,
                         help="seconds SIGTERM waits for in-flight shards "
                              "before stopping anyway")
+    parser.add_argument("--log-format", choices=LOG_FORMATS, default="plain",
+                        help="shard-log format: historical plain text "
+                             "(default) or one JSON object per line")
     parser.add_argument("-v", "--verbose", action="store_true")
     args = parser.parse_args(argv)
-    logging.basicConfig(
+    configure_logging(
+        args.log_format,
         level=logging.DEBUG if args.verbose else logging.INFO,
-        format="%(asctime)s %(name)s %(levelname)s %(message)s",
     )
     chaos = FaultPlan.from_json(args.chaos_plan) if args.chaos_plan else None
     if chaos is not None:

@@ -1,0 +1,69 @@
+"""Shared logging setup: plain text (default) or JSON lines.
+
+One helper used by every process entry point (``repro gateway``,
+``repro serve``, ``repro-worker``) so ``--log-format json`` means the
+same thing everywhere.  The plain format is the historical
+``%(asctime)s %(name)s %(levelname)s %(message)s`` layout — pinned by a
+test, because operators grep it — and stays the default.
+
+The JSON formatter emits one object per line with stable keys
+(``ts``, ``level``, ``logger``, ``msg`` plus any ``extra={...}``
+fields), which is what log pipelines ingest without a parse grammar.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+__all__ = ["PLAIN_FORMAT", "LOG_FORMATS", "JsonFormatter", "configure_logging"]
+
+#: The historical plain-text layout — the default, pinned by tests.
+PLAIN_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+LOG_FORMATS = ("plain", "json")
+
+#: logging.LogRecord attributes that are plumbing, not payload.
+_RESERVED = frozenset(
+    logging.LogRecord("", 0, "", 0, "", (), None).__dict__
+) | {"message", "asctime"}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per record; ``extra=`` kwargs become fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_"):
+                payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure_logging(fmt: str = "plain",
+                      level: int = logging.INFO) -> None:
+    """Configure the root logger for *fmt* (``plain`` or ``json``).
+
+    Replaces root handlers (idempotent across re-invocation in tests);
+    timestamps are UTC-agnostic local time, same as ``basicConfig``.
+    """
+    if fmt not in LOG_FORMATS:
+        raise ValueError(f"unknown log format {fmt!r}; pick one of "
+                         f"{LOG_FORMATS}")
+    root = logging.getLogger()
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler()
+    if fmt == "json":
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(PLAIN_FORMAT))
+    root.addHandler(handler)
+    root.setLevel(level)

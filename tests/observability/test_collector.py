@@ -1,0 +1,60 @@
+"""TraceCollector: the bounded ring recent traces are served from."""
+
+from repro.observability.collector import DEFAULT_CAPACITY, TraceCollector
+from repro.observability.spans import Span
+
+
+def _span(trace_id, name="s"):
+    return Span(name=name, trace_id=trace_id)
+
+
+class TestTraceCollector:
+    def test_record_and_get(self):
+        collector = TraceCollector()
+        collector.record("a", [_span("a", "one"), _span("a", "two")])
+        spans = collector.get("a")
+        assert [s.name for s in spans] == ["one", "two"]
+        assert collector.get("missing") is None
+
+    def test_merge_across_records_of_same_trace(self):
+        # Gateway flush and server-side flush both feed the same ring;
+        # later spans for a known trace append rather than replace.
+        collector = TraceCollector()
+        collector.record("a", [_span("a", "first")])
+        collector.record("a", [_span("a", "second")])
+        assert [s.name for s in collector.get("a")] == ["first", "second"]
+        assert collector.stats()["traces"] == 1
+
+    def test_eviction_is_least_recently_updated(self):
+        collector = TraceCollector(capacity=2)
+        collector.record("a", [_span("a")])
+        collector.record("b", [_span("b")])
+        collector.record("a", [_span("a")])  # refresh a
+        collector.record("c", [_span("c")])  # evicts b, the stalest
+        assert collector.get("b") is None
+        assert collector.get("a") is not None
+        assert collector.get("c") is not None
+        stats = collector.stats()
+        assert stats["traces"] == 2
+        assert stats["traces_evicted"] == 1
+
+    def test_stats_counts_spans(self):
+        collector = TraceCollector(capacity=4)
+        collector.record("a", [_span("a"), _span("a")])
+        collector.record("b", [_span("b")])
+        stats = collector.stats()
+        assert stats["spans_recorded"] == 3
+        assert stats["capacity"] == 4
+
+    def test_default_capacity_bounds_memory(self):
+        collector = TraceCollector()
+        for i in range(DEFAULT_CAPACITY + 10):
+            collector.record(f"t{i}", [_span(f"t{i}")])
+        assert collector.stats()["traces"] == DEFAULT_CAPACITY
+
+    def test_last_returns_most_recent(self):
+        collector = TraceCollector()
+        for tid in ("a", "b", "c"):
+            collector.record(tid, [_span(tid)])
+        recent = collector.last(2)
+        assert [tid for tid, _ in recent] == ["b", "c"]

@@ -1,0 +1,205 @@
+"""End-to-end tracing (``pytest -m observability``).
+
+Boots the full chain on loopback — HTTP gateway -> SearchService ->
+RemoteExecutor -> live ``repro-worker`` — submits a batch, then fetches
+``GET /v1/trace/{id}`` and checks the span tree covers every stage, the
+durations nest, the stage histogram shows up in ``/metrics``, and the
+slow-request log fires past its threshold.
+"""
+
+import asyncio
+import json
+import logging
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import SearchEngine
+from repro.gateway.http import GatewayServer
+from repro.gateway.tracing import TRACE_HEADER
+from repro.service.executor import RemoteExecutor
+from repro.service.scheduler import SearchService
+from repro.service.worker import WorkerServer
+
+pytestmark = pytest.mark.observability
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def _fetch(url, *, method="GET", body=None, headers=None):
+    request = urllib.request.Request(url, data=body, method=method)
+    request.add_header("Content-Type", "application/json")
+    for key, value in (headers or {}).items():
+        request.add_header(key, value)
+    try:
+        with urllib.request.urlopen(request, timeout=60) as resp:
+            return resp.status, dict(resp.headers), resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, dict(err.headers), err.read()
+
+
+async def fetch(url, **kwargs):
+    return await asyncio.to_thread(_fetch, url, **kwargs)
+
+
+class full_stack:
+    """Gateway + service + remote executor over one live loopback worker."""
+
+    def __init__(self, worker_address, **gateway_kwargs):
+        self._worker_address = worker_address
+        self._kwargs = gateway_kwargs
+
+    async def __aenter__(self):
+        engine = SearchEngine(
+            executor=RemoteExecutor([self._worker_address])
+        )
+        self.service = SearchService(engine, max_workers=2)
+        await self.service.__aenter__()
+        self.gateway = GatewayServer(self.service, port=0, **self._kwargs)
+        await self.gateway.start()
+        host, port = self.gateway.address
+        self.base = f"http://{host}:{port}"
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.gateway.stop()
+        await self.service.__aexit__(*exc)
+
+
+BATCH_BODY = json.dumps({
+    "schema_version": 1,
+    "n_items": 256,
+    "n_blocks": 4,
+    "batch": True,
+    "targets": [0, 17, 99, 255],
+    "seed": 3,
+}).encode()
+
+#: Stages the acceptance contract demands in a remote-executed batch trace.
+REQUIRED_STAGES = ("gateway", "queue.wait", "dispatch", "wire.roundtrip",
+                   "worker.compute")
+
+
+class TestFullChainTrace:
+    def test_batch_trace_covers_every_stage_and_nests(self):
+        async def main():
+            with WorkerServer() as worker:
+                async with full_stack(worker.address) as stack:
+                    status, headers, body = await fetch(
+                        stack.base + "/v1/batch", method="POST",
+                        body=BATCH_BODY,
+                    )
+                    assert status == 200, body
+                    assert json.loads(body)["kind"] == "batch"
+                    trace_id = headers[TRACE_HEADER]
+
+                    status, _, body = await fetch(
+                        stack.base + f"/v1/trace/{trace_id}"
+                    )
+                    assert status == 200, body
+                    doc = json.loads(body)
+                    assert doc["kind"] == "trace"
+                    assert doc["trace_id"] == trace_id
+
+                    spans = doc["spans"]
+                    assert all(s["trace_id"] == trace_id for s in spans)
+                    names = {s["name"] for s in spans}
+                    for stage in REQUIRED_STAGES:
+                        assert stage in names, sorted(names)
+                    # Bonus stages the instrumentation promises.
+                    assert {"gateway.parse", "tenant.admit", "cache.lookup",
+                            "engine.execute", "shards.plan",
+                            "merge"} <= names
+
+                    # Durations nest: every child fits inside its parent
+                    # (cross-host edges get a small clock grace).
+                    by_id = {s["span_id"]: s for s in spans}
+                    edges = 0
+                    for s in spans:
+                        parent = by_id.get(s["parent_id"])
+                        if parent is None:
+                            continue
+                        edges += 1
+                        assert s["duration_s"] <= \
+                            parent["duration_s"] + 5e-3, (
+                                s["name"], parent["name"])
+                    assert edges >= len(spans) - 1  # one tree, one root
+                    roots = [s for s in spans if s["parent_id"] is None]
+                    assert [s["name"] for s in roots] == ["gateway"]
+
+                    # worker.compute is parented on the dispatch attempt
+                    # whose meta shipped the span ID across the wire.
+                    compute = next(s for s in spans
+                                   if s["name"] == "worker.compute")
+                    assert by_id[compute["parent_id"]]["name"] == \
+                        "shard.attempt"
+                    assert compute["host"] != ""
+
+                    # The per-stage histogram is scrapeable.
+                    status, _, body = await fetch(stack.base + "/metrics")
+                    text = body.decode()
+                    assert 'repro_stage_duration_seconds_bucket{stage="gateway"' \
+                        in text
+                    assert 'stage="worker.compute"' in text
+
+        run(main())
+
+    def test_unknown_trace_is_404(self):
+        async def main():
+            with WorkerServer() as worker:
+                async with full_stack(worker.address) as stack:
+                    status, _, body = await fetch(
+                        stack.base + "/v1/trace/no-such-trace"
+                    )
+                    assert status == 404
+                    assert json.loads(body)["error"] == "not-found"
+
+        run(main())
+
+    def test_tracing_off_serves_requests_but_no_traces(self):
+        async def main():
+            with WorkerServer() as worker:
+                async with full_stack(worker.address,
+                                      tracing=False) as stack:
+                    status, headers, body = await fetch(
+                        stack.base + "/v1/batch", method="POST",
+                        body=BATCH_BODY,
+                    )
+                    assert status == 200, body
+                    trace_id = headers[TRACE_HEADER]
+                    status, _, _ = await fetch(
+                        stack.base + f"/v1/trace/{trace_id}"
+                    )
+                    assert status == 404
+
+        run(main())
+
+    def test_slow_request_log_carries_the_span_tree(self, caplog):
+        async def main():
+            with WorkerServer() as worker:
+                async with full_stack(worker.address,
+                                      slow_threshold=0.0) as stack:
+                    with caplog.at_level(logging.WARNING,
+                                         logger="repro.gateway.http"):
+                        status, headers, _ = await fetch(
+                            stack.base + "/v1/batch", method="POST",
+                            body=BATCH_BODY,
+                        )
+                    assert status == 200
+                    trace_id = headers[TRACE_HEADER]
+                    slow = [r for r in caplog.records
+                            if "slow-request" in r.getMessage()]
+                    assert len(slow) == 1
+                    record = slow[0]
+                    assert record.trace_id == trace_id
+                    assert record.duration_ms > 0
+                    # The whole tree rides the one line, JSON-parseable.
+                    message = record.getMessage()
+                    tree = json.loads(message[message.index("spans=")
+                                              + len("spans="):])
+                    assert {s["name"] for s in tree} >= set(REQUIRED_STAGES)
+
+        run(main())

@@ -1,0 +1,153 @@
+"""Flight recorder: dump contents, hook chaining, SIGUSR1, uninstall."""
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.observability.collector import TraceCollector
+from repro.observability.flight import FlightRecorder
+from repro.observability.spans import Span
+
+
+def _collector_with(*trace_ids):
+    collector = TraceCollector()
+    for tid in trace_ids:
+        collector.record(tid, [Span(name="s", trace_id=tid)])
+    return collector
+
+
+class TestDump:
+    def test_dump_writes_traces_and_stats(self, tmp_path):
+        path = tmp_path / "flight.json"
+        recorder = FlightRecorder(
+            _collector_with("a", "b"), path=str(path),
+            stats_fn=lambda: {"submitted": 7},
+        )
+        assert recorder.dump("test") == str(path)
+        payload = json.loads(path.read_text())
+        assert payload["reason"] == "test"
+        assert payload["pid"] == os.getpid()
+        assert {t["trace_id"] for t in payload["traces"]} == {"a", "b"}
+        assert payload["traces"][0]["spans"][0]["name"] == "s"
+        assert payload["stats"] == {"submitted": 7}
+        assert payload["collector"]["traces"] == 2
+        assert not path.with_suffix(".json.tmp").exists()
+
+    def test_last_n_bounds_the_dump(self, tmp_path):
+        path = tmp_path / "flight.json"
+        recorder = FlightRecorder(
+            _collector_with(*[f"t{i}" for i in range(10)]),
+            path=str(path), last_n=3,
+        )
+        recorder.dump("test")
+        payload = json.loads(path.read_text())
+        assert [t["trace_id"] for t in payload["traces"]] == ["t7", "t8",
+                                                              "t9"]
+
+    def test_failing_stats_fn_never_blocks_the_dump(self, tmp_path):
+        path = tmp_path / "flight.json"
+
+        def broken():
+            raise RuntimeError("stats are down")
+
+        FlightRecorder(_collector_with("a"), path=str(path),
+                       stats_fn=broken).dump("test")
+        payload = json.loads(path.read_text())
+        assert "stats" not in payload
+        assert "stats_error" in payload
+
+    def test_unwritable_path_never_raises(self, tmp_path):
+        recorder = FlightRecorder(
+            _collector_with("a"),
+            path=str(tmp_path / "no" / "such" / "dir" / "f.json"),
+        )
+        recorder.dump("test")  # logs, returns, does not raise
+
+
+class TestHooks:
+    def test_excepthook_dumps_and_chains(self, tmp_path):
+        path = tmp_path / "flight.json"
+        seen = []
+        previous = sys.excepthook
+        sys.excepthook = lambda *args: seen.append(args)
+        recorder = FlightRecorder(_collector_with("a"), path=str(path))
+        try:
+            recorder.install(with_signal=False)
+            exc = ValueError("boom")
+            sys.excepthook(ValueError, exc, None)
+            payload = json.loads(path.read_text())
+            assert payload["reason"] == "crash:ValueError"
+            # The pre-existing hook still ran.
+            assert seen == [(ValueError, exc, None)]
+        finally:
+            recorder.uninstall()
+            sys.excepthook = previous
+
+    def test_thread_crash_dumps(self, tmp_path):
+        path = tmp_path / "flight.json"
+        recorder = FlightRecorder(_collector_with("a"), path=str(path))
+        quiet = []
+        previous = threading.excepthook
+        threading.excepthook = lambda args: quiet.append(args)
+
+        def crash():
+            raise RuntimeError("thread down")
+
+        try:
+            recorder.install(with_signal=False)
+            thread = threading.Thread(target=crash)
+            thread.start()
+            thread.join()
+            payload = json.loads(path.read_text())
+            assert payload["reason"] == "thread-crash:RuntimeError"
+            assert len(quiet) == 1  # chained to the pre-existing hook
+        finally:
+            recorder.uninstall()
+            threading.excepthook = previous
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGUSR1"),
+                        reason="platform without SIGUSR1")
+    def test_sigusr1_dumps_without_killing_the_process(self, tmp_path):
+        path = tmp_path / "flight.json"
+        recorder = FlightRecorder(_collector_with("a"), path=str(path))
+        previous = signal.getsignal(signal.SIGUSR1)
+        try:
+            recorder.install()
+            os.kill(os.getpid(), signal.SIGUSR1)
+            deadline = time.time() + 5.0
+            while not path.exists() and time.time() < deadline:
+                time.sleep(0.01)
+            payload = json.loads(path.read_text())
+            assert payload["reason"] == "signal:SIGUSR1"
+        finally:
+            recorder.uninstall()
+            signal.signal(signal.SIGUSR1, previous)
+
+    def test_uninstall_restores_hooks(self, tmp_path):
+        before_sys = sys.excepthook
+        before_threading = threading.excepthook
+        recorder = FlightRecorder(
+            _collector_with("a"), path=str(tmp_path / "f.json")
+        )
+        recorder.install(with_signal=False)
+        assert sys.excepthook is not before_sys
+        recorder.uninstall()
+        assert sys.excepthook is before_sys
+        assert threading.excepthook is before_threading
+
+    def test_install_is_idempotent(self, tmp_path):
+        recorder = FlightRecorder(
+            _collector_with("a"), path=str(tmp_path / "f.json")
+        )
+        try:
+            recorder.install(with_signal=False)
+            hooked = sys.excepthook
+            recorder.install(with_signal=False)
+            assert sys.excepthook is hooked  # no double wrap
+        finally:
+            recorder.uninstall()

@@ -1,0 +1,102 @@
+"""Structured logging: JSON lines parse, plain default stays pinned."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.util.structlog import (
+    LOG_FORMATS,
+    PLAIN_FORMAT,
+    JsonFormatter,
+    configure_logging,
+)
+
+
+@pytest.fixture
+def restore_root():
+    root = logging.getLogger()
+    handlers, level = list(root.handlers), root.level
+    yield root
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    for handler in handlers:
+        root.addHandler(handler)
+    root.setLevel(level)
+
+
+def _record(msg="hello", **extra):
+    record = logging.LogRecord("repro.test", logging.INFO, __file__, 1,
+                               msg, (), None)
+    for key, value in extra.items():
+        setattr(record, key, value)
+    return record
+
+
+class TestJsonFormatter:
+    def test_stable_keys_and_parseable(self):
+        line = JsonFormatter().format(_record("served %s" % "x"))
+        payload = json.loads(line)
+        assert payload["level"] == "INFO"
+        assert payload["logger"] == "repro.test"
+        assert payload["msg"] == "served x"
+        assert isinstance(payload["ts"], float)
+
+    def test_extra_fields_become_json_fields(self):
+        line = JsonFormatter().format(
+            _record("slow", trace_id="tid-1", duration_ms=12.5)
+        )
+        payload = json.loads(line)
+        assert payload["trace_id"] == "tid-1"
+        assert payload["duration_ms"] == 12.5
+
+    def test_unserializable_extras_are_stringified(self):
+        line = JsonFormatter().format(_record("x", weird=object()))
+        assert "object object" in json.loads(line)["weird"]
+
+    def test_exception_info_included(self):
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            import sys
+            record = _record("failed")
+            record.exc_info = sys.exc_info()
+        payload = json.loads(JsonFormatter().format(record))
+        assert "ValueError: boom" in payload["exc"]
+
+
+class TestConfigureLogging:
+    def test_plain_default_is_the_pinned_historical_layout(self):
+        # Operators grep this layout; changing it is a breaking change.
+        assert PLAIN_FORMAT == "%(asctime)s %(name)s %(levelname)s %(message)s"
+        assert LOG_FORMATS == ("plain", "json")
+
+    def test_plain_output_matches_format(self, restore_root):
+        configure_logging("plain")
+        stream = io.StringIO()
+        restore_root.handlers[0].setStream(stream)
+        logging.getLogger("repro.unit").info("plain line")
+        assert stream.getvalue().rstrip().endswith(
+            "repro.unit INFO plain line"
+        )
+
+    def test_json_output_is_one_object_per_line(self, restore_root):
+        configure_logging("json")
+        stream = io.StringIO()
+        restore_root.handlers[0].setStream(stream)
+        logging.getLogger("repro.unit").info("shard done",
+                                             extra={"shard": 3})
+        payload = json.loads(stream.getvalue().rstrip())
+        assert payload["msg"] == "shard done"
+        assert payload["shard"] == 3
+
+    def test_reconfiguring_replaces_handlers(self, restore_root):
+        configure_logging("plain")
+        configure_logging("json")
+        assert len(restore_root.handlers) == 1
+        assert isinstance(restore_root.handlers[0].formatter, JsonFormatter)
+
+    def test_unknown_format_raises(self):
+        with pytest.raises(ValueError):
+            configure_logging("xml")

@@ -1,0 +1,102 @@
+"""Traced submits over the TCP wire: record, fetch, cache-hit shape."""
+
+import asyncio
+
+import pytest
+
+from repro.engine import SearchRequest
+from repro.service.scheduler import SearchService
+from repro.service.server import SearchServer, fetch_trace, submit_remote
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+REQUEST = SearchRequest(n_items=256, n_blocks=16, target=37, rng=7)
+
+
+class server_stack:
+    """Async context manager: SearchService + SearchServer on loopback."""
+
+    async def __aenter__(self):
+        self.service = SearchService(max_workers=2)
+        await self.service.__aenter__()
+        self.server = SearchServer(self.service, port=0)
+        await self.server.start()
+        self.address = self.server.address
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.server.stop()
+        await self.service.__aexit__(*exc)
+
+
+class TestTracedSubmit:
+    def test_submit_with_trace_id_records_a_fetchable_tree(self):
+        async def main():
+            async with server_stack() as stack:
+                report = await asyncio.to_thread(
+                    submit_remote, stack.address, REQUEST,
+                    trace_id="wire-trace-1",
+                )
+                assert report.block_guess is not None
+                payload = await asyncio.to_thread(
+                    fetch_trace, stack.address, "wire-trace-1"
+                )
+                assert payload["trace_id"] == "wire-trace-1"
+                spans = {s["name"]: s for s in payload["spans"]}
+                for name in ("server.submit", "cache.lookup", "queue.wait",
+                             "engine.execute"):
+                    assert name in spans, sorted(spans)
+                root = spans["server.submit"]
+                assert root["parent_id"] is None
+                assert all(s["trace_id"] == "wire-trace-1"
+                           for s in payload["spans"])
+                # The engine hop crosses the pool thread but still nests.
+                assert (spans["engine.execute"]["duration_s"]
+                        <= root["duration_s"] + 1e-6)
+
+        run(main())
+
+    def test_untraced_submit_records_nothing(self):
+        async def main():
+            async with server_stack() as stack:
+                await asyncio.to_thread(submit_remote, stack.address, REQUEST)
+                with pytest.raises(RuntimeError, match="no trace"):
+                    await asyncio.to_thread(
+                        fetch_trace, stack.address, "never-traced"
+                    )
+
+        run(main())
+
+    def test_cache_hit_trace_has_no_engine_span(self):
+        async def main():
+            async with server_stack() as stack:
+                await asyncio.to_thread(
+                    submit_remote, stack.address, REQUEST,
+                    trace_id="wire-cold",
+                )
+                await asyncio.to_thread(
+                    submit_remote, stack.address, REQUEST,
+                    trace_id="wire-warm",
+                )
+                warm = await asyncio.to_thread(
+                    fetch_trace, stack.address, "wire-warm"
+                )
+                spans = {s["name"]: s for s in warm["spans"]}
+                assert spans["cache.lookup"]["attrs"]["hit"] is True
+                assert "engine.execute" not in spans
+                assert "queue.wait" not in spans
+
+        run(main())
+
+    def test_malformed_trace_message_is_an_error(self):
+        async def main():
+            async with server_stack() as stack:
+                with pytest.raises(RuntimeError):
+                    await asyncio.to_thread(
+                        fetch_trace, stack.address, ""
+                    )
+
+        run(main())
