@@ -20,10 +20,15 @@ comparable perf snapshot.  Four measurements:
   under every :class:`~repro.kernels.ExecutionPolicy` variant — the
   complex128 baseline, ``dtype="complex64"``, ``row_threads``, and both —
   with per-variant speedups and the complex64 tolerance check.
+- ``kernels_backends``: the pluggable kernel tiers (``fused``, and
+  ``numba`` when installed) against the ``numpy`` reference on the same
+  batched workload, at both dtypes — complex128 checked bit-identical,
+  complex64 within tolerance, with per-backend speedups.
 - ``acceptance``: the PR gate — compiled >= 5x naive on the single
   circuit, batched >= 10x the single-run loop, the sharded batch
-  bit-identical under its budget, and at least one policy knob buying
-  throughput on the batched kernels.
+  bit-identical under its budget, at least one policy knob buying
+  throughput on the batched kernels, and the fused backend clearing its
+  speedup floors at both dtypes.
 
 ``--quick`` runs a reduced configuration (fewer qubits, smaller budgets,
 relaxed speedup floors) for the CI smoke job; the JSON records which mode
@@ -65,6 +70,8 @@ CONFIGS = {
         "row_threads": 4,
         "floor_compiled_vs_naive": 5.0,
         "floor_batched_vs_loop": 10.0,
+        "floor_fused_complex128": 1.25,
+        "floor_fused_complex64": 1.15,
     },
     "quick": {
         "single_address_qubits": 10,
@@ -76,6 +83,8 @@ CONFIGS = {
         "row_threads": 2,
         "floor_compiled_vs_naive": 3.0,
         "floor_batched_vs_loop": 5.0,
+        "floor_fused_complex128": 1.05,
+        "floor_fused_complex64": 1.05,
     },
 }
 
@@ -228,6 +237,84 @@ def bench_kernels_batched(cfg: dict) -> dict:
     return results
 
 
+def bench_kernels_backends(cfg: dict) -> dict:
+    """The pluggable kernel backends on the standard batched workload.
+
+    Every available non-numpy backend (``fused`` always; ``numba`` when
+    the optional dependency is installed) is held to the registry's core
+    contract end to end through the engine — complex128 bit-identical to
+    the numpy reference, complex64 within the documented tolerance — and
+    then *timed at the sweep level* (``grk_sweep_rows`` on one resident
+    ``(B, N)`` slab, the code the backend knob actually swaps): the
+    engine's fixed per-batch overhead (planning, report assembly) is the
+    same for every backend and would dilute the tier-vs-tier ratio.  The
+    fused speedups feed the acceptance floors.
+    """
+    from repro.kernels import (
+        available_kernel_backends,
+        get_kernel_backend,
+        uniform_batch,
+    )
+
+    n = cfg["kernels_batch_qubits"]
+    n_items = 1 << n
+    sched = plan_schedule(n_items, 1 << N_BLOCK_BITS)
+    targets = np.arange(n_items, dtype=np.intp)
+    engine = SearchEngine()
+
+    def run(policy: ExecutionPolicy):
+        return engine.search_batch(
+            SearchRequest(
+                n_items=n_items,
+                n_blocks=1 << N_BLOCK_BITS,
+                backend="kernels",
+                policy=policy,
+                shards=ShardPolicy(max_bytes=1 << 62),  # one unsharded chunk
+            )
+        )
+
+    results = {
+        "n_address_qubits": n,
+        "n_targets": int(n_items),
+        "backends": list(available_kernel_backends()),
+    }
+    def sweep_time(backend, real_dtype, repeats: int = 5) -> float:
+        # The state re-initialises outside the timed region (the sweep
+        # mutates it in place): the uniform fill costs the same for every
+        # backend and would dilute the tier-vs-tier ratio.
+        best = float("inf")
+        for _ in range(repeats):
+            amps = uniform_batch(n_items, n_items, dtype=real_dtype)
+            t0 = time.perf_counter()
+            backend.grk_sweep_rows(sched, amps, targets)
+            best = min(best, time.perf_counter() - t0)
+        return best
+
+    for dtype, real_dtype in (("complex128", np.float64),
+                              ("complex64", np.float32)):
+        baseline = run(ExecutionPolicy(dtype=dtype))
+        t_base = sweep_time(get_kernel_backend("numpy"), real_dtype)
+        results[f"numpy_{dtype}_s"] = t_base
+        for name in available_kernel_backends():
+            if name == "numpy":
+                continue
+            report = run(ExecutionPolicy(dtype=dtype, backend=name))
+            if dtype == "complex128":
+                assert np.array_equal(report.success_probabilities,
+                                      baseline.success_probabilities), (
+                    f"{name} complex128 must be bit-identical to numpy")
+            else:
+                err = float(np.abs(report.success_probabilities
+                                   - baseline.success_probabilities).max())
+                assert err <= COMPLEX64_SUCCESS_ATOL, (
+                    f"{name} drifted {err} > {COMPLEX64_SUCCESS_ATOL}")
+                results[f"max_success_error_{name}_{dtype}"] = err
+            t = sweep_time(get_kernel_backend(name), real_dtype)
+            results[f"{name}_{dtype}_s"] = t
+            results[f"speedup_{name}_vs_numpy_{dtype}"] = t_base / t
+    return results
+
+
 def bench_sharded(cfg: dict) -> dict:
     """The ROADMAP sharding item, measured: all-targets batch under a byte
     budget vs the unsharded single-shard execution (peak RSS + identity)."""
@@ -286,21 +373,35 @@ def _delta_vs_baseline(results: dict, baseline_path: str) -> dict:
     the same sweep cost before the dtype/threading knobs existed."""
     baseline = json.loads(pathlib.Path(baseline_path).read_text())
     deltas = {}
-    for section, key, baseline_key in [
-        ("single", "compiled_s", "compiled_s"),
-        ("batched", "batched_s", "batched_s"),
-        ("kernels_batched", "kernels_batched_s", "kernels_batched_s"),
-        ("kernels_batched", "kernels_batched_complex64_s", "kernels_batched_s"),
-        ("kernels_batched", "kernels_batched_row_threads_s", "kernels_batched_s"),
+    for section, key, baseline_section, baseline_key in [
+        ("single", "compiled_s", "single", "compiled_s"),
+        ("batched", "batched_s", "batched", "batched_s"),
+        ("kernels_batched", "kernels_batched_s",
+         "kernels_batched", "kernels_batched_s"),
+        ("kernels_batched", "kernels_batched_complex64_s",
+         "kernels_batched", "kernels_batched_s"),
+        ("kernels_batched", "kernels_batched_row_threads_s",
+         "kernels_batched", "kernels_batched_s"),
         ("kernels_batched", "kernels_batched_complex64_threaded_s",
-         "kernels_batched_s"),
-        ("sharded", "sharded_s", "sharded_s"),
+         "kernels_batched", "kernels_batched_s"),
+        # The backend tiers compare against the baseline file's *numpy*
+        # sweeps on the same geometry — what the identical batch cost
+        # before (or without) each accelerated backend.
+        ("kernels_backends", "fused_complex128_s",
+         "kernels_batched", "kernels_batched_s"),
+        ("kernels_backends", "fused_complex64_s",
+         "kernels_batched", "kernels_batched_complex64_s"),
+        ("kernels_backends", "numba_complex128_s",
+         "kernels_batched", "kernels_batched_s"),
+        ("kernels_backends", "numba_complex64_s",
+         "kernels_batched", "kernels_batched_complex64_s"),
+        ("sharded", "sharded_s", "sharded", "sharded_s"),
     ]:
-        before = baseline.get(section, {}).get(baseline_key)
+        before = baseline.get(baseline_section, {}).get(baseline_key)
         after = results.get(section, {}).get(key)
         if before and after:
             # Different-geometry baselines would make the ratio meaningless.
-            before_n = baseline.get(section, {}).get("n_address_qubits")
+            before_n = baseline.get(baseline_section, {}).get("n_address_qubits")
             after_n = results.get(section, {}).get("n_address_qubits")
             if before_n is not None and before_n != after_n:
                 continue
@@ -317,6 +418,7 @@ def main(mode: str = "full", baseline: str | None = None) -> dict:
     single = bench_single(cfg)
     batched = bench_batched(cfg)
     kernels_batched = bench_kernels_batched(cfg)
+    kernels_backends = bench_kernels_backends(cfg)
     sharded = bench_sharded(cfg)
     results = {
         "bench": "compiled_simulator",
@@ -324,11 +426,13 @@ def main(mode: str = "full", baseline: str | None = None) -> dict:
         "description": (
             "naive gate-by-gate vs compiled fused program vs batched "
             "multi-target execution of the GRK partial-search circuit, plus "
-            "the engine's memory-bounded sharded all-targets batch"
+            "the engine's memory-bounded sharded all-targets batch and the "
+            "pluggable kernel backend tiers"
         ),
         "single": single,
         "batched": batched,
         "kernels_batched": kernels_batched,
+        "kernels_backends": kernels_backends,
         "sharded": sharded,
         "acceptance": {
             f"compiled_at_least_{cfg['floor_compiled_vs_naive']:g}x_naive":
@@ -347,10 +451,25 @@ def main(mode: str = "full", baseline: str | None = None) -> dict:
                 kernels_batched["speedup_complex64_vs_baseline"],
                 kernels_batched["speedup_row_threads_vs_baseline"],
             ) > 1.05,
+            # The fused backend is pure numpy, so its floors hold on any
+            # host; the numba tier is optional and carries no floor (its
+            # speedup is recorded when the import is available).
+            f"fused_at_least_{cfg['floor_fused_complex128']:g}x_numpy_c128":
+                kernels_backends["speedup_fused_vs_numpy_complex128"]
+                >= cfg["floor_fused_complex128"],
+            f"fused_at_least_{cfg['floor_fused_complex64']:g}x_numpy_c64":
+                kernels_backends["speedup_fused_vs_numpy_complex64"]
+                >= cfg["floor_fused_complex64"],
         },
     }
     if baseline:
         results["delta_vs_baseline"] = _delta_vs_baseline(results, baseline)
+    # Sibling bench scripts (bench_cluster.py, bench_gateway.py) merge
+    # their sections into the same artifact — preserve whatever they wrote.
+    if OUTPUT.exists():
+        existing = json.loads(OUTPUT.read_text())
+        for section, value in existing.items():
+            results.setdefault(section, value)
     OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
     print(json.dumps(results, indent=2))
     print(f"[written to {OUTPUT}]")

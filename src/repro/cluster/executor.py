@@ -26,7 +26,7 @@ aborting the batch.
 from __future__ import annotations
 
 from repro.observability.spans import span
-from repro.service.executor import RegistryExecutor
+from repro.service.executor import RegistryExecutor, required_kernel_backend
 
 __all__ = ["ClusterExecutor"]
 
@@ -57,7 +57,7 @@ class ClusterExecutor(RegistryExecutor):
                          breakers=breakers, chaos=chaos)
         self.membership = membership
 
-    def _ranked_workers(self) -> list[str]:
+    def _ranked_workers(self, backend: str | None = None) -> list[str]:
         """Cluster workers, least-loaded owner first, deduplicated.
 
         Local registrations rank ahead of gossiped ones: the local
@@ -67,6 +67,13 @@ class ClusterExecutor(RegistryExecutor):
         whose insertion order *is* the (load, address) ranking — one
         implementation of the ordering, shared with the status surface.
 
+        With *backend* set, only workers that advertised that kernel
+        backend make the ranking (the local registry filters its own
+        snapshot; gossiped workers are checked against the membership's
+        ``worker_backends`` map, where absence means numpy-only) — so a
+        ``numba`` batch on a mixed fleet routes past incapable workers
+        up front.
+
         Breaker state is applied last: endpoints not currently ``closed``
         (half-open probation, or open-but-about-to-expire) sink to the
         tail in their original relative order, so lane trimming prefers
@@ -75,13 +82,19 @@ class ClusterExecutor(RegistryExecutor):
         ranked: list[str] = []
         seen: set[str] = set()
         if self.registry is not None:
-            for address in self.registry.snapshot():
+            for address in self.registry.snapshot(backend=backend):
                 if address not in seen:
                     seen.add(address)
                     ranked.append(address)
+        capabilities = (
+            self.membership.worker_backends() if backend is not None else {}
+        )
         for address, owner in self.membership.cluster_workers().items():
             if owner == self.membership.self_address:
                 continue  # our own workers came from the live registry
+            if backend is not None \
+                    and backend not in capabilities.get(address, ("numpy",)):
+                continue
             if address not in seen:
                 seen.add(address)
                 ranked.append(address)
@@ -94,9 +107,14 @@ class ClusterExecutor(RegistryExecutor):
     def _resolve_addresses(self, tasks: list) -> list[str]:
         # Ranking walks the gossip table; on a big fleet that is real work
         # worth attributing, so it gets its own span under dispatch.resolve.
+        backend = required_kernel_backend(tasks)
         with span("cluster.rank") as ranking:
-            ranked = self._ranked_workers()
+            ranked = self._ranked_workers(
+                backend if backend != "numpy" else None
+            )
             ranking.attrs["workers"] = len(ranked)
+            if backend != "numpy":
+                ranking.attrs["kernel_backend"] = backend
         return ranked
 
     def describe(self) -> dict:

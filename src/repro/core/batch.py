@@ -94,11 +94,14 @@ def execute_batch_rows(
         backend: ``"kernels"``, ``"compiled"``, or ``"naive"`` (see
             :func:`run_partial_search_batch`).
         policy: the :class:`~repro.kernels.ExecutionPolicy` (dtype + row
-            threads); ``None`` = the complex128 single-threaded default,
-            which reproduces the seed results bit for bit.  ``row_threads``
-            splits the chunk into contiguous row slabs whose sweeps run on
-            the GIL-releasing thread seam — also bit-identical, since rows
-            never interact.
+            threads + kernel backend); ``None`` = the complex128
+            single-threaded numpy default, which reproduces the seed
+            results bit for bit.  ``row_threads`` splits the chunk into
+            contiguous row slabs whose sweeps run on the GIL-releasing
+            thread seam, and ``policy.backend`` selects which registered
+            :class:`~repro.kernels.KernelBackend` advances each slab —
+            both bit-identical at complex128, since rows never interact
+            and every backend replays the reference float op sequence.
 
     Returns:
         ``(success_probabilities, block_guesses)`` arrays of shape
@@ -114,36 +117,21 @@ def execute_batch_rows(
         return _execute_rows_on_circuit_backend(schedule, targets, backend, policy)
 
     spec = schedule.spec
-    n_items, n_blocks = spec.n_items, spec.n_blocks
+    n_items = spec.n_items
     b = targets.size
     dtype = policy.real_dtype  # the GRK gate set is real
+    kernel_backend = kernels.resolve_kernel_backend(policy.backend)
     amps = kernels.uniform_batch(b, n_items, dtype=dtype)
 
     def sweep(sl: slice) -> tuple[np.ndarray, np.ndarray]:
-        a, t = amps[sl], targets[sl]
-        # One mean buffer per diffusion flavour, allocated once per slab and
-        # reused across every iteration (the ROADMAP perf item: the hot loop
-        # runs l1+l2 ~ O(sqrt(N)) passes and must not churn the allocator).
-        mean_buf = np.empty((a.shape[0], 1), dtype=dtype)
-        block_mean_buf = np.empty((a.shape[0], n_blocks, 1), dtype=dtype)
+        # The whole per-slab loop structure lives on the kernel backend:
+        # the numpy backend replays the seed composition, the fused/numba
+        # tiers replay the same float ops in fewer slab traversals.
+        return kernel_backend.grk_sweep_rows(schedule, amps[sl], targets[sl])
 
-        for _ in range(schedule.l1):
-            kernels.phase_flip_rows(a, t)
-            kernels.invert_about_mean(a, mean_out=mean_buf)
-        for _ in range(schedule.l2):
-            kernels.phase_flip_rows(a, t)
-            kernels.invert_about_mean_blocks(a, n_blocks, mean_out=block_mean_buf)
-
-        # Step 3, batched: park each row's target amplitude, invert the rest
-        # about the full mean, then fold the parked amplitude back into the
-        # block distribution.
-        parked = kernels.moveout_controlled_diffusion_rows(a, t, mean_out=mean_buf)
-        block_probs = kernels.block_measurement_rows(
-            a, n_blocks, parked=parked, targets=t
-        )
-        return kernels.success_and_guesses(block_probs, t, spec.block_size)
-
-    return kernels.sweep_row_slabs(sweep, b, policy.effective_row_threads)
+    return kernels.sweep_row_slabs(
+        sweep, b, policy.threads_for_slab(b, n_items)
+    )
 
 
 def run_partial_search_batch(

@@ -335,27 +335,18 @@ def execute_simplified_batch_rows(
     if policy is None:
         policy = ExecutionPolicy()
     spec = schedule.spec
-    n_items, n_blocks = spec.n_items, spec.n_blocks
+    n_items = spec.n_items
     targets = np.asarray(targets, dtype=np.intp)
     b = targets.size
     dtype = policy.real_dtype
+    kernel_backend = kernels.resolve_kernel_backend(policy.backend)
     amps = kernels.uniform_batch(b, n_items, dtype=dtype)
 
     def sweep(sl: slice) -> tuple[np.ndarray, np.ndarray]:
-        a, t = amps[sl], targets[sl]
-        mean_buf = np.empty((a.shape[0], 1), dtype=dtype)
-        block_mean_buf = np.empty((a.shape[0], n_blocks, 1), dtype=dtype)
+        return kernel_backend.simplified_sweep_rows(
+            schedule, amps[sl], targets[sl]
+        )
 
-        for _ in range(schedule.j1):
-            kernels.phase_flip_rows(a, t)
-            kernels.invert_about_mean(a, mean_out=mean_buf)
-        for _ in range(schedule.j2):
-            kernels.phase_flip_rows(a, t)
-            kernels.invert_about_mean_blocks(a, n_blocks, mean_out=block_mean_buf)
-        kernels.phase_flip_rows(a, t)
-        kernels.invert_about_mean(a, mean_out=mean_buf)
-
-        block_probs = kernels.block_measurement_rows(a, n_blocks)
-        return kernels.success_and_guesses(block_probs, t, spec.block_size)
-
-    return kernels.sweep_row_slabs(sweep, b, policy.effective_row_threads)
+    return kernels.sweep_row_slabs(
+        sweep, b, policy.threads_for_slab(b, n_items)
+    )

@@ -140,10 +140,6 @@ def plan_shards(
         policy = ShardPolicy()
     if execution is None:
         execution = ExecutionPolicy()
-    # Pin row_threads="auto" to this host's concrete count here, once, so
-    # every shard of the batch — local or remote — runs at the same width
-    # and the plan's provenance records the resolved value.
-    execution = execution.resolve()
     row_bytes = state_row_bytes(backend, n_items, execution)
     rows = max(1, policy.max_bytes // row_bytes)
     if policy.max_rows is not None:
@@ -151,6 +147,12 @@ def plan_shards(
     if policy.workers > 1:
         rows = min(rows, -(-n_rows // policy.workers))
     rows = int(min(rows, n_rows))
+    # Pin backend="auto" and row_threads="auto" to concrete choices here,
+    # once, so every shard of the batch — local or remote — runs the same
+    # kernels at the same width and the plan's provenance records what
+    # actually ran.  The resolved shard size makes row_threads
+    # workload-aware: tiny slabs stay serial (the 0.884x bench regression).
+    execution = execution.resolve(slab_bytes=rows * row_bytes // ROW_OVERHEAD)
     return ExecutionPlan(
         n_rows=n_rows,
         shard_rows=rows,

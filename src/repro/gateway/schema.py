@@ -131,8 +131,8 @@ def _check_options(options, errors) -> dict:
 
 _KNOWN_FIELDS = frozenset({
     "schema_version", "n_items", "n_blocks", "method", "backend", "epsilon",
-    "target", "targets", "batch", "seed", "dtype", "row_threads", "options",
-    "timeout",
+    "target", "targets", "batch", "seed", "dtype", "row_threads",
+    "kernel_backend", "options", "timeout",
 })
 
 
@@ -291,6 +291,25 @@ def decode_submit(payload, *, batch: bool = False) -> DecodedSubmit:
                        "message": "must be an integer >= 1 or 'auto'"})
         row_threads = 1
 
+    # Optional field — compatible schema growth, no version bump: absent
+    # means the numpy baseline, mirroring the shard-meta wire rule.
+    kernel_backend = payload.get("kernel_backend", "numpy")
+    if not isinstance(kernel_backend, str) or not kernel_backend:
+        errors.append({"field": "kernel_backend",
+                       "message": "must be a non-empty string"})
+        kernel_backend = "numpy"
+    else:
+        from repro.kernels import KERNEL_BACKEND_AUTO, kernel_backend_names
+
+        known_backends = (KERNEL_BACKEND_AUTO, *kernel_backend_names())
+        if kernel_backend not in known_backends:
+            errors.append({
+                "field": "kernel_backend",
+                "message": f"unknown kernel backend {kernel_backend!r}; "
+                           f"one of: {', '.join(known_backends)}",
+            })
+            kernel_backend = "numpy"
+
     options = _check_options(payload.get("options"), errors)
 
     timeout = payload.get("timeout")
@@ -315,7 +334,8 @@ def decode_submit(payload, *, batch: bool = False) -> DecodedSubmit:
             epsilon=epsilon,
             target=target,
             rng=seed,
-            policy=ExecutionPolicy(dtype=dtype, row_threads=row_threads),
+            policy=ExecutionPolicy(dtype=dtype, row_threads=row_threads,
+                                   backend=kernel_backend),
             options=options,
         )
     except ValueError as exc:
@@ -399,8 +419,12 @@ def encode_error(code: str, message: str, *, errors: list[dict] | None = None,
 
 
 def encode_methods() -> dict:
-    """The ``GET /v1/methods`` reply: the live method registry."""
+    """The ``GET /v1/methods`` reply: the live method registry, plus the
+    kernel-backend registry (``kernel_backends``, a compatible reply-field
+    growth) so edge clients can discover what ``"kernel_backend"`` values
+    this deployment executes."""
     from repro.engine.registry import available_methods, get_method
+    from repro.kernels import describe_kernel_backends
 
     methods = []
     for name in available_methods():
@@ -411,7 +435,8 @@ def encode_methods() -> dict:
             "description": spec.description,
         })
     return {"schema_version": SCHEMA_VERSION, "kind": "methods",
-            "methods": methods}
+            "methods": methods,
+            "kernel_backends": json_safe(describe_kernel_backends())}
 
 
 # ----------------------------------------------------------- body encodings

@@ -11,7 +11,11 @@ of, in both single-state ``(N,)`` and batched ``(B, N)`` forms, plus the
   row-slab thread dispatcher;
 - :mod:`repro.kernels.policy` — :class:`ExecutionPolicy`, the logical
   ``complex128``/``complex64`` precision names, and the documented
-  :data:`COMPLEX64_SUCCESS_ATOL` tolerance contract.
+  :data:`COMPLEX64_SUCCESS_ATOL` tolerance contract;
+- :mod:`repro.kernels.backends` — the pluggable :class:`KernelBackend`
+  registry (``numpy`` / ``fused`` / ``numba`` / the ``cupy`` stub) the
+  policy's ``backend`` knob selects between, plus the cached ``"auto"``
+  micro-probe (``repro calibrate``).
 
 Consumers: :mod:`repro.statevector.ops` re-exports the primitives verbatim
 (its historical import path keeps working), the compiled circuit backend
@@ -21,6 +25,7 @@ implements oracle or diffusion math.
 """
 
 from repro.kernels.policy import (
+    AUTO_ROW_THREADS_MIN_SLAB_BYTES,
     COMPLEX64_SUCCESS_ATOL,
     DTYPE_NAMES,
     MAX_AUTO_ROW_THREADS,
@@ -53,15 +58,40 @@ from repro.kernels.batched import (
     sweep_row_slabs,
     uniform_batch,
 )
+from repro.kernels.backends import (
+    DEFAULT_KERNEL_BACKEND,
+    KERNEL_BACKEND_AUTO,
+    KernelBackend,
+    available_kernel_backends,
+    describe_kernel_backends,
+    get_kernel_backend,
+    kernel_backend_names,
+    probe_fastest_backend,
+    register_kernel_backend,
+    resolve_kernel_backend,
+    validate_kernel_backend_name,
+)
 
 __all__ = [
     "COMPLEX64_SUCCESS_ATOL",
     "DTYPE_NAMES",
     "ROW_THREADS_AUTO",
     "MAX_AUTO_ROW_THREADS",
+    "AUTO_ROW_THREADS_MIN_SLAB_BYTES",
     "auto_row_threads",
     "ExecutionPolicy",
     "row_slabs",
+    "DEFAULT_KERNEL_BACKEND",
+    "KERNEL_BACKEND_AUTO",
+    "KernelBackend",
+    "register_kernel_backend",
+    "get_kernel_backend",
+    "resolve_kernel_backend",
+    "kernel_backend_names",
+    "available_kernel_backends",
+    "describe_kernel_backends",
+    "probe_fastest_backend",
+    "validate_kernel_backend_name",
     "uniform_state",
     "phase_flip",
     "phase_rotate",

@@ -60,6 +60,21 @@ def request_fingerprint(request, targets=None) -> str | None:
     if isinstance(request.rng, np.random.Generator):
         return None
     dtype = request.policy.dtype
+    # The kernel backend is structural only at complex64: complex128
+    # results are bit-identical across backends (pinned by the backend
+    # matrix tests), so pinning it there would split the cache between
+    # provably equal results; complex64 backends agree only to tolerance,
+    # and a cache must never swap one approximate bitstream for another.
+    # "auto" resolves through the calibration probe so the fingerprint
+    # names the backend that would actually run.
+    kernel_backend = request.policy.backend
+    if dtype == "complex64" and kernel_backend == "auto":
+        try:
+            from repro.kernels import probe_fastest_backend
+
+            kernel_backend = probe_fastest_backend()
+        except Exception:
+            pass
     try:
         from repro.engine.registry import get_method
 
@@ -74,8 +89,14 @@ def request_fingerprint(request, targets=None) -> str | None:
             dtype = "complex128"
     except Exception:
         pass
+    backend_part = (f"kernel_backend={kernel_backend}"
+                    if dtype == "complex64" else "kernel_backend=<any>")
     parts = [
-        "fingerprint-v3",
+        # v4: the kernel backend became structural at complex64 (new
+        # backend_part component).  Fingerprints are opaque keys, so the
+        # version bump just makes old/new replicas miss instead of
+        # colliding during a rolling upgrade.
+        "fingerprint-v4",
         f"n_items={request.n_items}",
         f"n_blocks={request.n_blocks}",
         f"method={request.method}",
@@ -87,8 +108,10 @@ def request_fingerprint(request, targets=None) -> str | None:
         # Only the dtype is structural: row_threads (like the shard policy)
         # is bit-invisible in the output, but complex64 results genuinely
         # differ from complex128 and must not share a cache entry —
-        # except for policy-blind methods, normalised above.
+        # except for policy-blind methods, normalised above.  The kernel
+        # backend joins it at complex64 only (see backend_part above).
         f"dtype={dtype}",
+        backend_part,
         f"options={_stable(dict(request.options))}",
         "targets=<all>" if targets is None else f"targets={_stable(np.asarray(targets))}",
     ]

@@ -81,11 +81,32 @@ __all__ = [
     "ShardExecutionError",
     "WorkerUnavailable",
     "default_executor",
+    "required_kernel_backend",
 ]
 
 # Shared by worker registration, server handlers, peering, and gossip —
 # kept importable under the old private name for compatibility.
 _parse_address = parse_address
+
+
+def required_kernel_backend(tasks) -> str:
+    """The kernel backend the shard tasks execute under.
+
+    Shard tasks of the kernels-backed methods carry the batch's resolved
+    :class:`~repro.kernels.ExecutionPolicy` (every shard of one plan shares
+    it), so inspecting the first task suffices.  Tasks without a policy —
+    the circuit and classical methods, or custom executor payloads — run
+    the ``"numpy"`` baseline every worker has, so they need no routing
+    filter and no shard-meta key.
+    """
+    if not tasks or not isinstance(tasks[0], tuple):
+        return "numpy"
+    from repro.kernels import ExecutionPolicy
+
+    for element in tasks[0]:
+        if isinstance(element, ExecutionPolicy):
+            return element.backend
+    return "numpy"
 
 
 class ShardExecutionError(RuntimeError):
@@ -401,7 +422,7 @@ class RemoteExecutor(ShardExecutor):
                         message = self._shard_message(
                             func, state["tasks"][index], state["rngs"][index],
                             deadline, lane_version, state["trace_id"],
-                            att.span_id,
+                            att.span_id, state["kernel_backend"],
                         )
                         if deadline is not None:
                             sock.settimeout(
@@ -516,13 +537,22 @@ class RemoteExecutor(ShardExecutor):
 
     @staticmethod
     def _shard_message(func, task, rng, deadline, lane_version,
-                       trace_id=None, parent_span_id=None) -> tuple:
+                       trace_id=None, parent_span_id=None,
+                       kernel_backend=None) -> tuple:
         """The shard frame: v4 ships the remaining budget (and, when the
         request is traced, its trace ID and the dispatch-attempt span ID
         the worker parents its compute span on) in a meta dict; lanes
         pinned to a legacy peer send the pre-deadline 4-tuple.  Adding
         meta keys is a *compatible* growth — old workers ignore unknown
-        keys — so tracing needs no wire version bump."""
+        keys — so tracing needs no wire version bump.
+
+        A non-numpy *kernel_backend* rides as ``meta["backend"]`` so a
+        worker lacking it answers ``("unavailable", ...)`` — the shard
+        requeues on a capable lane instead of dying inside the shard
+        function.  The numpy baseline ships no key at all: absent key ==
+        ``"numpy"`` is the compatibility rule, and old workers must keep
+        decoding today's frames unchanged.
+        """
         if lane_version is not None and lane_version < 4:
             return ("shard", func, task, rng)
         meta = {}
@@ -532,6 +562,8 @@ class RemoteExecutor(ShardExecutor):
             meta["trace_id"] = trace_id
             if parent_span_id is not None:
                 meta["parent_span_id"] = parent_span_id
+        if kernel_backend is not None and kernel_backend != "numpy":
+            meta["backend"] = kernel_backend
         return ("shard", func, task, rng, meta)
 
     @staticmethod
@@ -557,6 +589,7 @@ class RemoteExecutor(ShardExecutor):
         budget = self.retry_budget
         state = {
             "trace_id": current_trace_id(),
+            "kernel_backend": required_kernel_backend(tasks),
             "tasks": tasks,
             # Mirror parallel_map's per-task generator argument; shard
             # functions that need reproducible randomness carry pre-spawned
@@ -702,7 +735,14 @@ class RegistryExecutor(ShardExecutor):
     def _resolve_addresses(self, tasks: list) -> list[str]:
         """The worker fleet for this run — the seam subclasses override
         (e.g. :class:`repro.cluster.ClusterExecutor` ranks the gossiped
-        cluster-wide fleet here)."""
+        cluster-wide fleet here).  Tasks requiring a non-numpy kernel
+        backend only see workers that advertised it, so a ``numba`` batch
+        on a mixed fleet routes past the numpy-only workers up front
+        (the shard-meta ``unavailable`` reply remains the backstop for
+        stale capability views)."""
+        backend = required_kernel_backend(tasks)
+        if backend != "numpy":
+            return self.registry.snapshot(backend=backend)
         return self.registry.snapshot()
 
     def run_shards(self, func, tasks, *, workers: int = 1,

@@ -6,8 +6,10 @@ with ``--remote-worker host:port`` flags and restarted to change the fleet.
 The :class:`WorkerRegistry` removes that coupling:
 
 - workers **announce themselves** — ``repro-worker --register server:port``
-  sends one ``("register", "host:port")`` frame to the server, which adds
-  the address here;
+  sends one ``("register", "host:port"[, meta])`` frame to the server,
+  which adds the address here together with the kernel backends the worker
+  advertised (absent meta — an old worker — means the numpy baseline
+  every build carries);
 - the server **health-checks** the membership on a timer, reusing the
   protocol's existing ``("ping",)`` message (see
   :meth:`SearchServer._health_loop <repro.service.server.SearchServer>`),
@@ -35,8 +37,9 @@ class WorkerRegistry:
     """Thread-safe live-worker membership keyed by ``"host:port"``.
 
     Attributes are intentionally minimal — the registry records *who is
-    alive*, not load or capability; shard scheduling stays the executor's
-    job.
+    alive* and which kernel backends each worker advertised at
+    registration; shard scheduling stays the executor's job (it filters
+    its per-run snapshot by the backend a shard requires).
     """
 
     def __init__(self, *, breakers=None):
@@ -55,14 +58,30 @@ class WorkerRegistry:
         with self._lock:
             return len(self._workers)
 
-    def add(self, address: str) -> bool:
+    def add(self, address: str, *, backends=None, calibrated=None) -> bool:
         """Register *address*; returns True when it is new (re-registration
-        of a live worker just refreshes its stamp)."""
+        of a live worker just refreshes its stamp and capabilities).
+
+        *backends* is the kernel-backend tuple the worker advertised in its
+        registration meta; ``None`` (an old worker sending the legacy
+        2-tuple frame) records the numpy baseline every build carries, so
+        such workers only ever receive shards they can execute.
+        *calibrated* is the worker's probed-fastest backend, surfaced in
+        stats for operators — routing does not consult it.
+        """
         address = str(address)
+        if backends is None:
+            backends = ("numpy",)
+        backends = tuple(str(b) for b in backends)
         now = time.monotonic()
         with self._lock:
             fresh = address not in self._workers
-            self._workers[address] = {"registered_at": now, "last_seen": now}
+            self._workers[address] = {
+                "registered_at": now,
+                "last_seen": now,
+                "backends": backends,
+                "calibrated": calibrated,
+            }
             self.registrations += 1
             return fresh
 
@@ -105,17 +124,44 @@ class WorkerRegistry:
             if address in self._workers:
                 self._workers[address]["last_seen"] = now
 
-    def snapshot(self) -> list[str]:
-        """The live addresses, sorted for deterministic dispatch order."""
+    def snapshot(self, *, backend: str | None = None) -> list[str]:
+        """The live addresses, sorted for deterministic dispatch order.
+
+        With *backend* set, only workers that advertised that kernel
+        backend are returned — the routing filter the executors use so a
+        ``backend="numba"`` shard never lands on a numpy-only worker.
+        """
         with self._lock:
-            return sorted(self._workers)
+            if backend is None:
+                return sorted(self._workers)
+            return sorted(
+                address for address, meta in self._workers.items()
+                if backend in meta.get("backends", ("numpy",))
+            )
+
+    def worker_backends(self) -> dict[str, tuple[str, ...]]:
+        """``{address: advertised kernel backends}`` for the live fleet."""
+        with self._lock:
+            return {
+                address: meta.get("backends", ("numpy",))
+                for address, meta in sorted(self._workers.items())
+            }
 
     def stats(self) -> dict:
-        """``{workers, registrations, evictions[, breakers]}`` for the
-        stats surface."""
+        """``{workers, backends, registrations, evictions[, breakers]}``
+        for the stats surface."""
         with self._lock:
             stats = {
                 "workers": sorted(self._workers),
+                "backends": {
+                    address: list(meta.get("backends", ("numpy",)))
+                    for address, meta in sorted(self._workers.items())
+                },
+                "calibrated": {
+                    address: meta.get("calibrated")
+                    for address, meta in sorted(self._workers.items())
+                    if meta.get("calibrated")
+                },
                 "registrations": self.registrations,
                 "evictions": self.evictions,
             }

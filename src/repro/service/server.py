@@ -11,9 +11,12 @@ protocol and read one frame back:
   or ``("error", msg)`` for anything else;
 - ``("stats",)`` -> ``("stats", snapshot_dict)``;
 - ``("ping",)`` -> ``("pong", {})``;
-- ``("register", "host:port")`` -> ``("registered", {"workers": [...]})`` —
-  a ``repro-worker`` announcing itself for shard dispatch (servers started
-  without a :class:`~repro.service.registry.WorkerRegistry` answer
+- ``("register", "host:port"[, meta])`` ->
+  ``("registered", {"workers": [...]})`` — a ``repro-worker`` announcing
+  itself for shard dispatch; the optional meta dict (compatible growth)
+  advertises the worker's kernel backends so routing never sends e.g. a
+  ``numba`` shard to a numpy-only worker (servers started without a
+  :class:`~repro.service.registry.WorkerRegistry` answer
   ``("error", ...)``);
 - ``("deregister", "host:port")`` -> ``("deregistered", {...})`` — a
   draining worker withdrawing itself (wire v4), so routing stops
@@ -280,21 +283,42 @@ class SearchServer:
             if self.registry is None:
                 return ("error", "this server does not accept worker "
                                  "registration (no registry configured)")
+            # register grew a third (meta) element so workers can advertise
+            # their kernel backends — compatible growth, same rule as the
+            # shard frames: an absent meta (an old worker) means the numpy
+            # baseline every build carries.
+            meta = {}
+            if (kind == "register" and len(message) == 3
+                    and isinstance(message[2], dict)):
+                meta = message[2]
+                message = message[:2]
             try:
                 _, address = message
                 parse_address(str(address))
             except (TypeError, ValueError):
                 return ("error",
-                        f"{kind} message must be ({kind}, 'host:port')")
+                        f"{kind} message must be ({kind}, 'host:port'"
+                        + (", meta" if kind == "register" else "") + ")")
             if kind == "deregister":
                 removed = self.registry.remove(str(address))
                 log.info("worker %s deregistered%s", address,
                          "" if removed else " (was not registered)")
                 return ("deregistered", {"workers": self.registry.snapshot(),
                                          "removed": removed})
-            fresh = self.registry.add(str(address))
-            log.info("worker %s %s", address,
-                     "registered" if fresh else "re-registered")
+            backends = meta.get("backends")
+            if backends is not None and not (
+                isinstance(backends, (list, tuple))
+                and all(isinstance(b, str) for b in backends)
+            ):
+                return ("error", "register meta 'backends' must be a "
+                                 "list of backend names")
+            fresh = self.registry.add(
+                str(address), backends=backends,
+                calibrated=meta.get("calibrated"),
+            )
+            log.info("worker %s %s (backends: %s)", address,
+                     "registered" if fresh else "re-registered",
+                     ",".join(backends) if backends else "numpy")
             return ("registered", {"workers": self.registry.snapshot()})
         if kind == "trace":
             # ("trace", trace_id) -> the stitched span tree of a recent

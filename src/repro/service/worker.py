@@ -73,6 +73,7 @@ from repro.service.wire import (
 __all__ = [
     "WorkerServer",
     "register_with_server",
+    "worker_registration_meta",
     "deregister_from_server",
     "start_reannounce_loop",
     "main",
@@ -97,12 +98,19 @@ class WorkerServer:
         chaos: a :class:`~repro.resilience.FaultPlan` consulted at the
             ``worker.recv`` / ``worker.shard`` / ``worker.send`` sites.
             ``None`` (default) injects nothing.
+        backends: kernel backend names this worker executes (``None`` =
+            every available backend on this host,
+            :func:`repro.kernels.available_kernel_backends`).  A shard
+            whose meta names a backend outside this set is answered
+            ``("unavailable", ...)`` so the dialer requeues it on a worker
+            that advertises it — the same compatible path draining uses.
         fail_after: **deprecated** — the pre-chaos fault hook; equivalent to
             ``chaos=FaultPlan.worker_crash(fail_after)``.
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  *, chaos: FaultPlan | None = None,
+                 backends: tuple[str, ...] | None = None,
                  fail_after: int | None = None):
         if fail_after is not None:
             warnings.warn(
@@ -119,6 +127,11 @@ class WorkerServer:
         self._sock.settimeout(0.2)  # poll so shutdown is prompt
         self.address: tuple[str, int] = self._sock.getsockname()[:2]
         self.chaos = chaos
+        if backends is None:
+            from repro.kernels import available_kernel_backends
+
+            backends = available_kernel_backends()
+        self.backends: tuple[str, ...] = tuple(backends)
         self.shards_served = 0
         self.shards_expired = 0
         # Ring of the most recent trace IDs whose shards ran here (wire v4
@@ -277,7 +290,8 @@ class WorkerServer:
         if kind == "ping":
             return ("pong", {"shards_served": self.shards_served,
                              "shards_expired": self.shards_expired,
-                             "draining": self._draining})
+                             "draining": self._draining,
+                             "backends": list(self.backends)})
         if kind == "shard":
             return self._dispatch_shard(message)
         return ("error", f"unknown message type {kind!r}")
@@ -295,6 +309,15 @@ class WorkerServer:
                     "shard message must be (shard, func, task, rng[, meta])")
         if self._draining:
             return ("unavailable", "worker draining: requeue elsewhere")
+        # Compatible wire growth: an absent key means the numpy backend
+        # (every pre-backend dialer), so no version bump.  A backend this
+        # worker does not advertise takes the same requeue path draining
+        # does — the dialer retries the shard on a capable worker.
+        required_backend = meta.get("backend", "numpy")
+        if required_backend not in self.backends:
+            return ("unavailable",
+                    f"worker lacks kernel backend {required_backend!r} "
+                    f"(has: {', '.join(self.backends)}): requeue elsewhere")
         deadline_s = meta.get("deadline_s")
         if deadline_s is not None and deadline_s <= 0:
             # The budget was spent in transit: refuse without computing —
@@ -374,6 +397,31 @@ class WorkerServer:
             pass
 
 
+def worker_registration_meta(
+    backends: tuple[str, ...] | None = None,
+) -> dict:
+    """The capability payload a registration frame advertises.
+
+    ``backends`` is what routing filters on (never send a numba shard to a
+    numpy-only worker); ``calibrated`` is this host's persisted
+    ``repro calibrate`` winner when one exists — the seed of the ROADMAP's
+    cost-model item (the probe is *not* run here: registration must stay
+    cheap, so an uncalibrated host simply omits the key).
+    """
+    from repro.kernels import available_kernel_backends
+    from repro.kernels.backends import load_calibration
+
+    meta: dict = {
+        "backends": list(
+            backends if backends is not None else available_kernel_backends()
+        ),
+    }
+    record = load_calibration()
+    if record is not None:
+        meta["calibrated"] = record["fastest"]
+    return meta
+
+
 def register_with_server(
     server_address: str,
     advertise_address: str,
@@ -381,14 +429,19 @@ def register_with_server(
     attempts: int = 10,
     delay: float = 0.5,
     timeout: float = 5.0,
+    backends: tuple[str, ...] | None = None,
 ) -> dict:
     """Announce *advertise_address* to a ``repro serve`` at *server_address*.
 
-    Sends one ``("register", advertise_address)`` frame and returns the
-    server's registration payload (the current fleet snapshot).  Connection
-    refusals are retried — workers routinely boot before their server —
-    but a server that answers with an error (no registry configured,
-    malformed address) fails immediately: retrying cannot help.
+    Sends one ``("register", advertise_address, meta)`` frame — *meta* is
+    :func:`worker_registration_meta`: the advertised kernel backends plus
+    this host's calibration.  The meta element is compatible growth on the
+    receiving side: workers predating it send 2-tuples and the server
+    registers them as numpy-only.  Returns the server's registration
+    payload (the current fleet snapshot).  Connection refusals are retried
+    — workers routinely boot before their server — but a server that
+    answers with an error (no registry configured, malformed address)
+    fails immediately: retrying cannot help.
 
     A wildcard advertise host (``0.0.0.0`` / ``::``, the bind address of a
     multi-host worker) is not dialable, so it is replaced by the local
@@ -403,6 +456,7 @@ def register_with_server(
     """
     host, port = parse_address(server_address)
     adv_host, adv_port = parse_address(advertise_address)
+    meta = worker_registration_meta(backends)
     last_exc: OSError | None = None
     for attempt in range(attempts):
         if attempt:
@@ -413,7 +467,7 @@ def register_with_server(
                 if adv_host in ("0.0.0.0", "::"):
                     adv_host = sock.getsockname()[0]
                 advertise_address = format_address(adv_host, adv_port)
-                send_frame(sock, ("register", advertise_address))
+                send_frame(sock, ("register", advertise_address, meta))
                 reply = recv_frame(sock)
         except (OSError, ConnectionClosed) as exc:
             last_exc = exc if isinstance(exc, OSError) else OSError(str(exc))
@@ -459,6 +513,7 @@ def start_reannounce_loop(
     *,
     interval: float = DEFAULT_REANNOUNCE_INTERVAL,
     stop_event: threading.Event | None = None,
+    backends: tuple[str, ...] | None = None,
 ) -> threading.Thread:
     """Re-announce this worker to the server every *interval* seconds.
 
@@ -479,7 +534,8 @@ def start_reannounce_loop(
         while not stop.wait(interval):
             try:
                 register_with_server(
-                    server_address, advertise_address, attempts=1
+                    server_address, advertise_address, attempts=1,
+                    backends=backends,
                 )
             except (OSError, RuntimeError, ValueError) as exc:
                 log.warning("re-registration with %s failed (will retry): %s",
@@ -512,6 +568,10 @@ def main(argv=None) -> int:
                         help="seconds between registration re-announcements "
                              "(heals health-check evictions and server "
                              "restarts; 0 disables)")
+    parser.add_argument("--backends", default=None, metavar="NAME[,NAME...]",
+                        help="kernel backends this worker serves and "
+                             "advertises (default: every backend available "
+                             "on this host); names must be available here")
     parser.add_argument("--chaos-plan", default=None, metavar="PLAN",
                         help="arm a seeded FaultPlan: a JSON file path or an "
                              "inline JSON object (testing only)")
@@ -530,7 +590,23 @@ def main(argv=None) -> int:
     chaos = FaultPlan.from_json(args.chaos_plan) if args.chaos_plan else None
     if chaos is not None:
         log.warning("chaos armed: %r", chaos)
-    server = WorkerServer(args.host, args.port, chaos=chaos)
+    backends = None
+    if args.backends:
+        from repro.kernels import available_kernel_backends
+
+        backends = tuple(
+            name.strip() for name in args.backends.split(",") if name.strip()
+        )
+        unavailable = [b for b in backends
+                       if b not in available_kernel_backends()]
+        if unavailable:
+            parser.error(
+                f"--backends names unavailable kernel backends "
+                f"{', '.join(unavailable)} (available here: "
+                f"{', '.join(available_kernel_backends())})"
+            )
+    server = WorkerServer(args.host, args.port, chaos=chaos,
+                          backends=backends)
     # Announce readiness on stdout so harnesses can wait for the port.
     print(f"repro-worker ready on {format_address(*server.address)}",
           flush=True)
@@ -539,7 +615,8 @@ def main(argv=None) -> int:
     if args.register:
         keep_announcing = True
         try:
-            register_with_server(args.register, advertise)
+            register_with_server(args.register, advertise,
+                                 backends=server.backends)
             registered = True
             print(f"repro-worker registered with {args.register} as {advertise}",
                   flush=True)
@@ -559,6 +636,7 @@ def main(argv=None) -> int:
             start_reannounce_loop(
                 args.register, advertise,
                 interval=args.register_interval, stop_event=server._stop,
+                backends=server.backends,
             )
 
     def _on_sigterm(signum, frame):

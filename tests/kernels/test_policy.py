@@ -42,6 +42,7 @@ class TestExecutionPolicy:
         assert ExecutionPolicy(dtype="complex64", row_threads=3).describe() == {
             "dtype": "complex64",
             "row_threads": 3,
+            "backend": "numpy",
         }
 
     def test_frozen_and_hashable(self):

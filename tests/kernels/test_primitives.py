@@ -29,15 +29,28 @@ class TestSingleSourceOfTruth:
         assert "_kb.phase_flip_rows" in source
         assert "_kb.moveout_rows" in source
 
-    def test_core_batch_composes_kernels(self):
+    def test_core_batch_dispatches_to_kernel_backends(self):
         import inspect
 
         from repro.core import batch
 
         source = inspect.getsource(batch)
-        assert "kernels.phase_flip_rows" in source
-        assert "kernels.invert_about_mean" in source
-        assert "kernels.moveout_controlled_diffusion_rows" in source
+        # The GRK loop structure lives on the kernel-backend registry now;
+        # core/batch selects a backend and dispatches, it owns no math.
+        assert "kernels.resolve_kernel_backend" in source
+        assert "grk_sweep_rows" in source
+
+    def test_kernel_backends_compose_batched_primitives(self):
+        import inspect
+
+        from repro.kernels import backends
+
+        source = inspect.getsource(backends.KernelBackend)
+        # The reference backend is a *composition* of the batched
+        # primitives — the single source of truth stays in repro.kernels.
+        assert "batched.phase_flip_rows" in source
+        assert "batched.moveout_controlled_diffusion_rows" in source
+        assert "batched.block_measurement_rows" in source
 
 
 class TestUniformState:
