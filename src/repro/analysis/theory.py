@@ -19,10 +19,14 @@ from repro.core.parameters import GRKParameters
 
 __all__ = [
     "LARGE_K_CONSTANT",
+    "CWB_EXTRA_QUERIES_BOUND",
     "large_k_epsilon",
     "large_k_coefficient",
     "naive_quantum_coefficient",
     "classical_randomized_partial_coefficient",
+    "simplified_partial_coefficient",
+    "cwb_query_coefficient",
+    "cwb_asymptotic_coefficient",
     "savings_factor",
 ]
 
@@ -63,6 +67,64 @@ def classical_randomized_partial_coefficient(n_blocks: int) -> float:
     if n_blocks < 2:
         raise ValueError("n_blocks must be >= 2")
     return 0.5 * (1.0 - 1.0 / n_blocks**2)
+
+
+#: Choi–Walker–Braunstein certainty cost (quant-ph/0603136, Theorem 1 of
+#: the source paper): the sure-success modification "increases the number
+#: of queries by at most a constant" — at the paper's representative
+#: geometries the solved plans spend at most **2** queries over the plain
+#: GRK budget (usually 0 or 1; pinned by ``test_paper_values.py``).
+CWB_EXTRA_QUERIES_BOUND = 2
+
+
+def simplified_partial_coefficient(n_blocks: int) -> float:
+    """Optimised query coefficient of the ancilla-free family per ``sqrt(N)``.
+
+    The Korepin–Grover simplified algorithm (quant-ph/0504157) drops
+    Step 3's ancilla-controlled diffusion and ends on a plain global
+    iteration; quant-ph/0510179 optimises its continuous ``(j1, j2)``
+    trade-off.  This is the exact large-``N`` optimum for ``K`` blocks
+    (the repo's pinned table — ``0.555 sqrt(N)`` at ``K = 2`` up to
+    ``0.725 sqrt(N)`` at ``K = 32``, approaching the full-search
+    ``pi/4 = 0.785`` as ``(pi/4)(1 - 0.42497/sqrt(K))`` from below).
+
+    Delegates to the cached continuous optimiser in
+    :mod:`repro.core.simplified` — one scipy solve per ``K``, then O(1).
+    """
+    from repro.core.simplified import simplified_query_coefficient
+
+    if n_blocks < 2:
+        raise ValueError("n_blocks must be >= 2")
+    return simplified_query_coefficient(n_blocks)
+
+
+def cwb_query_coefficient(
+    n_items: int, n_blocks: int, epsilon: float | None = None
+) -> float:
+    """Finite-``N`` upper bound on the CWB coefficient per ``sqrt(N)``.
+
+    quant-ph/0603136 reaches certainty by re-phasing iterations the GRK
+    schedule already performs, escalating the integer budget by at most
+    :data:`CWB_EXTRA_QUERIES_BOUND` queries — so the plain schedule's
+    query count plus that constant, normalised by ``sqrt(N)``, bounds the
+    solved plan's coefficient from above (the solved plan itself is exact
+    and usually cheaper; the pins compare both).
+    """
+    from repro.core.parameters import plan_schedule
+
+    schedule = plan_schedule(n_items, n_blocks, epsilon)
+    return (schedule.queries + CWB_EXTRA_QUERIES_BOUND) / math.sqrt(n_items)
+
+
+def cwb_asymptotic_coefficient(n_blocks: int) -> float:
+    """Large-``N`` coefficient of sure-success partial search per ``sqrt(N)``.
+
+    Certainty is asymptotically free: the CWB constant-query surcharge
+    vanishes against ``sqrt(N)``, so the sure-success family's coefficient
+    converges to the optimised partial-search optimum for the same ``K``
+    (the ancilla-free optimum of quant-ph/0510179).
+    """
+    return simplified_partial_coefficient(n_blocks)
 
 
 def savings_factor(coefficient: float) -> float:

@@ -29,6 +29,7 @@ query.
 from __future__ import annotations
 
 import cmath
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -110,11 +111,20 @@ def _final_outside_amplitude(
     mean = (u + (b - 1) * v + (n - b) * w) / n
     u, v, w = f * mean - u, f * mean - v, f * mean - w
 
-    # l2 - 1 plain block iterations: uniform non-target blocks are fixed.
-    for _ in range(l2 - 1):
-        u = -u
-        block_mean = (u + (b - 1) * v) / b
-        u, v = 2.0 * block_mean - u, 2.0 * block_mean - v
+    # l2 - 1 plain block iterations: uniform non-target blocks are fixed,
+    # and each iteration is the *real* rotation by 2 beta_block in the
+    # (u, v sqrt(b-1)) plane — a linear map, so it applies to the complex
+    # coordinates componentwise and its (l2-1)-th power is one rotation by
+    # 2 (l2-1) beta_block.  Closed form keeps the phase solve O(1) in l2
+    # (the per-iteration loop made planning O(sqrt(N/K)) — minutes at
+    # N = 2**40 — which the analytic tier cannot afford).
+    if l2 > 1:
+        theta = 2.0 * (l2 - 1) * math.asin(1.0 / math.sqrt(b))
+        rest_len = math.sqrt(b - 1.0)
+        cos_t, sin_t = math.cos(theta), math.sin(theta)
+        x, y = u, v * rest_len
+        x, y = x * cos_t + y * sin_t, y * cos_t - x * sin_t
+        u, v = x, y / rest_len
 
     # Phased block iteration (last of Step 2): w picks up an eigenphase.
     u *= cmath.exp(1j * chi_o)

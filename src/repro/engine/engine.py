@@ -74,6 +74,25 @@ class SearchEngine:
         return self._executor
 
     # ----------------------------------------------------------- plumbing
+    def _engine_tier(self, request: SearchRequest) -> str:
+        """``"analytic"`` or ``"simulate"`` for *request*.
+
+        The fast path avoids importing :mod:`repro.analytic` at all for
+        the overwhelmingly common case (default ``wants="report"`` under
+        ``engine="auto"``, or an explicit ``engine="simulate"``).  A
+        forced ``engine="analytic"`` that no model covers raises
+        :class:`~repro.analytic.AnalyticUnsupported` here.
+        """
+        if request.engine == "simulate":
+            return "simulate"
+        if request.engine == "auto" and (
+            request.wants != "probability" or request.trace
+        ):
+            return "simulate"
+        from repro.analytic import resolve_engine_tier
+
+        return resolve_engine_tier(request)
+
     def _resolve(self, request: SearchRequest) -> tuple[MethodSpec, str]:
         spec = get_method(request.method)
         backend = spec.resolve_backend(request.backend)
@@ -136,6 +155,17 @@ class SearchEngine:
         """
         spec, backend = self._resolve(request)
         request = self._effective_request(request, spec)
+        if self._engine_tier(request) == "analytic":
+            from repro.analytic import AnalyticUnsupported, evaluate_analytic
+
+            try:
+                return evaluate_analytic(request, database)
+            except AnalyticUnsupported:
+                # Evaluation-time refusal (e.g. a phase solve that did not
+                # converge): forced analytic propagates it, auto falls
+                # through to the simulator tier.
+                if request.engine == "analytic":
+                    raise
         db = self._database_for(spec, request, database)
         return spec.run(request, backend, db)
 
@@ -169,6 +199,17 @@ class SearchEngine:
         request = self._effective_request(request, spec)
         if request.trace:
             raise ValueError("batched execution does not support tracing")
+        if self._engine_tier(request) == "analytic":
+            from repro.analytic import (
+                AnalyticUnsupported,
+                evaluate_analytic_batch,
+            )
+
+            try:
+                return evaluate_analytic_batch(request, targets)
+            except AnalyticUnsupported:
+                if request.engine == "analytic":
+                    raise
         if targets is None:
             targets = np.arange(request.n_items, dtype=np.intp)
         else:

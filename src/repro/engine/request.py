@@ -23,12 +23,28 @@ from typing import Any, Mapping
 from repro.core.blockspec import BlockSpec
 from repro.kernels import ExecutionPolicy
 
-__all__ = ["DEFAULT_SHARD_BYTES", "ExecutionPolicy", "ShardPolicy", "SearchRequest"]
+__all__ = [
+    "DEFAULT_SHARD_BYTES",
+    "WANTS_VALUES",
+    "ENGINE_VALUES",
+    "ExecutionPolicy",
+    "ShardPolicy",
+    "SearchRequest",
+]
 
 #: Default per-shard memory budget for batched execution (128 MiB).  An
 #: all-targets batch at 12 address qubits needs a ``(4096, 8192)`` complex
 #: state (~0.5 GB) unsharded; this budget splits it into independent chunks.
 DEFAULT_SHARD_BYTES = 128 * 1024 * 1024
+
+#: What the caller needs back.  ``probability``-class requests (success
+#: probability + query count, no amplitudes) are eligible for the analytic
+#: tier; the rest always simulate.
+WANTS_VALUES = ("probability", "report", "amplitudes", "samples")
+
+#: Engine-tier override, threaded like ``backend=``: ``auto`` lets the
+#: planner route, ``analytic``/``simulate`` force the tier.
+ENGINE_VALUES = ("auto", "analytic", "simulate")
 
 
 @dataclass(frozen=True)
@@ -97,6 +113,19 @@ class SearchRequest:
         options: method-specific extras (e.g. ``schedule=`` for ``grk``,
             ``plan=`` for ``grk-sure-success``, ``strategy=`` for
             ``classical``).  Stored read-only.
+        wants: what the caller needs back — one of
+            :data:`WANTS_VALUES`.  ``"probability"`` asks only for the
+            success probability and query count, which lets the planner
+            answer from the closed-form analytic tier at any ``N``;
+            ``"report"`` (default) keeps the historical contract (a full
+            simulated report with ``raw`` attached); ``"amplitudes"`` and
+            ``"samples"`` additionally pin the simulator tier explicitly.
+        engine: tier override, one of :data:`ENGINE_VALUES`.  ``"auto"``
+            (default) routes ``wants="probability"`` requests to the
+            analytic tier when a model covers them and simulates
+            otherwise; ``"analytic"`` forces the closed-form tier (errors
+            if no model covers the request); ``"simulate"`` forces the
+            statevector tier even for probability-class requests.
     """
 
     n_items: int
@@ -110,6 +139,8 @@ class SearchRequest:
     shards: ShardPolicy = field(default_factory=ShardPolicy)
     policy: ExecutionPolicy = field(default_factory=ExecutionPolicy)
     options: Mapping[str, Any] = field(default_factory=dict)
+    wants: str = "report"
+    engine: str = "auto"
 
     def __post_init__(self):
         if not isinstance(self.method, str) or not self.method:
@@ -132,6 +163,14 @@ class SearchRequest:
             raise ValueError("shards must be a ShardPolicy")
         if not isinstance(self.policy, ExecutionPolicy):
             raise ValueError("policy must be an ExecutionPolicy")
+        if self.wants not in WANTS_VALUES:
+            raise ValueError(
+                f"wants={self.wants!r} must be one of {WANTS_VALUES}"
+            )
+        if self.engine not in ENGINE_VALUES:
+            raise ValueError(
+                f"engine={self.engine!r} must be one of {ENGINE_VALUES}"
+            )
         # Freeze the options mapping so a shared request cannot drift.
         object.__setattr__(self, "options", MappingProxyType(dict(self.options)))
 
@@ -180,6 +219,8 @@ class SearchRequest:
             "shards": self.shards,
             "policy": self.policy,
             "options": dict(self.options),
+            "wants": self.wants,
+            "engine": self.engine,
         }
 
     @classmethod

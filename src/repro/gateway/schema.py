@@ -40,6 +40,7 @@ from repro.util.jsonsafe import json_safe
 __all__ = [
     "SCHEMA_VERSION",
     "MAX_SCHEMA_N_ITEMS",
+    "MAX_SCHEMA_N_ITEMS_ANALYTIC",
     "MAX_SCHEMA_TARGETS",
     "SchemaError",
     "DecodedSubmit",
@@ -58,10 +59,18 @@ __all__ = [
 #: docstring).  Independent of the intra-fleet ``WIRE_VERSION``.
 SCHEMA_VERSION = 1
 
-#: Largest database size the edge accepts.  The simulator tiers top out
-#: far below this; the bound exists so a hostile payload cannot ask the
-#: planner to model a 2**60-item state.
+#: Largest database size the edge accepts for requests that will
+#: *simulate*.  The simulator tiers top out far below this; the bound
+#: exists so a hostile payload cannot ask the planner to model a
+#: 2**60-item state.
 MAX_SCHEMA_N_ITEMS = 1 << 24
+
+#: Largest database size for requests the analytic tier will answer
+#: (``engine="analytic"``, or ``engine="auto"`` with
+#: ``wants="probability"`` on a modelled method).  Closed forms allocate
+#: no state, so the bound is the models' own validity limit
+#: (:data:`repro.analytic.ANALYTIC_MAX_N_ITEMS`).
+MAX_SCHEMA_N_ITEMS_ANALYTIC = 1 << 63
 
 #: Largest explicit batch-target list the edge accepts in one request.
 MAX_SCHEMA_TARGETS = 1 << 16
@@ -132,7 +141,7 @@ def _check_options(options, errors) -> dict:
 _KNOWN_FIELDS = frozenset({
     "schema_version", "n_items", "n_blocks", "method", "backend", "epsilon",
     "target", "targets", "batch", "seed", "dtype", "row_threads",
-    "kernel_backend", "options", "timeout",
+    "kernel_backend", "options", "timeout", "wants", "engine",
 })
 
 
@@ -172,12 +181,8 @@ def decode_submit(payload, *, batch: bool = False) -> DecodedSubmit:
         errors.append({"field": "n_items",
                        "message": "required: an integer >= 2"})
         n_items = None
-    elif n_items > MAX_SCHEMA_N_ITEMS:
-        errors.append({
-            "field": "n_items",
-            "message": f"{n_items} exceeds the edge bound {MAX_SCHEMA_N_ITEMS}",
-        })
-        n_items = None
+    # The *upper* bound on n_items is engine-aware and therefore checked
+    # after method/wants/engine are parsed, below.
 
     n_blocks = payload.get("n_blocks")
     if not _is_int(n_blocks) or n_blocks < 1:
@@ -202,6 +207,62 @@ def decode_submit(payload, *, batch: bool = False) -> DecodedSubmit:
                 "message": f"unknown method {method!r}; "
                            f"one of: {', '.join(known)}",
             })
+
+    # Optional fields — compatible schema growth, no version bump: absent
+    # means the historical behaviour (full report, planner-routed tier).
+    from repro.engine.request import ENGINE_VALUES, WANTS_VALUES
+
+    wants = payload.get("wants", "report")
+    if wants not in WANTS_VALUES:
+        errors.append({
+            "field": "wants",
+            "message": f"must be one of: {', '.join(WANTS_VALUES)}",
+        })
+        wants = "report"
+
+    engine = payload.get("engine", "auto")
+    if engine not in ENGINE_VALUES:
+        errors.append({
+            "field": "engine",
+            "message": f"must be one of: {', '.join(ENGINE_VALUES)}",
+        })
+        engine = "auto"
+
+    from repro.analytic import has_model
+
+    if engine == "analytic" and isinstance(method, str) and not has_model(method):
+        errors.append({
+            "field": "engine",
+            "message": f"method {method!r} has no analytic model; "
+                       "see GET /v1/methods for the analytic column",
+        })
+
+    # Engine-aware n_items upper bound (deferred from the n_items block):
+    # requests the analytic tier will answer never allocate a state, so
+    # they accept N up to the models' validity limit; everything else
+    # keeps the simulator bound — and the 400 names the escape hatch.
+    analytic_bound = engine == "analytic" or (
+        engine == "auto" and wants == "probability"
+        and isinstance(method, str) and has_model(method)
+    )
+    if n_items is not None:
+        if analytic_bound and n_items > MAX_SCHEMA_N_ITEMS_ANALYTIC:
+            errors.append({
+                "field": "n_items",
+                "message": f"{n_items} exceeds the analytic-tier bound "
+                           f"{MAX_SCHEMA_N_ITEMS_ANALYTIC}",
+            })
+            n_items = None
+        elif not analytic_bound and n_items > MAX_SCHEMA_N_ITEMS:
+            errors.append({
+                "field": "n_items",
+                "message": f"{n_items} exceeds the simulation bound "
+                           f"{MAX_SCHEMA_N_ITEMS}; probability-only "
+                           "requests can go far beyond it via "
+                           '"engine": "analytic" (or "engine": "auto" '
+                           'with "wants": "probability")',
+            })
+            n_items = None
 
     backend = payload.get("backend")
     if backend is not None and (not isinstance(backend, str) or not backend):
@@ -337,6 +398,8 @@ def decode_submit(payload, *, batch: bool = False) -> DecodedSubmit:
             policy=ExecutionPolicy(dtype=dtype, row_threads=row_threads,
                                    backend=kernel_backend),
             options=options,
+            wants=wants,
+            engine=engine,
         )
     except ValueError as exc:
         # Cross-field constraints the engine enforces beyond the per-field
@@ -420,19 +483,32 @@ def encode_error(code: str, message: str, *, errors: list[dict] | None = None,
 
 def encode_methods() -> dict:
     """The ``GET /v1/methods`` reply: the live method registry, plus the
-    kernel-backend registry (``kernel_backends``, a compatible reply-field
-    growth) so edge clients can discover what ``"kernel_backend"`` values
-    this deployment executes."""
+    kernel-backend registry (``kernel_backends``) and the per-method
+    ``analytic`` capability column — both compatible reply-field growth —
+    so edge clients can discover what ``"kernel_backend"`` values this
+    deployment executes and which methods the closed-form tier answers
+    (``null`` = simulation only; otherwise the model's validity regime,
+    ``exact`` vs large-``K`` ``asymptotic``, and its ``n_items`` bound)."""
+    from repro.analytic import get_model, has_model
     from repro.engine.registry import available_methods, get_method
     from repro.kernels import describe_kernel_backends
 
     methods = []
     for name in available_methods():
         spec = get_method(name)
+        analytic = None
+        if has_model(name):
+            model = get_model(name)
+            analytic = {
+                "regime": model.regime,
+                "max_n_items": model.max_n_items,
+                "description": model.description,
+            }
         methods.append({
             "name": name,
             "backends": list(spec.backends),
             "description": spec.description,
+            "analytic": analytic,
         })
     return {"schema_version": SCHEMA_VERSION, "kind": "methods",
             "methods": methods,

@@ -91,12 +91,32 @@ def request_fingerprint(request, targets=None) -> str | None:
         pass
     backend_part = (f"kernel_backend={kernel_backend}"
                     if dtype == "complex64" else "kernel_backend=<any>")
+    # The engine tier is structural: an analytic answer and a simulated one
+    # are different results (closed-form exact vs statevector float path)
+    # and must not share an entry.  Within the analytic tier the execution
+    # policy and simulator backend are irrelevant — no kernel ever runs —
+    # so they normalise away and a complex64 probability request shares the
+    # closed-form answer with a complex128 one.
+    tier = "simulate"
+    if getattr(request, "engine", "auto") != "simulate":
+        try:
+            from repro.analytic import resolve_engine_tier
+
+            tier = resolve_engine_tier(request)
+        except Exception:
+            tier = "simulate"
+    if tier == "analytic":
+        dtype = "complex128"
+        backend_part = "kernel_backend=<any>"
     parts = [
+        # v5: the resolved engine tier became structural (new tier
+        # component; analytic entries normalise the kernel fields away).
         # v4: the kernel backend became structural at complex64 (new
         # backend_part component).  Fingerprints are opaque keys, so the
         # version bump just makes old/new replicas miss instead of
         # colliding during a rolling upgrade.
-        "fingerprint-v4",
+        "fingerprint-v5",
+        f"tier={tier}",
         f"n_items={request.n_items}",
         f"n_blocks={request.n_blocks}",
         f"method={request.method}",

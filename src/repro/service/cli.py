@@ -183,6 +183,18 @@ def _add_request_flags(p: argparse.ArgumentParser) -> None:
                         "for what this host can run)")
     p.add_argument("--timeout", type=float, default=None,
                    help="per-request deadline override in seconds")
+    p.add_argument("--wants", default=None,
+                   choices=["probability", "report", "amplitudes", "samples"],
+                   help="what the caller needs back (default: report). "
+                        "'probability' asks only for success probability + "
+                        "query count, which lets the planner answer from "
+                        "the closed-form analytic tier at any N")
+    p.add_argument("--engine", default=None,
+                   choices=["auto", "analytic", "simulate"],
+                   help="engine tier override (default: auto routing). "
+                        "'analytic' forces the closed-form tier (errors if "
+                        "no model covers the method); 'simulate' forces "
+                        "the statevector tier")
 
 
 def _add_submit(sub: argparse._SubParsersAction) -> None:
@@ -570,6 +582,8 @@ def _cmd_submit(args) -> int:
         target=args.target,
         rng=args.seed,
         policy=policy,
+        wants=args.wants or "report",
+        engine=args.engine or "auto",
     )
     address = (args.host, DEFAULT_PORT if args.port is None else args.port)
     # Every submit is traced: mint an ID unless the caller pinned one, and
@@ -640,6 +654,10 @@ def _cmd_curl(args) -> int:
         payload["kernel_backend"] = args.kernel_backend
     if args.timeout is not None:
         payload["timeout"] = args.timeout
+    if args.wants is not None:
+        payload["wants"] = args.wants
+    if args.engine is not None:
+        payload["engine"] = args.engine
     request = urllib.request.Request(
         base.rstrip("/") + path,
         data=json.dumps(payload).encode("utf-8"),
@@ -739,12 +757,19 @@ def _cmd_worker(args) -> int:
 
 
 def _cmd_methods(_args) -> int:
+    from repro.analytic import get_model, has_model
     from repro.engine.registry import available_methods, get_method
     from repro.kernels import describe_kernel_backends
 
     for name in available_methods():
         spec = get_method(name)
-        print(f"{name:18s} [{', '.join(spec.backends)}]  {spec.description}")
+        if has_model(name):
+            model = get_model(name)
+            analytic = f"analytic:{model.regime}"
+        else:
+            analytic = "analytic:-"
+        print(f"{name:18s} [{', '.join(spec.backends)}]  "
+              f"{analytic:18s} {spec.description}")
     print()
     print("kernel backends (request with --kernel-backend / "
           "\"kernel_backend\"):")

@@ -1,0 +1,169 @@
+"""Properties every analytic answer must satisfy, across the whole
+validity range: probabilities are probabilities, partial search never
+costs more than full search, and the closed forms respect the paper's
+orderings.  Hypothesis drives the cheap O(1) models over random
+power-of-two geometries up to 2**40; the solve-backed models get a
+deterministic grid (one least-squares solve per geometry)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytic import get_model
+from repro.engine import SearchRequest
+
+pytestmark = pytest.mark.analytic
+
+
+def _request(n, k, method, *, target=None, options=None):
+    return SearchRequest(n_items=n, n_blocks=k, method=method, target=target,
+                        options=options or {},
+                        wants="probability", engine="analytic")
+
+
+def _evaluate(method, n, k, *, target=None, options=None):
+    return get_model(method).evaluate(
+        _request(n, k, method, target=target, options=options), target
+    )
+
+
+geometries = st.tuples(
+    st.integers(min_value=4, max_value=40),   # n = 2**n_exp
+    st.integers(min_value=1, max_value=8),    # k = 2**k_exp
+).filter(lambda t: t[1] <= t[0] - 1)          # block size >= 2
+
+
+class TestProbabilityBounds:
+    @settings(max_examples=60, deadline=None)
+    @given(geometries)
+    def test_grk_success_is_a_probability(self, geom):
+        n, k = 1 << geom[0], 1 << geom[1]
+        answer = _evaluate("grk", n, k, target=n - 1)
+        assert 0.0 <= answer.success_probability <= 1.0
+        assert answer.queries > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(geometries)
+    def test_simplified_success_is_a_probability(self, geom):
+        n, k = 1 << geom[0], 1 << geom[1]
+        answer = _evaluate("grk-simplified", n, k)
+        assert 0.0 <= answer.success_probability <= 1.0
+        assert answer.queries > 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(geometries)
+    def test_naive_blocks_expectation_is_a_probability(self, geom):
+        n, k = 1 << geom[0], 1 << geom[1]
+        answer = _evaluate("naive-blocks", n, k)
+        # The expectation interpolates 1/K (left-out certainty) and the
+        # restricted-Grover success, so it can never drop below 1/K.
+        assert 1.0 / k <= answer.success_probability <= 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=2, max_value=2**40))
+    def test_grover_full_success_is_a_probability(self, n):
+        answer = _evaluate("grover-full", n, 1)
+        assert 0.0 <= answer.success_probability <= 1.0
+        assert answer.queries >= 0
+
+
+class TestQueryOrdering:
+    """Section 3.1's story: lower bound < GRK < naive < full — the analytic
+    tier must reproduce the query ordering, not just the probabilities."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(geometries)
+    def test_partial_search_never_beats_full_search_by_less_than_it_should(self, geom):
+        n, k = 1 << geom[0], 1 << geom[1]
+        grk = _evaluate("grk", n, k)
+        naive = _evaluate("naive-blocks", n, k)
+        full = _evaluate("grover-full", n, 1)
+        # Integer rounding of tiny schedules allows a ±2 ripple; the
+        # asymptotic ordering must hold past it.
+        assert grk.queries <= naive.queries + 2
+        assert grk.queries <= full.queries + 2
+        assert naive.queries <= full.queries + 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(geometries)
+    def test_quantum_beats_classical(self, geom):
+        n, k = 1 << geom[0], 1 << geom[1]
+        grk = _evaluate("grk", n, k)
+        classical = _evaluate("classical", n, k,
+                              options={"strategy": "randomized"})
+        # O(sqrt(N)) vs Omega(N): strictly cheaper for every N >= 16.
+        assert grk.queries < classical.schedule["expected_queries"]
+
+    def test_queries_nondecreasing_in_n(self):
+        for k in (4, 32):
+            counts = [
+                _evaluate("grk", 1 << exp, k).queries
+                for exp in range(10, 41, 2)
+            ]
+            assert counts == sorted(counts)
+
+    def test_success_approaches_one(self):
+        failures = [
+            1.0 - _evaluate("grk", 1 << exp, 4).success_probability
+            for exp in (10, 20, 30, 40)
+        ]
+        assert failures == sorted(failures, reverse=True)
+        assert failures[-1] < 1e-5
+
+
+class TestSolvedModels:
+    """The solve-backed models on a deterministic grid (cached solves)."""
+
+    GRID = [(1 << 10, 4), (1 << 14, 8), (1 << 20, 32)]
+
+    @pytest.mark.parametrize("n,k", GRID)
+    def test_sure_success_is_sure_and_cheaper_than_full(self, n, k):
+        answer = _evaluate("grk-sure-success", n, k)
+        assert answer.success_probability >= 1.0 - 1e-9
+        assert answer.queries <= (math.pi / 4.0) * math.sqrt(n) + 2
+
+    @pytest.mark.parametrize("n,k", GRID)
+    def test_cwb_certainty_costs_constant_extra(self, n, k):
+        answer = _evaluate("grk-cwb", n, k)
+        plain = _evaluate("grk", n, k)
+        assert answer.success_probability >= 1.0 - 1e-9
+        assert answer.queries <= plain.queries + 2
+
+    @pytest.mark.parametrize("n,k", GRID)
+    def test_certainty_dominates_plain_success(self, n, k):
+        # Paying the constant surcharge must actually buy something: the
+        # sure-success probability weakly dominates the plain schedule's.
+        plain = _evaluate("grk", n, k)
+        cwb = _evaluate("grk-cwb", n, k)
+        assert cwb.success_probability >= plain.success_probability - 1e-12
+
+
+class TestClassicalClosedForms:
+    @settings(max_examples=60, deadline=None)
+    @given(geometries)
+    def test_deterministic_expectation_matches_position_average(self, geom):
+        n, k = 1 << geom[0], 1 << geom[1]
+        expected = _evaluate("classical", n, k).schedule["expected_queries"]
+        # Exact expectation bounds: at least 1 probe, at most elimination.
+        assert 1.0 <= expected <= n - n // k
+
+    def test_deterministic_expectation_is_exact_for_small_n(self):
+        # Brute force over every target position pins the closed form.
+        for n, k in ((16, 4), (36, 6), (64, 8)):
+            per_target = [
+                _evaluate("classical", n, k, target=t).queries
+                for t in range(n)
+            ]
+            expected = _evaluate("classical", n, k).schedule["expected_queries"]
+            assert sum(per_target) / n == pytest.approx(expected, abs=1e-9)
+
+    @settings(max_examples=60, deadline=None)
+    @given(geometries)
+    def test_randomized_beats_deterministic_on_average(self, geom):
+        n, k = 1 << geom[0], 1 << geom[1]
+        randomized = _evaluate("classical", n, k,
+                               options={"strategy": "randomized"})
+        worst_case = n - n // k  # the deterministic guarantee
+        assert randomized.schedule["expected_queries"] < worst_case

@@ -192,6 +192,74 @@ class TestSearchParity:
         run(main())
 
 
+class TestAnalyticTierOverHttp:
+    """The huge-N acceptance path: a probability request at N = 2**40 over
+    live HTTP reaches the analytic tier (zero shards, no statevector) and
+    its trace shows the ``analytic.eval`` stage."""
+
+    ANALYTIC_BODY = {
+        "schema_version": SCHEMA_VERSION,
+        "n_items": 1 << 40,
+        "n_blocks": 16,
+        "wants": "probability",
+        "target": 12345,
+    }
+
+    def test_two_to_the_forty_probability_request(self):
+        async def main():
+            async with gateway_stack() as stack:
+                status, headers, body = await fetch(
+                    stack.base + "/v1/search", method="POST",
+                    body=json.dumps(self.ANALYTIC_BODY).encode(),
+                )
+                assert status == 200, body
+                doc = json.loads(body)
+                assert doc["backend"] == "analytic"
+                assert doc["n_items"] == 1 << 40
+                assert doc["schedule"]["engine"] == "analytic"
+                assert doc["schedule"]["regime"] == "exact"
+                assert doc["success_probability"] > 0.999
+
+                trace_id = headers["X-Request-ID"]
+                status, _, body = await fetch(
+                    stack.base + f"/v1/trace/{trace_id}"
+                )
+                assert status == 200, body
+                names = {s["name"] for s in json.loads(body)["spans"]}
+                assert "analytic.eval" in names
+
+        run(main())
+
+    def test_huge_n_without_probability_is_400_naming_the_hatch(self):
+        async def main():
+            async with gateway_stack() as stack:
+                oversized = dict(self.ANALYTIC_BODY)
+                del oversized["wants"]
+                status, _, body = await fetch(
+                    stack.base + "/v1/search", method="POST",
+                    body=json.dumps(oversized).encode(),
+                )
+                assert status == 400
+                doc = json.loads(body)
+                assert doc["error"] == "invalid-request"
+                [entry] = [e for e in doc["errors"]
+                           if e["field"] == "n_items"]
+                assert '"engine": "analytic"' in entry["message"]
+
+        run(main())
+
+    def test_methods_reply_has_analytic_column(self):
+        async def main():
+            async with gateway_stack() as stack:
+                status, _, body = await fetch(stack.base + "/v1/methods")
+                assert status == 200
+                rows = {m["name"]: m for m in json.loads(body)["methods"]}
+                assert rows["grk"]["analytic"]["regime"] == "exact"
+                assert rows["grk"]["analytic"]["max_n_items"] == 1 << 63
+
+        run(main())
+
+
 class TestErrorMapping:
     def test_schema_violation_is_400_with_field_errors(self):
         async def main():

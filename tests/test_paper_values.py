@@ -95,6 +95,51 @@ class TestChoiWalkerBraunsteinSureSuccess:
             assert plan_cwb(n, k).queries <= plan_sure_success(n, k).queries + 1
 
 
+class TestTheoryClosedForms:
+    """`analysis/theory.py` closed forms for the successor papers: the
+    optimised ancilla-free coefficient (quant-ph/0510179) reproduces the
+    Section 3.1 upper-bound column, and the CWB certainty surcharge
+    (quant-ph/0603136) is bounded by the documented constant — so the
+    analytic tier's sure-success answers inherit the plain coefficients."""
+
+    PAPER_UPPER = {2: 0.555, 3: 0.592, 4: 0.615, 5: 0.633, 8: 0.664, 32: 0.725}
+
+    @pytest.mark.parametrize("k", sorted(PAPER_UPPER))
+    def test_simplified_coefficient_matches_table(self, k):
+        from repro.analysis.theory import simplified_partial_coefficient
+
+        tol = 0.0016 if k == 3 else 0.0006
+        assert simplified_partial_coefficient(k) == pytest.approx(
+            self.PAPER_UPPER[k], abs=tol
+        )
+
+    @pytest.mark.parametrize("n,k", [(1024, 4), (4096, 4), (4096, 8)])
+    def test_cwb_coefficient_bounds_solved_plan(self, n, k):
+        from repro.analysis.theory import (
+            CWB_EXTRA_QUERIES_BOUND,
+            cwb_query_coefficient,
+        )
+        from repro.core.cwb import plan_cwb
+
+        plan = plan_cwb(n, k)
+        assert plan.extra_queries <= CWB_EXTRA_QUERIES_BOUND
+        assert plan.queries / math.sqrt(n) <= cwb_query_coefficient(n, k)
+
+    @pytest.mark.parametrize("k", sorted(PAPER_UPPER))
+    def test_cwb_asymptotic_agrees_with_optimised_partial(self, k):
+        from repro.analysis.theory import (
+            cwb_asymptotic_coefficient,
+            simplified_partial_coefficient,
+        )
+
+        # Certainty is asymptotically free: the sure-success coefficient
+        # converges to the optimised partial-search optimum for the same K.
+        assert cwb_asymptotic_coefficient(k) == pytest.approx(
+            simplified_partial_coefficient(k), rel=1e-12
+        )
+        assert cwb_asymptotic_coefficient(k) < math.pi / 4.0
+
+
 class TestSection31Table:
     """The table in Section 3.1 (upper via optimisation, lower via Thm 2)."""
 
